@@ -1,0 +1,74 @@
+"""Ablation: the thrash term is what makes over-concurrency *harmful*.
+
+DESIGN.md §2 argues that the paper's quadratic Eq (5) alone prices 160
+connections into one MySQL at only ~3 % below peak, so the dramatic Fig 2(b)
+/ Fig 5 failures require the super-quadratic thrash the real MySQL exhibits.
+This ablation reruns the Fig 2(b) comparison with the thrash term disabled
+(pure Table-I quadratic): naive scale-out should then be roughly *neutral*,
+demonstrating that the substrate's thrash term — not a modelling artefact —
+carries the paper's headline effect.
+"""
+
+import pytest
+
+from benchmarks.common import emit, once
+from repro.analysis.experiments import measure_steady_state
+from repro.analysis.tables import render_table
+from repro.ntier import HardwareConfig, NTierSystem, SoftResourceConfig
+from repro.ntier.contention import MYSQL_CONTENTION, TOMCAT_CONTENTION, ContentionModel
+from repro.sim import Environment, RandomStreams
+from repro.workload import RubbosGenerator, browse_only_catalog
+
+USERS = 3600
+
+
+def _quadratic(model: ContentionModel) -> ContentionModel:
+    return ContentionModel(s0=model.s0, alpha=model.alpha, beta=model.beta)
+
+
+def run_variants():
+    results = {}
+    for variant in ("with thrash", "quadratic only"):
+        mysql = MYSQL_CONTENTION if variant == "with thrash" else _quadratic(MYSQL_CONTENTION)
+        tomcat = TOMCAT_CONTENTION if variant == "with thrash" else _quadratic(TOMCAT_CONTENTION)
+        for hw in ("1/1/1", "1/2/1"):
+            env = Environment()
+            system = NTierSystem(
+                env,
+                RandomStreams(11),
+                hardware=HardwareConfig.parse(hw),
+                soft=SoftResourceConfig.DEFAULT,
+                catalog=browse_only_catalog(),
+                mysql_contention=mysql,
+                tomcat_contention=tomcat,
+            )
+            RubbosGenerator(env, system, users=USERS, think_time=3.0)
+            steady = measure_steady_state(env, system, warmup=6.0, duration=15.0)
+            results[(variant, hw)] = steady.throughput
+    return results
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_thrash_term_carries_fig2b(benchmark):
+    results = once(benchmark, run_variants)
+    rows = []
+    for variant in ("with thrash", "quadratic only"):
+        base = results[(variant, "1/1/1")]
+        naive = results[(variant, "1/2/1")]
+        rows.append([variant, base, naive, 100 * (naive / base - 1)])
+    text = render_table(
+        ["MySQL ground truth", "1/1/1 default", "1/2/1 default", "scale-out delta (%)"],
+        rows,
+        title="Ablation: Fig 2(b) with and without the thrash term",
+    )
+    emit("ablation_thrash", text)
+
+    with_delta = results[("with thrash", "1/2/1")] / results[("with thrash", "1/1/1")] - 1
+    quad_delta = (
+        results[("quadratic only", "1/2/1")] / results[("quadratic only", "1/1/1")] - 1
+    )
+    # With thrash: naive scale-out clearly degrades (the paper's Fig 2(b)).
+    assert with_delta < -0.05
+    # Quadratic only: the degradation (mostly) disappears.
+    assert quad_delta > with_delta + 0.05
+    assert quad_delta > -0.05

@@ -1,0 +1,65 @@
+"""Fig 2(b): naive hardware-only scale-out degrades throughput.
+
+Paper: scaling 1/1/1 -> 1/2/1 under the default 1000/100/80 doubles the
+concurrency reaching MySQL (80 -> 160) and *decreases* system throughput
+under high workload; re-allocating the connection pools (~20 per Tomcat,
+total ~40 = MySQL's knee) makes the added Tomcat pay off.
+"""
+
+import pytest
+
+from benchmarks.common import emit, once
+from repro.analysis.experiments import build_system, measure_steady_state
+from repro.analysis.tables import render_table
+from repro.ntier import HardwareConfig, SoftResourceConfig
+from repro.workload import RubbosGenerator
+
+USERS = 3600
+CONFIGS = (
+    ("1/1/1 default", "1/1/1", "1000/100/80"),
+    ("1/2/1 default (naive)", "1/2/1", "1000/100/80"),
+    ("1/2/1 retuned (DCM)", "1/2/1", "1000/100/20"),
+)
+
+
+def run_configs():
+    results = {}
+    for label, hw, soft in CONFIGS:
+        env, system = build_system(
+            hardware=HardwareConfig.parse(hw),
+            soft=SoftResourceConfig.parse(soft),
+            seed=11,
+        )
+        RubbosGenerator(env, system, users=USERS, think_time=3.0)
+        steady = measure_steady_state(env, system, warmup=6.0, duration=20.0)
+        results[label] = (steady, system.max_db_concurrency())
+    return results
+
+
+@pytest.mark.benchmark(group="fig2b")
+def test_fig2b_naive_scaleout_degrades(benchmark):
+    results = once(benchmark, run_configs)
+    rows = [
+        [label, steady.throughput, steady.mean_response_time,
+         max_conc, steady.tier_efficiency["db"]]
+        for label, (steady, max_conc) in results.items()
+    ]
+    text = render_table(
+        ["configuration", "throughput", "mean RT (s)", "max DB conc", "db efficiency"],
+        rows,
+        title=f"Fig 2(b): scale-out under high workload ({USERS} users)",
+    )
+    emit("fig2b_scaleout_degradation", text)
+
+    base = results["1/1/1 default"][0].throughput
+    naive = results["1/2/1 default (naive)"][0].throughput
+    retuned = results["1/2/1 retuned (DCM)"][0].throughput
+
+    # The paper's headline: adding a Tomcat with default pools makes the
+    # system *slower*; retuning the pools makes it faster than 1/1/1.
+    assert naive < 0.95 * base, "naive scale-out must degrade throughput"
+    assert retuned > naive * 1.10, "retuned pools must beat the naive config"
+    assert retuned >= base, "retuned scale-out must not regress the baseline"
+    # Mechanism: the DB tier burns capacity on over-concurrency.
+    assert results["1/2/1 default (naive)"][0].tier_efficiency["db"] < 0.9
+    assert results["1/2/1 retuned (DCM)"][0].tier_efficiency["db"] > 0.95

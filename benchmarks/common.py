@@ -1,0 +1,67 @@
+"""Shared plumbing for the benchmark harnesses.
+
+Every benchmark regenerates one of the paper's tables/figures: it runs the
+corresponding experiment from :mod:`repro.analysis.experiments`, renders the
+same rows/series the paper reports, *asserts the paper's qualitative shape*
+(who wins, where the knee falls, rough factors), and writes the rendered
+output to ``benchmarks/out/<name>.txt`` (also echoed to stdout) so
+EXPERIMENTS.md can quote it.
+
+Speed knob: several experiments run at ``demand_scale > 1`` — all CPU
+demands multiplied, capacities divided, optimal concurrencies untouched
+(DESIGN.md §2) — so the full suite completes in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from repro.model import ConcurrencyModel
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+#: Paper's Table I values, used for side-by-side rendering and shape checks.
+PAPER_TABLE1 = {
+    "app": {"S0": 2.84e-2, "alpha": 9.87e-3, "beta": 4.54e-5, "gamma": 11.03,
+            "R2": 0.96, "N_b": 20, "Xmax": 946.0},
+    "db": {"S0": 7.19e-3, "alpha": 5.04e-3, "beta": 1.65e-6, "gamma": 4.45,
+           "R2": 0.97, "N_b": 36, "Xmax": 865.0},
+}
+
+
+def emit(name: str, text: str) -> None:
+    """Print a benchmark's rendered output and persist it under out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n")
+
+
+def ground_truth_models(demand_scale: float = 1.0) -> Dict[str, ConcurrencyModel]:
+    """Analytic seed models derived from the calibrated ground truth.
+
+    Used by benches that are *not* about model training (Fig 5, ablations)
+    to avoid paying the training sweep inside every harness; the Table I
+    bench performs and validates the real training.  Demands scale with
+    ``demand_scale``; knees are invariant.
+    """
+    return {
+        "app": ConcurrencyModel(
+            s0=2.84e-2 / 11.03 * demand_scale,
+            alpha=9.87e-3 / 11.03 * demand_scale,
+            beta=4.54e-5 / 11.03 * demand_scale,
+            tier="app",
+        ),
+        "db": ConcurrencyModel(
+            s0=7.19e-3 / 4.45 * demand_scale,
+            alpha=5.04e-3 / 4.45 * demand_scale,
+            beta=1.65e-6 / 4.45 * demand_scale,
+            tier="db",
+        ),
+    }
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

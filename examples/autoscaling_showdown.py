@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""DCM vs EC2-AutoScale on a bursty trace — a compact Fig 5.
+
+Replays the synthetic "Large Variation" trace against both controllers on
+identical systems (same seed, same trace) and prints the stability and
+efficiency comparison plus the scaling timelines.  Runs at demand_scale=4
+(quarter capacity, quarter request volume — knees are scale-invariant) so
+it finishes in about a minute.
+
+Usage::
+
+    python examples/autoscaling_showdown.py [max_users] [demand_scale]
+"""
+
+import sys
+
+from repro.analysis import stability_report
+from repro.analysis.experiments import run_autoscale_experiment, trained_models
+from repro.analysis.tables import render_sparkline, render_table
+from repro.analysis.timeseries import response_time_series
+from repro.workload import large_variation
+
+
+def main() -> None:
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 4.0
+    max_users = int(sys.argv[1]) if len(sys.argv) > 1 else int(5920 / scale)
+    trace = large_variation()
+
+    print(f"offline model training at demand_scale={scale} (one-time, ~2 min)...")
+    models = trained_models(demand_scale=scale, seed=0)
+
+    runs = {}
+    for controller in ("ec2", "dcm"):
+        print(f"running {controller} against the Large Variation trace "
+              f"({trace.duration:.0f} s, peak {max_users} users) ...")
+        runs[controller] = run_autoscale_experiment(
+            controller, trace, max_users=max_users, seed=7,
+            demand_scale=scale, seeded_models=models,
+        )
+
+    reports = {
+        name: stability_report(run.request_log, run.failed, run.duration,
+                               vm_seconds=run.vm_seconds)
+        for name, run in runs.items()
+    }
+    rows = [
+        [label, getattr(reports["dcm"], attr), getattr(reports["ec2"], attr)]
+        for label, attr in [
+            ("mean RT (s)", "mean_response_time"),
+            ("p95 RT (s)", "p95_response_time"),
+            ("p99 RT (s)", "p99_response_time"),
+            ("max RT (s)", "max_response_time"),
+            ("RT spikes > 1s (episodes)", "spike_episodes"),
+            ("seconds in spike", "spike_seconds"),
+            ("SLA violations (frac > 1s)", "sla_violation_fraction"),
+            ("mean throughput (req/s)", "throughput_mean"),
+            ("VM-seconds", "vm_seconds"),
+        ]
+    ]
+    print(render_table(["metric", "DCM", "EC2-AutoScale"], rows,
+                       title="\n== stability & efficiency =="))
+
+    for name, run in runs.items():
+        rt = response_time_series(run.request_log, run.duration, 5.0, percentile=95.0)
+        print(f"\n{name} p95 RT over time: {render_sparkline(rt.values)}")
+        print(f"{name} app VMs: {run.tier_vm_timeline('app')}")
+        print(f"{name} db  VMs: {run.tier_vm_timeline('db')}")
+    dcm = runs["dcm"]
+    if dcm.app_agent is not None:
+        print("\nDCM soft-resource re-allocations:")
+        for action in dcm.app_agent.actions:
+            if action.action == "apply":
+                print(f"  t={action.time:6.1f}s  ->  {action.detail}")
+
+
+if __name__ == "__main__":
+    main()

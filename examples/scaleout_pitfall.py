@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Why naive scale-out backfires (the Fig 2(b) experiment).
+
+Three configurations under the same heavy RUBBoS workload:
+
+1. ``1/1/1`` with the default 1000/100/80 — Tomcat is the bottleneck;
+2. ``1/2/1`` with the default — the *second Tomcat doubles the connections
+   funnelled into MySQL* (2 x 80 = 160) and throughput **drops**;
+3. ``1/2/1`` retuned per the concurrency-aware model (20 connections per
+   Tomcat, total 40 ~ MySQL's knee) — the added hardware finally pays off.
+
+Usage::
+
+    python examples/scaleout_pitfall.py [users]
+"""
+
+import sys
+
+from repro.analysis.experiments import build_system, measure_steady_state
+from repro.analysis.tables import render_table
+from repro.ntier import HardwareConfig, SoftResourceConfig
+from repro.workload import RubbosGenerator
+
+CONFIGS = [
+    ("1/1/1 default", "1/1/1", "1000/100/80"),
+    ("1/2/1 default (naive scale-out)", "1/2/1", "1000/100/80"),
+    ("1/2/1 retuned (DCM-style)", "1/2/1", "1000/100/20"),
+]
+
+
+def main() -> None:
+    users = int(sys.argv[1]) if len(sys.argv) > 1 else 3600
+    rows = []
+    for label, hw, soft in CONFIGS:
+        env, system = build_system(
+            hardware=HardwareConfig.parse(hw),
+            soft=SoftResourceConfig.parse(soft),
+            seed=11,
+        )
+        RubbosGenerator(env, system, users=users, think_time=3.0)
+        steady = measure_steady_state(env, system, warmup=6.0, duration=20.0)
+        rows.append([
+            label,
+            steady.throughput,
+            steady.mean_response_time,
+            system.max_db_concurrency(),
+            steady.tier_efficiency["db"],
+        ])
+        print(f"done: {label}")
+
+    print(render_table(
+        ["configuration", "throughput", "mean RT (s)", "max DB conc", "db efficiency"],
+        rows,
+        title=f"\n== scale-out pitfall at {users} users ==",
+    ))
+    naive, retuned = rows[1][1], rows[2][1]
+    base = rows[0][1]
+    print(
+        f"\nnaive scale-out changed throughput by {100 * (naive / base - 1):+.1f} % "
+        f"(more hardware, *worse* or flat performance);\n"
+        f"retuned scale-out by {100 * (retuned / base - 1):+.1f} % — "
+        "the soft resources had to move with the hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

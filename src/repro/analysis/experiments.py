@@ -1,0 +1,573 @@
+"""High-level experiment runners shared by benchmarks and examples.
+
+Each paper artefact (Fig 2a/2b, Table I, Fig 4a/4b, Fig 5) maps to one
+runner here; the ``benchmarks/`` harnesses parameterise and print them.
+Runners are deterministic given a seed and support ``demand_scale`` — a
+speed knob that multiplies all CPU demands (capacities shrink by the same
+factor, optimal concurrencies are *unchanged* because they depend only on
+the contention law; see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.broker import KafkaBroker, Producer
+from repro.cluster import Hypervisor
+from repro.control import (
+    AppAgent,
+    DCMController,
+    EC2AutoScaleController,
+    PredictiveDCMController,
+    ScalingPolicy,
+    VMAgent,
+)
+from repro.errors import ConfigurationError
+from repro.model import (
+    ConcurrencyModel,
+    FitResult,
+    OnlineModelEstimator,
+    bin_samples,
+    fit_concurrency_model,
+)
+from repro.monitor import METRICS_TOPIC, MetricCollector, MonitorFleet
+from repro.ntier import (
+    HardwareConfig,
+    MySQLServer,
+    NTierSystem,
+    SoftResourceConfig,
+    TomcatServer,
+)
+from repro.ntier.balancer import Balancer
+from repro.ntier.request import DemandProfile, Request
+from repro.sim import Environment, RandomStreams
+from repro.workload import (
+    JMeterGenerator,
+    RubbosGenerator,
+    TraceDrivenGenerator,
+    WorkloadTrace,
+    browse_only_catalog,
+)
+from repro.workload.servlets import Servlet, ServletCatalog
+
+
+# ---------------------------------------------------------------------------
+# Building blocks
+# ---------------------------------------------------------------------------
+
+def build_system(
+    hardware: HardwareConfig = HardwareConfig(1, 1, 1),
+    soft: SoftResourceConfig = SoftResourceConfig.DEFAULT,
+    seed: int = 0,
+    demand_scale: float = 1.0,
+    demand_distribution: str = "exponential",
+    imbalance: float = 0.05,
+    catalog: Optional[ServletCatalog] = None,
+) -> Tuple[Environment, NTierSystem]:
+    """One-call construction of an environment + n-tier system."""
+    env = Environment()
+    streams = RandomStreams(seed)
+    cat = catalog or browse_only_catalog(
+        demand_distribution=demand_distribution, demand_scale=demand_scale
+    )
+    system = NTierSystem(
+        env, streams, hardware=hardware, soft=soft, catalog=cat, imbalance=imbalance
+    )
+    return env, system
+
+
+@dataclass(frozen=True)
+class SteadyState:
+    """Measured steady-state operating point of one run window."""
+
+    throughput: float
+    mean_response_time: float
+    tier_concurrency: Dict[str, float]
+    tier_utilization: Dict[str, float]
+    tier_efficiency: Dict[str, float]
+    tier_busy_fraction: Dict[str, float]
+    completed: int
+    failed: int
+
+
+def measure_steady_state(
+    env: Environment,
+    system: NTierSystem,
+    warmup: float,
+    duration: float,
+) -> SteadyState:
+    """Run ``warmup`` then ``duration`` seconds; report windowed stats."""
+    if warmup < 0 or duration <= 0:
+        raise ConfigurationError("need warmup >= 0 and duration > 0")
+    env.run(until=env.now + warmup)
+    base_completed = system.completed_count()
+    base_failed = len(system.failure_log)
+    base_int: Dict[str, Tuple[float, float, float, float]] = {}
+    servers = system.all_servers()
+    for s in servers:
+        base_int[s.name] = (
+            s.cpu.busy_integral(),
+            s.cpu.utilization_integral(),
+            s.cpu.efficiency_integral(),
+            s.cpu.nonidle_integral(),
+        )
+    start = env.now
+    env.run(until=start + duration)
+
+    completed_rows = [
+        rt for created, rt in system.request_log if created + rt >= start
+    ]
+    completed = system.completed_count() - base_completed
+    tier_conc: Dict[str, List[float]] = {}
+    tier_util: Dict[str, List[float]] = {}
+    tier_eff: Dict[str, List[float]] = {}
+    tier_busy: Dict[str, List[float]] = {}
+    for s in servers:
+        b0, u0, e0, i0 = base_int[s.name]
+        tier_conc.setdefault(s.tier, []).append((s.cpu.busy_integral() - b0) / duration)
+        tier_util.setdefault(s.tier, []).append(
+            (s.cpu.utilization_integral() - u0) / duration
+        )
+        tier_eff.setdefault(s.tier, []).append(
+            (s.cpu.efficiency_integral() - e0) / duration
+        )
+        tier_busy.setdefault(s.tier, []).append(
+            (s.cpu.nonidle_integral() - i0) / duration
+        )
+    return SteadyState(
+        throughput=completed / duration,
+        mean_response_time=float(np.mean(completed_rows)) if completed_rows else 0.0,
+        tier_concurrency={t: float(np.mean(v)) for t, v in tier_conc.items()},
+        tier_utilization={t: float(np.mean(v)) for t, v in tier_util.items()},
+        tier_efficiency={t: float(np.mean(v)) for t, v in tier_eff.items()},
+        tier_busy_fraction={t: float(np.mean(v)) for t, v in tier_busy.items()},
+        completed=completed,
+        failed=len(system.failure_log) - base_failed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig 2(a): direct tier stress with controlled concurrency
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StressPoint:
+    """One point of a direct-stress sweep."""
+
+    target_concurrency: int
+    measured_concurrency: float
+    throughput: float  # HTTP-equivalent requests/s
+
+
+def _stress_servlet(catalog: ServletCatalog, tier: str) -> Tuple[Servlet, float]:
+    """A synthetic single-tier servlet matching the mix's mean demands.
+
+    Returns the servlet and the visit ratio used to normalise throughput to
+    HTTP-equivalents.
+    """
+    means = catalog.mean_demands()
+    if tier == "db":
+        queries = means["db_queries"]
+        per_query = means["db_total"] / queries
+        return (
+            Servlet("StressQuery", "browse", 0.0, 0.0, (per_query,)),
+            queries,
+        )
+    if tier == "app":
+        return Servlet("StressServlet", "browse", 0.0, means["tomcat"], ()), 1.0
+    raise ConfigurationError(f"unsupported stress tier {tier!r}")
+
+
+def stress_tier_sweep(
+    tier: str,
+    concurrencies: Sequence[int],
+    seed: int = 0,
+    demand_scale: float = 1.0,
+    warmup: float = 3.0,
+    duration: float = 15.0,
+    demand_distribution: str = "exponential",
+) -> List[StressPoint]:
+    """The paper's Section II-B experiment: stress one server type with a
+    matched thread pool at each concurrency level (Fig 2(a)).
+
+    Builds a standalone server of ``tier`` and drives it with zero-think
+    closed loops whose population *is* the request-processing concurrency.
+    Throughput is normalised to HTTP-equivalents via the mix's visit ratio.
+    """
+    catalog = browse_only_catalog(
+        demand_distribution=demand_distribution, demand_scale=demand_scale
+    )
+    servlet, visit_ratio = _stress_servlet(catalog, tier)
+    points: List[StressPoint] = []
+    for conc in concurrencies:
+        if conc < 1:
+            raise ConfigurationError(f"concurrency must be >= 1, got {conc}")
+        env = Environment()
+        streams = RandomStreams(seed + conc)
+        rng = streams.stream("stress.demand")
+        if tier == "db":
+            server = MySQLServer(env, "mysql-stress", max_connections=10 * conc + 50)
+        else:
+            dummy = Balancer("stress-db")
+            server = TomcatServer(
+                env, "tomcat-stress", db_balancer=dummy, threads=conc, db_connections=1
+            )
+
+        def loop(env=env, server=server, rng=rng):
+            while True:
+                demand = servlet.sample_demand(rng, demand_distribution)
+                request = Request(servlet=servlet, created=env.now, demand=demand)
+                if tier == "db":
+                    yield server.handle(request, demand=demand.db_queries[0])
+                else:
+                    yield server.handle(request)
+
+        for _ in range(conc):
+            env.process(loop())
+        env.run(until=warmup)
+        base_completions = server.completions
+        base_busy = server.cpu.busy_integral()
+        env.run(until=warmup + duration)
+        xput = (server.completions - base_completions) / duration / visit_ratio
+        measured = (server.cpu.busy_integral() - base_busy) / duration
+        points.append(StressPoint(conc, measured, xput))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# JMeter sweeps and model training (Table I)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One JMeter operating point against the full system."""
+
+    users: int
+    steady: SteadyState
+
+
+def jmeter_sweep(
+    users_levels: Sequence[int],
+    hardware: HardwareConfig = HardwareConfig(1, 1, 1),
+    soft: SoftResourceConfig = SoftResourceConfig.DEFAULT,
+    seed: int = 0,
+    demand_scale: float = 1.0,
+    warmup: float = 4.0,
+    duration: float = 12.0,
+    imbalance: float = 0.05,
+) -> List[SweepPoint]:
+    """Run the full system at each fixed JMeter concurrency level."""
+    points: List[SweepPoint] = []
+    for users in users_levels:
+        env, system = build_system(
+            hardware=hardware,
+            soft=soft,
+            seed=seed + users,
+            demand_scale=demand_scale,
+            imbalance=imbalance,
+        )
+        JMeterGenerator(env, system, users).start()
+        points.append(
+            SweepPoint(users, measure_steady_state(env, system, warmup, duration))
+        )
+    return points
+
+
+#: Default JMeter levels for model training ("concurrency from 1 to 200").
+TRAINING_LEVELS: Tuple[int, ...] = (
+    1, 2, 3, 5, 8, 12, 16, 20, 25, 30, 36, 44, 55, 65, 80, 100, 130, 160, 200
+)
+
+#: DB-model training levels: swept within the default connection pools'
+#: normal operating region (the paper leaves the MySQL sweep range
+#: unspecified; past ~100 concurrent queries the server is already deep in
+#: its pathological regime and no sane training would dwell there).
+DB_TRAINING_LEVELS: Tuple[int, ...] = (
+    1, 2, 3, 5, 8, 12, 16, 20, 25, 30, 36, 44, 55, 65, 80, 90, 100, 110, 120
+)
+
+
+@dataclass(frozen=True)
+class TrainingOutcome:
+    """Everything the Table I row for one tier needs."""
+
+    tier: str
+    fit: FitResult
+    samples: List[Tuple[float, float]]
+
+    @property
+    def model(self) -> ConcurrencyModel:
+        """The fitted model."""
+        return self.fit.model
+
+
+def train_tier_model(
+    tier: str,
+    seed: int = 0,
+    demand_scale: float = 1.0,
+    levels: Optional[Sequence[int]] = None,
+    warmup: float = 4.0,
+    duration: float = 24.0,
+) -> TrainingOutcome:
+    """Reproduce the paper's model-training procedure (Section V-A).
+
+    Tomcat: 1/1/1 under the default soft allocation — the app tier is the
+    operative bottleneck.  MySQL: 1/2/1 so the DB tier saturates first.  At
+    each JMeter level the *measured* bottleneck-tier concurrency and the
+    system throughput form one training pair; Eq (7) is then least-squares
+    fitted.
+    """
+    if tier == "app":
+        hardware = HardwareConfig(1, 1, 1)
+        levels = TRAINING_LEVELS if levels is None else levels
+    elif tier == "db":
+        hardware = HardwareConfig(1, 2, 1)
+        levels = DB_TRAINING_LEVELS if levels is None else levels
+    else:
+        raise ConfigurationError(f"cannot train tier {tier!r}")
+    sweep = jmeter_sweep(
+        levels,
+        hardware=hardware,
+        soft=SoftResourceConfig.DEFAULT,
+        seed=seed,
+        demand_scale=demand_scale,
+        warmup=warmup,
+        duration=duration,
+    )
+    # tier_concurrency is already a per-server mean; throughput is system-wide
+    # and must be divided by the tier's server count for single-server pairs.
+    # Both are conditioned on the tier's non-idle time so low-load pairs sit
+    # on the contention curve instead of being diluted by idle gaps.
+    samples = []
+    for p in sweep:
+        busy = p.steady.tier_busy_fraction.get(tier, 0.0)
+        if p.steady.throughput <= 0 or busy < 0.05:
+            continue
+        samples.append(
+            (
+                p.steady.tier_concurrency[tier] / busy,
+                p.steady.throughput / hardware_count(hardware, tier) / busy,
+            )
+        )
+    binned = bin_samples(samples, bin_width=1.0)
+    fit = fit_concurrency_model(binned, tier=tier)
+    return TrainingOutcome(tier=tier, fit=fit, samples=samples)
+
+
+def hardware_count(hardware: HardwareConfig, tier: str) -> int:
+    """Server count of ``tier`` in a hardware config."""
+    return {"web": hardware.web, "app": hardware.app, "db": hardware.db}[tier]
+
+
+_MODEL_CACHE: Dict[Tuple[float, int], Dict[str, ConcurrencyModel]] = {}
+
+
+def trained_models(
+    demand_scale: float = 1.0, seed: int = 0
+) -> Dict[str, ConcurrencyModel]:
+    """Offline-trained models per tier, cached per (scale, seed).
+
+    This is what DCM seeds its online estimator with — the paper trains
+    with JMeter before the autoscaling runs.
+    """
+    key = (demand_scale, seed)
+    if key not in _MODEL_CACHE:
+        _MODEL_CACHE[key] = {
+            "app": train_tier_model("app", seed=seed, demand_scale=demand_scale).model,
+            "db": train_tier_model("db", seed=seed, demand_scale=demand_scale).model,
+        }
+    return _MODEL_CACHE[key]
+
+
+# ---------------------------------------------------------------------------
+# Fig 4: validation under realistic RUBBoS workload
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ValidationCurve:
+    """Throughput-vs-users curve for one soft allocation."""
+
+    soft: SoftResourceConfig
+    users: Tuple[int, ...]
+    throughput: Tuple[float, ...]
+    mean_response_time: Tuple[float, ...]
+
+    @property
+    def peak_throughput(self) -> float:
+        """Best sustained throughput across the user ramp."""
+        return max(self.throughput)
+
+
+def validation_curves(
+    hardware: HardwareConfig,
+    soft_configs: Sequence[SoftResourceConfig],
+    user_levels: Sequence[int],
+    seed: int = 0,
+    demand_scale: float = 1.0,
+    think_time: float = 3.0,
+    warmup: float = 5.0,
+    duration: float = 20.0,
+    imbalance: float = 0.05,
+) -> List[ValidationCurve]:
+    """The Fig 4 experiment: same hardware, several soft allocations, a
+    ramp of RUBBoS users (3 s think time); who sustains the most throughput?
+    """
+    curves: List[ValidationCurve] = []
+    for soft in soft_configs:
+        xs: List[float] = []
+        rts: List[float] = []
+        for users in user_levels:
+            env, system = build_system(
+                hardware=hardware,
+                soft=soft,
+                seed=seed + users,
+                demand_scale=demand_scale,
+                imbalance=imbalance,
+            )
+            RubbosGenerator(env, system, users=users, think_time=think_time)
+            steady = measure_steady_state(env, system, warmup, duration)
+            xs.append(steady.throughput)
+            rts.append(steady.mean_response_time)
+        curves.append(
+            ValidationCurve(
+                soft=soft,
+                users=tuple(user_levels),
+                throughput=tuple(xs),
+                mean_response_time=tuple(rts),
+            )
+        )
+    return curves
+
+
+# ---------------------------------------------------------------------------
+# Fig 5: DCM vs EC2-AutoScale under a bursty trace
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AutoscaleRun:
+    """Everything captured from one autoscaling experiment."""
+
+    controller_name: str
+    duration: float
+    system: NTierSystem
+    controller: object
+    collector: MetricCollector
+    hypervisor: Hypervisor
+    vm_agent: VMAgent
+    app_agent: Optional[AppAgent]
+    trace_gen: TraceDrivenGenerator
+    request_log: List[Tuple[float, float]] = field(default_factory=list)
+    failed: int = 0
+
+    @property
+    def vm_seconds(self) -> float:
+        """Billed VM-seconds up to the end of the run."""
+        return self.hypervisor.billing.vm_seconds(self.duration)
+
+    def tier_vm_timeline(self, tier: str) -> List[Tuple[float, int]]:
+        """(time, server count) change points for ``tier``."""
+        return self.controller.scaling_timeline(tier)
+
+    def records(self, tier: str) -> List:
+        """All retained metric records for ``tier``, time-sorted."""
+        rows = []
+        for name in self.collector.servers(tier):
+            rows.extend(self.collector.recent(name, 0.0))
+        return sorted(rows, key=lambda r: r.timestamp)
+
+
+def run_autoscale_experiment(
+    controller: str,
+    trace: WorkloadTrace,
+    max_users: int,
+    seed: int = 0,
+    demand_scale: float = 1.0,
+    policy: Optional[ScalingPolicy] = None,
+    initial_soft: SoftResourceConfig = SoftResourceConfig.DEFAULT,
+    seeded_models: Optional[Dict[str, ConcurrencyModel]] = None,
+    imbalance: float = 0.05,
+    think_time: float = 3.0,
+    online_refit: bool = True,
+    preparation_periods: Optional[Dict[str, float]] = None,
+) -> AutoscaleRun:
+    """Run one controller against one trace — the Fig 5 harness.
+
+    ``controller`` is ``"dcm"``, ``"ec2"``, or ``"predictive"`` (the
+    trend-forecasting DCM extension).  All start from the same 1/1/1
+    hardware and ``initial_soft`` allocation; DCM variants immediately apply
+    their model-derived allocation (the paper starts DCM at 1000-200-40,
+    i.e. with the optimal DB connection total) and re-allocate after every
+    scaling action.
+    """
+    if controller not in ("dcm", "ec2", "predictive"):
+        raise ConfigurationError(f"unknown controller {controller!r}")
+    env, system = build_system(
+        hardware=HardwareConfig(1, 1, 1),
+        soft=initial_soft,
+        seed=seed,
+        demand_scale=demand_scale,
+        imbalance=imbalance,
+    )
+    duration = trace.duration
+
+    broker = KafkaBroker(env)
+    broker.create_topic(METRICS_TOPIC, partitions=4)
+    producer = Producer(broker, client_id="monitor")
+    fleet = MonitorFleet(env, system, producer)
+    hypervisor = Hypervisor(env)
+    vm_agent = VMAgent(
+        env, system, hypervisor, fleet, preparation_periods=preparation_periods
+    )
+    vm_agent.bootstrap()
+    collector = MetricCollector(broker, history=int(duration) + 120)
+    policy = policy or ScalingPolicy()
+
+    app_agent: Optional[AppAgent] = None
+    if controller in ("dcm", "predictive"):
+        app_agent = AppAgent(env, system)
+        models = seeded_models or trained_models(demand_scale, seed)
+        estimator = OnlineModelEstimator(
+            collector,
+            visit_ratios={"web": 1.0, "app": 1.0, "db": system.catalog.visit_ratios()["db"]},
+        )
+        for tier, model in models.items():
+            estimator.seed(tier, model)
+        cls = DCMController if controller == "dcm" else PredictiveDCMController
+        ctl: object = cls(
+            env,
+            system,
+            collector,
+            vm_agent,
+            app_agent,
+            estimator,
+            policy=policy,
+            refit_every_periods=4 if online_refit else 10**9,
+        )
+    else:
+        ctl = EC2AutoScaleController(env, system, collector, vm_agent, policy=policy)
+
+    trace_gen = TraceDrivenGenerator(
+        env, system, trace, max_users=max_users, think_time=think_time
+    )
+    trace_gen.start()
+    env.run(until=duration)
+    collector.drain()
+    ctl.stop()
+    fleet.stop()
+
+    return AutoscaleRun(
+        controller_name=controller,
+        duration=duration,
+        system=system,
+        controller=ctl,
+        collector=collector,
+        hypervisor=hypervisor,
+        vm_agent=vm_agent,
+        app_agent=app_agent,
+        trace_gen=trace_gen,
+        request_log=list(system.request_log),
+        failed=len(system.failure_log),
+    )

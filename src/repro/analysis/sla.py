@@ -1,0 +1,135 @@
+"""SLA and stability metrics for controller comparisons.
+
+The paper's Fig 5 argument is qualitative ("much more stable performance");
+these metrics make it quantitative: response-time SLA violations, spike
+episodes (the paper's >1 s excursions), response-time variability, and a
+composite report used by the Fig 5 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.timeseries import BinnedSeries, response_time_series
+from repro.errors import ConfigurationError
+
+#: The paper's visible pathology threshold: 1-second response-time spikes.
+DEFAULT_SPIKE_THRESHOLD = 1.0
+
+
+def sla_violation_fraction(
+    request_log: Sequence[Tuple[float, float]], threshold: float
+) -> float:
+    """Fraction of completed requests with response time above ``threshold``."""
+    if threshold <= 0:
+        raise ConfigurationError("threshold must be positive")
+    if not request_log:
+        return 0.0
+    violations = sum(1 for _created, rt in request_log if rt > threshold)
+    return violations / len(request_log)
+
+
+@dataclass(frozen=True)
+class SpikeEpisode:
+    """A maximal run of consecutive bins above the spike threshold."""
+
+    start: float
+    end: float
+    peak: float
+
+    @property
+    def duration(self) -> float:
+        """Episode length in seconds."""
+        return self.end - self.start
+
+
+def find_spikes(
+    series: BinnedSeries, threshold: float = DEFAULT_SPIKE_THRESHOLD
+) -> List[SpikeEpisode]:
+    """Group consecutive above-threshold bins into spike episodes."""
+    episodes: List[SpikeEpisode] = []
+    run_start = None
+    run_peak = 0.0
+    for t, value in series.pairs():
+        if value > threshold:
+            if run_start is None:
+                run_start = t
+                run_peak = value
+            else:
+                run_peak = max(run_peak, value)
+        elif run_start is not None:
+            episodes.append(SpikeEpisode(run_start, t, run_peak))
+            run_start = None
+    if run_start is not None:
+        episodes.append(
+            SpikeEpisode(run_start, series.start + series.width * len(series.values), run_peak)
+        )
+    return episodes
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Composite stability/efficiency summary for one controller run."""
+
+    completed: int
+    failed: int
+    mean_response_time: float
+    p95_response_time: float
+    p99_response_time: float
+    max_response_time: float
+    rt_coefficient_of_variation: float
+    sla_violation_fraction: float
+    spike_episodes: int
+    spike_seconds: float
+    throughput_mean: float
+    vm_seconds: float
+
+    def rows(self) -> List[Tuple[str, float]]:
+        """``(metric, value)`` rows for table rendering."""
+        return [
+            ("completed requests", float(self.completed)),
+            ("failed requests", float(self.failed)),
+            ("mean RT (s)", self.mean_response_time),
+            ("p95 RT (s)", self.p95_response_time),
+            ("p99 RT (s)", self.p99_response_time),
+            ("max RT (s)", self.max_response_time),
+            ("RT coeff. of variation", self.rt_coefficient_of_variation),
+            ("SLA violations (frac)", self.sla_violation_fraction),
+            ("RT spike episodes", float(self.spike_episodes)),
+            ("seconds in spike", self.spike_seconds),
+            ("mean throughput (req/s)", self.throughput_mean),
+            ("VM-seconds", self.vm_seconds),
+        ]
+
+
+def stability_report(
+    request_log: Sequence[Tuple[float, float]],
+    failed: int,
+    duration: float,
+    vm_seconds: float = 0.0,
+    sla_threshold: float = DEFAULT_SPIKE_THRESHOLD,
+    bin_width: float = 1.0,
+) -> StabilityReport:
+    """Build the composite report for one run."""
+    rts = np.array([rt for _c, rt in request_log]) if request_log else np.zeros(0)
+    rt_series = response_time_series(request_log, duration, bin_width, percentile=95.0)
+    spikes = find_spikes(rt_series, sla_threshold)
+    mean_rt = float(rts.mean()) if rts.size else 0.0
+    std_rt = float(rts.std()) if rts.size else 0.0
+    return StabilityReport(
+        completed=len(request_log),
+        failed=failed,
+        mean_response_time=mean_rt,
+        p95_response_time=float(np.percentile(rts, 95)) if rts.size else 0.0,
+        p99_response_time=float(np.percentile(rts, 99)) if rts.size else 0.0,
+        max_response_time=float(rts.max()) if rts.size else 0.0,
+        rt_coefficient_of_variation=std_rt / mean_rt if mean_rt > 0 else 0.0,
+        sla_violation_fraction=sla_violation_fraction(request_log, sla_threshold),
+        spike_episodes=len(spikes),
+        spike_seconds=sum(s.duration for s in spikes),
+        throughput_mean=len(request_log) / duration if duration > 0 else 0.0,
+        vm_seconds=vm_seconds,
+    )

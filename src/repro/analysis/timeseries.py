@@ -1,0 +1,145 @@
+"""Time-series utilities for experiment post-processing.
+
+Everything the benchmarks need to turn raw request logs and metric records
+into the per-second/per-bin series the paper plots: binned throughput and
+response-time series, percentiles, and step-function sampling for VM-count
+timelines.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BinnedSeries:
+    """A regular-interval series: ``values[i]`` covers
+    ``[start + i*width, start + (i+1)*width)``."""
+
+    start: float
+    width: float
+    values: Tuple[float, ...]
+
+    @property
+    def times(self) -> Tuple[float, ...]:
+        """Bin start times."""
+        return tuple(self.start + i * self.width for i in range(len(self.values)))
+
+    def pairs(self) -> List[Tuple[float, float]]:
+        """``(bin start, value)`` pairs."""
+        return list(zip(self.times, self.values))
+
+    def max(self) -> float:
+        """Largest bin value (0 for an empty series)."""
+        return max(self.values) if self.values else 0.0
+
+    def mean(self) -> float:
+        """Mean bin value (0 for an empty series)."""
+        return float(np.mean(self.values)) if self.values else 0.0
+
+
+def throughput_series(
+    request_log: Sequence[Tuple[float, float]],
+    duration: float,
+    width: float = 1.0,
+) -> BinnedSeries:
+    """Completed requests per second, binned by completion time.
+
+    ``request_log`` holds ``(created, response_time)`` rows as produced by
+    :class:`~repro.ntier.topology.NTierSystem`.
+    """
+    if width <= 0 or duration <= 0:
+        raise ConfigurationError("width and duration must be positive")
+    n_bins = int(np.ceil(duration / width))
+    counts = np.zeros(n_bins)
+    for created, rt in request_log:
+        done = created + rt
+        idx = int(done / width)
+        if 0 <= idx < n_bins:
+            counts[idx] += 1
+    return BinnedSeries(0.0, width, tuple(float(c / width) for c in counts))
+
+
+def response_time_series(
+    request_log: Sequence[Tuple[float, float]],
+    duration: float,
+    width: float = 1.0,
+    percentile: float = 50.0,
+) -> BinnedSeries:
+    """Per-bin response-time percentile (by completion time); empty bins 0."""
+    if width <= 0 or duration <= 0:
+        raise ConfigurationError("width and duration must be positive")
+    if not 0 < percentile <= 100:
+        raise ConfigurationError("percentile must be in (0, 100]")
+    n_bins = int(np.ceil(duration / width))
+    buckets: List[List[float]] = [[] for _ in range(n_bins)]
+    for created, rt in request_log:
+        idx = int((created + rt) / width)
+        if 0 <= idx < n_bins:
+            buckets[idx].append(rt)
+    values = tuple(
+        float(np.percentile(b, percentile)) if b else 0.0 for b in buckets
+    )
+    return BinnedSeries(0.0, width, values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Simple percentile with validation (q in (0, 100])."""
+    if not values:
+        raise ConfigurationError("percentile of an empty sequence")
+    if not 0 < q <= 100:
+        raise ConfigurationError("percentile must be in (0, 100]")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def step_series(
+    changes: Sequence[Tuple[float, float]], duration: float, width: float = 1.0
+) -> BinnedSeries:
+    """Sample a step function (e.g. VM counts over time) onto regular bins.
+
+    ``changes`` is ``(time, value)`` sorted ascending; the value holds until
+    the next change.
+    """
+    if not changes:
+        raise ConfigurationError("step_series needs at least one change point")
+    times = [t for t, _ in changes]
+    if any(b < a for a, b in zip(times, times[1:])):
+        raise ConfigurationError("change points must be sorted by time")
+    n_bins = int(np.ceil(duration / width))
+    values = []
+    for i in range(n_bins):
+        t = i * width
+        idx = bisect_right(times, t) - 1
+        values.append(float(changes[max(0, idx)][1]))
+    return BinnedSeries(0.0, width, tuple(values))
+
+
+def metric_series(
+    records: Sequence, metric: str, duration: float, width: float = 1.0
+) -> BinnedSeries:
+    """Bin :class:`~repro.broker.records.MetricRecord` values over time.
+
+    Multiple records landing in one bin are averaged; empty bins carry the
+    previous bin's value (metrics are slowly-varying gauges).
+    """
+    n_bins = int(np.ceil(duration / width))
+    sums = np.zeros(n_bins)
+    counts = np.zeros(n_bins)
+    for record in records:
+        idx = int(record.timestamp / width)
+        if 0 <= idx < n_bins:
+            sums[idx] += record.get(metric)
+            counts[idx] += 1
+    values: List[float] = []
+    last = 0.0
+    for i in range(n_bins):
+        if counts[i]:
+            last = float(sums[i] / counts[i])
+        values.append(last)
+    return BinnedSeries(0.0, width, tuple(values))

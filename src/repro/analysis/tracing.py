@@ -1,0 +1,155 @@
+"""Fine-grained request-trace analysis: per-tier latency decomposition.
+
+The paper's monitor collects "fine-grained measurement data"; requests in
+this library can record every interaction (tier, queue time, service time)
+when tracing is enabled.  This module turns those records into the
+diagnostics an operator uses to find *where* latency lives — the queueing
+vs service split per tier that makes a bottleneck shift (the Fig 5
+incidents) directly visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ntier.request import Request
+
+
+@dataclass(frozen=True)
+class TierLatency:
+    """Aggregated latency contribution of one tier."""
+
+    tier: str
+    visits_per_request: float
+    mean_queue_time: float
+    mean_service_time: float
+
+    @property
+    def mean_residence(self) -> float:
+        """Queue + service per visit."""
+        return self.mean_queue_time + self.mean_service_time
+
+    @property
+    def mean_total_per_request(self) -> float:
+        """Residence × visits: this tier's share of a request's RT."""
+        return self.mean_residence * self.visits_per_request
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Per-tier latency decomposition over a set of traced requests."""
+
+    requests: int
+    mean_response_time: float
+    tiers: Tuple[TierLatency, ...]
+
+    def tier(self, name: str) -> TierLatency:
+        """Lookup one tier's row."""
+        for row in self.tiers:
+            if row.tier == name:
+                return row
+        raise ConfigurationError(f"no tier {name!r} in breakdown")
+
+    def dominant_tier(self) -> TierLatency:
+        """The tier contributing the most to end-to-end response time.
+
+        The web tier's residence *contains* the downstream tiers' time (it
+        holds the request while they work), so dominance is judged among
+        non-entry tiers plus the web tier's own exclusive share.
+        """
+        non_entry = [t for t in self.tiers if t.tier != "web"]
+        if not non_entry:
+            return self.tiers[0]
+        return max(non_entry, key=lambda t: t.mean_total_per_request)
+
+    def rows(self) -> List[List[object]]:
+        """Table rows: tier, visits, queue, service, share of RT."""
+        out: List[List[object]] = []
+        for t in self.tiers:
+            share = (
+                t.mean_total_per_request / self.mean_response_time
+                if self.mean_response_time > 0
+                else 0.0
+            )
+            out.append(
+                [t.tier, t.visits_per_request, t.mean_queue_time,
+                 t.mean_service_time, share]
+            )
+        return out
+
+
+def breakdown(requests: Iterable[Request]) -> LatencyBreakdown:
+    """Aggregate traced, completed requests into a latency breakdown.
+
+    Untraced or in-flight requests are skipped; an empty result set is an
+    error (it usually means tracing was never enabled).
+    """
+    queue: Dict[str, List[float]] = {}
+    service: Dict[str, List[float]] = {}
+    visits: Dict[str, int] = {}
+    rts: List[float] = []
+    count = 0
+    for request in requests:
+        if request.interactions is None or request.completed is None:
+            continue
+        count += 1
+        rts.append(request.response_time)
+        for interaction in request.interactions:
+            if interaction.completed is None:
+                continue
+            queue.setdefault(interaction.tier, []).append(interaction.queue_time)
+            service.setdefault(interaction.tier, []).append(
+                interaction.residence_time - interaction.queue_time
+            )
+            visits[interaction.tier] = visits.get(interaction.tier, 0) + 1
+    if count == 0:
+        raise ConfigurationError(
+            "no traced, completed requests — call request.enable_tracing()"
+        )
+    tiers = tuple(
+        TierLatency(
+            tier=tier,
+            visits_per_request=visits[tier] / count,
+            mean_queue_time=float(np.mean(queue[tier])),
+            mean_service_time=float(np.mean(service[tier])),
+        )
+        for tier in sorted(queue)
+    )
+    return LatencyBreakdown(
+        requests=count,
+        mean_response_time=float(np.mean(rts)),
+        tiers=tiers,
+    )
+
+
+def sample_traced_requests(
+    system,
+    env,
+    count: int,
+    max_wait: float = 60.0,
+):
+    """Process generator: submit ``count`` traced requests through a live
+    system (alongside whatever workload is running) and return them.
+
+    Usage::
+
+        proc = env.process(sample_traced_requests(system, env, 50))
+        env.run(until=proc)
+        report = breakdown(proc.value)
+    """
+    if count < 1:
+        raise ConfigurationError("count must be >= 1")
+    collected = []
+    deadline = env.now + max_wait
+    for _ in range(count):
+        request, done = system.submit()
+        request.enable_tracing()
+        yield done
+        collected.append(request)
+        if env.now >= deadline:
+            break
+    return collected

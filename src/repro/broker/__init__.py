@@ -1,0 +1,15 @@
+"""Mini Kafka: the metric pipeline between monitor agents and controller.
+
+Topics/partitions with offset-addressed append-only logs, key-hash
+partitioning, committed consumer-group offsets, and blocking polls — enough
+of Kafka's contract to decouple 1 Hz metric producers from the controller's
+15-second consumption cadence, as the paper's architecture requires.
+"""
+
+from repro.broker.broker import KafkaBroker, Topic
+from repro.broker.consumer import Consumer
+from repro.broker.log import PartitionLog
+from repro.broker.producer import Producer
+from repro.broker.records import MetricRecord
+
+__all__ = ["Consumer", "KafkaBroker", "MetricRecord", "PartitionLog", "Producer", "Topic"]

@@ -1,0 +1,121 @@
+"""The broker: topics, partitions, group-offset bookkeeping.
+
+A deliberately small Kafka: named topics with a fixed number of partitions,
+key-hash partitioning, per-(group, topic, partition) committed offsets, and
+wakeup events so blocking consumers learn about new data without polling the
+simulation clock.  It exists because DCM's monitor agents and controller
+"operate in different rates" (Section IV) — the broker decouples 1 Hz
+producers from a 1/15 Hz consumer.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.broker.log import PartitionLog
+from repro.errors import BrokerError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class Topic:
+    """A named stream of records spread over partitions."""
+
+    def __init__(self, name: str, partitions: int, retention: int) -> None:
+        if partitions < 1:
+            raise BrokerError(f"topic needs >= 1 partition, got {partitions}")
+        self.name = name
+        self.partitions: List[PartitionLog] = [
+            PartitionLog(retention) for _ in range(partitions)
+        ]
+        #: Events waiting for the next append to any partition.
+        self._waiters: List[Event] = []
+
+    def partition_for(self, key: Optional[str]) -> int:
+        """Key-hash partitioning (round-robin-ish for ``None`` keys)."""
+        if key is None:
+            total = sum(len(p) for p in self.partitions)
+            return total % len(self.partitions)
+        return zlib.crc32(key.encode("utf-8")) % len(self.partitions)
+
+    def append(self, key: Optional[str], value: Any) -> Tuple[int, int]:
+        """Append; returns ``(partition, offset)`` and wakes blocked readers."""
+        partition = self.partition_for(key)
+        offset = self.partitions[partition].append(value)
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed((partition, offset))
+        return partition, offset
+
+    def data_available_event(self, env: "Environment") -> Event:
+        """An event that fires at the next append to this topic."""
+        ev = Event(env)
+        self._waiters.append(ev)
+        return ev
+
+
+class KafkaBroker:
+    """The metric pipeline's storage server."""
+
+    def __init__(self, env: "Environment", default_retention: int = 100_000) -> None:
+        self.env = env
+        self.default_retention = default_retention
+        self._topics: Dict[str, Topic] = {}
+        #: committed offsets: (group, topic, partition) -> next offset to read
+        self._group_offsets: Dict[Tuple[str, str, int], int] = {}
+
+    # -- topic management -----------------------------------------------------------
+    def create_topic(
+        self, name: str, partitions: int = 1, retention: Optional[int] = None
+    ) -> Topic:
+        """Create a topic; creating an existing name is an error."""
+        if name in self._topics:
+            raise BrokerError(f"topic {name!r} already exists")
+        topic = Topic(name, partitions, retention or self.default_retention)
+        self._topics[name] = topic
+        return topic
+
+    def topic(self, name: str) -> Topic:
+        """Look up a topic."""
+        try:
+            return self._topics[name]
+        except KeyError:
+            raise BrokerError(f"unknown topic {name!r}") from None
+
+    def topics(self) -> List[str]:
+        """All topic names."""
+        return sorted(self._topics)
+
+    # -- producing -------------------------------------------------------------------
+    def produce(self, topic: str, value: Any, key: Optional[str] = None) -> Tuple[int, int]:
+        """Append ``value`` to ``topic``; returns ``(partition, offset)``."""
+        return self.topic(topic).append(key, value)
+
+    # -- offset bookkeeping -------------------------------------------------------------
+    def committed(self, group: str, topic: str, partition: int) -> int:
+        """The group's committed (next-to-read) offset; 0 if never committed."""
+        return self._group_offsets.get((group, topic, partition), 0)
+
+    def commit(self, group: str, topic: str, partition: int, offset: int) -> None:
+        """Commit ``offset`` as the next-to-read position for the group."""
+        if offset < 0:
+            raise BrokerError(f"negative commit offset: {offset}")
+        self._group_offsets[(group, topic, partition)] = offset
+
+    # -- fetching ----------------------------------------------------------------------
+    def fetch(
+        self, topic: str, partition: int, offset: int, max_records: int = 100
+    ) -> List[Tuple[int, Any]]:
+        """Read records from one partition starting at ``offset``."""
+        t = self.topic(topic)
+        if not 0 <= partition < len(t.partitions):
+            raise BrokerError(f"{topic!r} has no partition {partition}")
+        return t.partitions[partition].read(offset, max_records)
+
+    def end_offsets(self, topic: str) -> List[int]:
+        """End offset of each partition of ``topic``."""
+        return [p.end_offset for p in self.topic(topic).partitions]

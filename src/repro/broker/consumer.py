@@ -1,0 +1,121 @@
+"""Offset-tracked consumers and consumer groups.
+
+A :class:`Consumer` subscribes to topics, polls records from all partitions,
+and commits its position through the broker's group-offset store — so a
+restarted consumer (or a second member of the same group) resumes where the
+group left off, exactly the property that lets DCM's controller crash and
+recover without losing its place in the metric stream.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, List, Tuple
+
+from repro.broker.broker import KafkaBroker
+from repro.errors import BrokerError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class Consumer:
+    """A group member reading one or more topics.
+
+    Parameters
+    ----------
+    broker:
+        The broker to read from.
+    group:
+        Consumer-group id; committed offsets are shared per group.
+    topics:
+        Topics to subscribe to (must exist).
+    auto_commit:
+        Commit after every poll (default).  With ``auto_commit=False`` call
+        :meth:`commit` manually for at-least-once handling.
+    """
+
+    def __init__(
+        self,
+        broker: KafkaBroker,
+        group: str,
+        topics: Iterable[str],
+        auto_commit: bool = True,
+    ) -> None:
+        self.broker = broker
+        self.group = group
+        self.topics = list(topics)
+        if not self.topics:
+            raise BrokerError("consumer must subscribe to at least one topic")
+        for name in self.topics:
+            broker.topic(name)  # validates existence
+        self.auto_commit = auto_commit
+        self.records_consumed = 0
+        # Uncommitted positions reached by the last poll.
+        self._positions: dict[Tuple[str, int], int] = {}
+
+    # -- polling ------------------------------------------------------------------
+    def poll(self, max_records: int = 1000) -> List[Any]:
+        """Fetch available records from all subscribed partitions.
+
+        Returns the record values in (topic, partition, offset) order.  The
+        consumer's position advances past everything returned; with
+        ``auto_commit`` the new position is committed immediately.
+        """
+        out: List[Any] = []
+        budget = max_records
+        for topic_name in self.topics:
+            topic = self.broker.topic(topic_name)
+            for partition in range(len(topic.partitions)):
+                if budget <= 0:
+                    break
+                start = self._position(topic_name, partition)
+                rows = self.broker.fetch(topic_name, partition, start, budget)
+                if not rows:
+                    continue
+                out.extend(value for _off, value in rows)
+                budget -= len(rows)
+                self._positions[(topic_name, partition)] = rows[-1][0] + 1
+        self.records_consumed += len(out)
+        if self.auto_commit and out:
+            self.commit()
+        return out
+
+    def poll_wait(self, timeout: float, max_records: int = 1000):
+        """Process generator: poll, blocking up to ``timeout`` sim-seconds
+        for at least one record.  ``records = yield from consumer.poll_wait(5)``.
+        """
+        records = self.poll(max_records)
+        if records:
+            return records
+        env: "Environment" = self.broker.env
+        wakeups = [self.broker.topic(t).data_available_event(env) for t in self.topics]
+        yield env.any_of(list(wakeups) + [env.timeout(timeout)])
+        return self.poll(max_records)
+
+    # -- positions -----------------------------------------------------------------
+    def _position(self, topic: str, partition: int) -> int:
+        key = (topic, partition)
+        if key not in self._positions:
+            self._positions[key] = self.broker.committed(self.group, topic, partition)
+        return self._positions[key]
+
+    def commit(self) -> None:
+        """Commit every position reached by previous polls."""
+        for (topic, partition), offset in self._positions.items():
+            self.broker.commit(self.group, topic, partition, offset)
+
+    def seek_to_end(self) -> None:
+        """Skip to the live end of every partition (ignore history)."""
+        for topic_name in self.topics:
+            for partition, end in enumerate(self.broker.end_offsets(topic_name)):
+                self._positions[(topic_name, partition)] = end
+        if self.auto_commit:
+            self.commit()
+
+    def lag(self) -> int:
+        """Total records between the consumer's position and the log end."""
+        total = 0
+        for topic_name in self.topics:
+            for partition, end in enumerate(self.broker.end_offsets(topic_name)):
+                total += max(0, end - self._position(topic_name, partition))
+        return total

@@ -1,0 +1,72 @@
+"""Append-only partition logs — the storage primitive under the broker.
+
+Each partition is an ordered, offset-addressed log.  Offsets are absolute
+and monotone: retention trims old entries but never renumbers, so consumers
+resuming from a committed offset behave exactly like Kafka consumers
+(reads below the retained base are clamped forward, the "out of range →
+earliest" policy).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.errors import BrokerError
+
+
+class PartitionLog:
+    """One partition: an append-only log with offset-based reads."""
+
+    def __init__(self, retention: int = 100_000) -> None:
+        if retention < 1:
+            raise BrokerError(f"retention must be >= 1, got {retention}")
+        self._retention = retention
+        self._entries: List[Any] = []
+        self._base_offset = 0  # offset of the first retained entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- offsets -------------------------------------------------------------------
+    @property
+    def base_offset(self) -> int:
+        """Offset of the earliest retained entry."""
+        return self._base_offset
+
+    @property
+    def end_offset(self) -> int:
+        """Offset one past the newest entry (the next append's offset)."""
+        return self._base_offset + len(self._entries)
+
+    # -- operations ----------------------------------------------------------------
+    def append(self, value: Any) -> int:
+        """Append ``value``; returns its offset.  Enforces retention.
+
+        Trimming is batched (at 25 % overshoot) so appends stay amortised
+        O(1) while the retained window never drops below ``retention``.
+        """
+        offset = self.end_offset
+        self._entries.append(value)
+        if len(self._entries) > self._retention * 1.25:
+            excess = len(self._entries) - self._retention
+            del self._entries[:excess]
+            self._base_offset += excess
+        return offset
+
+    def read(self, offset: int, max_count: int = 100) -> List[Tuple[int, Any]]:
+        """Read up to ``max_count`` entries starting at ``offset``.
+
+        Offsets older than retention are clamped to the earliest retained
+        entry; offsets at or past the end return an empty list.  Negative
+        offsets are an error.
+        """
+        if offset < 0:
+            raise BrokerError(f"negative offset: {offset}")
+        if max_count < 1:
+            return []
+        start = max(offset, self._base_offset)
+        if start >= self.end_offset:
+            return []
+        idx = start - self._base_offset
+        stop = min(idx + max_count, len(self._entries))
+        return [(self._base_offset + i, self._entries[i]) for i in range(idx, stop)]

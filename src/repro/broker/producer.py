@@ -1,0 +1,26 @@
+"""Producer facade for the mini broker."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.broker.broker import KafkaBroker
+
+
+class Producer:
+    """Publishes records to topics, keyed for per-source ordering.
+
+    A thin veneer over :meth:`KafkaBroker.produce` that exists so agents are
+    written against the same producer/consumer split a real deployment has.
+    """
+
+    def __init__(self, broker: KafkaBroker, client_id: str = "producer") -> None:
+        self.broker = broker
+        self.client_id = client_id
+        self.records_sent = 0
+
+    def send(self, topic: str, value: Any, key: Optional[str] = None) -> Tuple[int, int]:
+        """Append ``value`` to ``topic``; returns ``(partition, offset)``."""
+        result = self.broker.produce(topic, value, key=key)
+        self.records_sent += 1
+        return result

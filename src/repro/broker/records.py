@@ -1,0 +1,66 @@
+"""Record types flowing through the metric pipeline.
+
+Monitoring agents publish one :class:`MetricRecord` per server per sampling
+interval (the paper: "each monitoring agent continuously sends the collected
+data back to a storage server (Kafka) at every one second").  Records carry
+both system-level metrics (CPU utilization) and application-level metrics
+(throughput, response time, active-thread concurrency) exactly as Section IV
+lists them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class MetricRecord:
+    """One monitoring sample for one server.
+
+    Attributes
+    ----------
+    timestamp:
+        Simulation time at the *end* of the sampled window.
+    source:
+        Server name (``tomcat-2``), which doubles as the partition key so a
+        server's samples stay ordered.
+    tier:
+        ``"web"`` / ``"app"`` / ``"db"``.
+    window:
+        Sampled window length in seconds.
+    metrics:
+        Windowed values: ``throughput``, ``mean_response_time``,
+        ``cpu_utilization``, ``concurrency``, ``pool_*`` ...
+    """
+
+    timestamp: float
+    source: str
+    tier: str
+    window: float
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        """Fetch one metric with a default."""
+        return self.metrics.get(key, default)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (what a real Kafka payload would serialise)."""
+        return {
+            "timestamp": self.timestamp,
+            "source": self.source,
+            "tier": self.tier,
+            "window": self.window,
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            timestamp=float(data["timestamp"]),
+            source=str(data["source"]),
+            tier=str(data["tier"]),
+            window=float(data["window"]),
+            metrics={str(k): float(v) for k, v in data["metrics"].items()},
+        )

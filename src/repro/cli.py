@@ -1,0 +1,259 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Gives operators the library's main entry points without writing Python:
+
+``steady``
+    Run a fixed topology under a static RUBBoS population and print the
+    steady-state table.
+``knee``
+    Direct-stress a tier across concurrency levels (the Fig 2(a) method).
+``train``
+    Train the concurrency-aware model per tier and print the Table-I row.
+``predict``
+    Analytic operating-point prediction (no simulation) across user levels.
+``autoscale``
+    Replay a trace against a controller ("dcm" / "ec2" / "predictive") and
+    print the stability report; optionally save the full artefact JSON.
+``trace``
+    Export a built-in workload trace to CSV (or describe it).
+
+Every command accepts ``--seed`` and honours determinism; heavy commands
+accept ``--demand-scale`` (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import stability_report
+from repro.analysis.experiments import (
+    build_system,
+    measure_steady_state,
+    run_autoscale_experiment,
+    stress_tier_sweep,
+    train_tier_model,
+    trained_models,
+)
+from repro.analysis.persistence import save_curve, save_run
+from repro.analysis.tables import render_sparkline, render_table
+from repro.model import predict_curve, specs_from_system
+from repro.ntier import HardwareConfig, SoftResourceConfig
+from repro.workload import (
+    RubbosGenerator,
+    large_variation,
+    sine_trace,
+    spike_trace,
+)
+
+#: Built-in traces addressable from the CLI.
+TRACES = {
+    "large_variation": large_variation,
+    "sine": lambda: sine_trace(600.0, 300.0, 0.3, 0.9),
+    "spike": lambda: spike_trace(300.0, 0.3, 0.9, 120.0, 60.0),
+}
+
+
+def _int_list(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part]
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(f"expected comma-separated ints: {err}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DCM (ICDCS 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=0, help="root RNG seed")
+        p.add_argument(
+            "--demand-scale", type=float, default=1.0,
+            help="multiply CPU demands (speed knob; knees invariant)",
+        )
+
+    p = sub.add_parser("steady", help="steady-state run of a fixed topology")
+    common(p)
+    p.add_argument("--hardware", default="1/1/1", help="#W/#A/#D")
+    p.add_argument("--soft", default="1000/100/80", help="#W_T/#A_T/#A_C")
+    p.add_argument("--users", type=int, default=1500)
+    p.add_argument("--think-time", type=float, default=3.0)
+    p.add_argument("--warmup", type=float, default=5.0)
+    p.add_argument("--duration", type=float, default=20.0)
+
+    p = sub.add_parser("knee", help="stress one tier across concurrencies")
+    common(p)
+    p.add_argument("--tier", choices=("app", "db"), default="db")
+    p.add_argument(
+        "--levels", type=_int_list,
+        default=[1, 5, 10, 20, 40, 80, 160, 320, 600],
+    )
+    p.add_argument("--duration", type=float, default=10.0)
+    p.add_argument("--csv", help="write the curve to this CSV path")
+
+    p = sub.add_parser("train", help="train the concurrency-aware model")
+    common(p)
+    p.add_argument("--tier", choices=("app", "db", "both"), default="both")
+
+    p = sub.add_parser("predict", help="analytic prediction (no simulation)")
+    common(p)
+    p.add_argument("--hardware", default="1/1/1")
+    p.add_argument("--soft", default="1000/100/80")
+    p.add_argument("--users", type=_int_list, default=[500, 1500, 3000, 6000])
+    p.add_argument("--think-time", type=float, default=3.0)
+
+    p = sub.add_parser("autoscale", help="replay a trace against a controller")
+    common(p)
+    p.add_argument("--controller", choices=("dcm", "ec2", "predictive"), default="dcm")
+    p.add_argument("--trace", choices=sorted(TRACES), default="large_variation")
+    p.add_argument("--max-users", type=int, default=None,
+                   help="population at trace level 1.0 (default 5920/scale)")
+    p.add_argument("--out", help="write the run artefact JSON here")
+
+    p = sub.add_parser("trace", help="export or describe a built-in trace")
+    p.add_argument("--name", choices=sorted(TRACES), default="large_variation")
+    p.add_argument("--csv", help="write the trace to this CSV path")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations
+# ---------------------------------------------------------------------------
+
+def cmd_steady(args: argparse.Namespace) -> int:
+    env, system = build_system(
+        hardware=HardwareConfig.parse(args.hardware),
+        soft=SoftResourceConfig.parse(args.soft),
+        seed=args.seed,
+        demand_scale=args.demand_scale,
+    )
+    RubbosGenerator(env, system, users=args.users, think_time=args.think_time)
+    steady = measure_steady_state(env, system, args.warmup, args.duration)
+    rows = [
+        ["throughput (req/s)", steady.throughput],
+        ["mean RT (s)", steady.mean_response_time],
+        ["completed", float(steady.completed)],
+        ["failed", float(steady.failed)],
+    ]
+    for tier in ("web", "app", "db"):
+        rows.append([f"{tier} concurrency", steady.tier_concurrency[tier]])
+        rows.append([f"{tier} cpu util", steady.tier_utilization[tier]])
+    print(render_table(["metric", "value"], rows,
+                       title=f"steady state: {args.hardware} @ {args.soft}, "
+                             f"{args.users} users"))
+    return 0
+
+
+def cmd_knee(args: argparse.Namespace) -> int:
+    points = stress_tier_sweep(
+        args.tier, args.levels, seed=args.seed,
+        demand_scale=args.demand_scale, duration=args.duration,
+    )
+    rows = [[p.target_concurrency, p.measured_concurrency, p.throughput]
+            for p in points]
+    print(render_table(
+        ["concurrency", "measured", "throughput (req/s)"], rows,
+        title=f"{args.tier} concurrency sweep",
+    ))
+    print("shape:", render_sparkline([p.throughput for p in points]))
+    best = max(points, key=lambda p: p.throughput)
+    print(f"knee ~ {best.target_concurrency} at {best.throughput:.0f} req/s")
+    if args.csv:
+        save_curve(args.csv, "concurrency",
+                   [(p.target_concurrency, p.throughput) for p in points],
+                   y_label="throughput")
+        print(f"curve written to {args.csv}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    tiers = ("app", "db") if args.tier == "both" else (args.tier,)
+    for tier in tiers:
+        outcome = train_tier_model(
+            tier, seed=args.seed, demand_scale=args.demand_scale
+        )
+        print(outcome.fit.summary())
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    _env, system = build_system(
+        hardware=HardwareConfig.parse(args.hardware),
+        soft=SoftResourceConfig.parse(args.soft),
+        seed=args.seed,
+        demand_scale=args.demand_scale,
+    )
+    specs = specs_from_system(system)
+    curve = predict_curve(args.users, args.think_time, specs)
+    rows = [
+        [p.users, p.throughput, p.response_time,
+         "yes" if p.saturated else "no", p.bottleneck]
+        for p in curve
+    ]
+    print(render_table(
+        ["users", "throughput", "RT (s)", "saturated", "bottleneck"], rows,
+        title=f"analytic prediction: {args.hardware} @ {args.soft}",
+    ))
+    return 0
+
+
+def cmd_autoscale(args: argparse.Namespace) -> int:
+    trace = TRACES[args.trace]()
+    max_users = args.max_users or max(1, int(5920 / args.demand_scale))
+    print(f"training offline models (once per scale) ...", file=sys.stderr)
+    models = trained_models(args.demand_scale, args.seed)
+    run = run_autoscale_experiment(
+        args.controller, trace, max_users=max_users, seed=args.seed,
+        demand_scale=args.demand_scale, seeded_models=models,
+    )
+    report = stability_report(
+        run.request_log, run.failed, run.duration, vm_seconds=run.vm_seconds
+    )
+    print(render_table(
+        ["metric", "value"], report.rows(),
+        title=f"{args.controller} on {args.trace} ({max_users} peak users)",
+    ))
+    for tier in ("app", "db"):
+        print(f"{tier} VMs: {run.tier_vm_timeline(tier)}")
+    if args.out:
+        save_run(run, args.out)
+        print(f"artefact written to {args.out}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    trace = TRACES[args.name]()
+    print(f"{args.name}: duration {trace.duration:.0f}s, "
+          f"peak-to-mean {trace.peak_to_mean:.2f}")
+    levels = [lvl for _t, lvl in trace.sample(max(1.0, trace.duration / 60))]
+    print("shape:", render_sparkline(levels))
+    if args.csv:
+        trace.to_csv(args.csv)
+        print(f"trace written to {args.csv}")
+    return 0
+
+
+_COMMANDS = {
+    "steady": cmd_steady,
+    "knee": cmd_knee,
+    "train": cmd_train,
+    "predict": cmd_predict,
+    "autoscale": cmd_autoscale,
+    "trace": cmd_trace,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

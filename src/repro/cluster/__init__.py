@@ -1,0 +1,23 @@
+"""Cloud substrate: hosts, VM lifecycle, hypervisor API, billing.
+
+Replaces the paper's VMware ESXi cluster with a simulated equivalent that
+preserves what the controllers interact with: a provision/terminate API, a
+15-second preparation period before new VMs serve traffic, finite host
+capacity, and per-VM-second billing for resource-efficiency comparisons.
+"""
+
+from repro.cluster.billing import BillingMeter
+from repro.cluster.host import PhysicalHost
+from repro.cluster.hypervisor import DEFAULT_PREPARATION_PERIOD, Hypervisor
+from repro.cluster.vm import SMALL, VirtualMachine, VMProfile, VMState
+
+__all__ = [
+    "BillingMeter",
+    "DEFAULT_PREPARATION_PERIOD",
+    "Hypervisor",
+    "PhysicalHost",
+    "SMALL",
+    "VMProfile",
+    "VMState",
+    "VirtualMachine",
+]

@@ -1,0 +1,69 @@
+"""Physical hosts: the capacity pool VMs are placed on.
+
+Mirrors the paper's ESXi cluster (Dell R430, 2× hexa-core Xeon E5-2603 v3,
+16 GB — Fig 1(b)).  Hosts only do capacity accounting; CPU *performance*
+lives in the servers' contention processors, which is faithful to the
+paper's setup where each VM gets a dedicated 1.6 GHz share.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import CapacityError
+from repro.cluster.vm import VirtualMachine
+
+
+class PhysicalHost:
+    """One hypervisor host with finite vCPU and RAM capacity."""
+
+    def __init__(self, name: str, vcpus: int = 12, ram_gb: float = 16.0) -> None:
+        self.name = name
+        self.vcpus = int(vcpus)
+        self.ram_gb = float(ram_gb)
+        self._placed: List[VirtualMachine] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"<Host {self.name} cpu {self.vcpus_used}/{self.vcpus}"
+            f" ram {self.ram_used:.0f}/{self.ram_gb:.0f}GB>"
+        )
+
+    # -- capacity accounting ------------------------------------------------------
+    @property
+    def vms(self) -> List[VirtualMachine]:
+        """VMs currently placed on this host."""
+        return list(self._placed)
+
+    @property
+    def vcpus_used(self) -> int:
+        """vCPUs consumed by placed VMs."""
+        return sum(vm.profile.vcpus for vm in self._placed)
+
+    @property
+    def ram_used(self) -> float:
+        """RAM (GB) consumed by placed VMs."""
+        return sum(vm.profile.ram_gb for vm in self._placed)
+
+    def fits(self, vm: VirtualMachine) -> bool:
+        """Whether ``vm`` fits in the remaining capacity."""
+        return (
+            self.vcpus_used + vm.profile.vcpus <= self.vcpus
+            and self.ram_used + vm.profile.ram_gb <= self.ram_gb
+        )
+
+    # -- placement -----------------------------------------------------------------
+    def place(self, vm: VirtualMachine) -> None:
+        """Reserve capacity for ``vm`` on this host."""
+        if not self.fits(vm):
+            raise CapacityError(f"{self.name}: no capacity for {vm.name}")
+        self._placed.append(vm)
+        vm.host = self
+
+    def unplace(self, vm: VirtualMachine) -> None:
+        """Release ``vm``'s capacity."""
+        try:
+            self._placed.remove(vm)
+        except ValueError:
+            raise CapacityError(f"{vm.name} is not placed on {self.name}") from None
+        vm.host = None

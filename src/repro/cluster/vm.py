@@ -1,0 +1,88 @@
+"""Virtual machine lifecycle.
+
+The paper's VM-agent "starts new VMs or removes idle ones" through the
+hypervisor API, with a 15-second *preparation period* before a new VM enters
+service mode (Section IV-A).  We model the full lifecycle so controllers
+experience the same latency and accounting a real cloud imposes:
+
+    PROVISIONING --(placement)--> BOOTING --(prep period)--> RUNNING
+    RUNNING --> DRAINING --> TERMINATED        (graceful scale-in)
+    RUNNING --> TERMINATED                     (forced)
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ControlError
+
+_vm_ids = itertools.count(1)
+
+
+class VMState(enum.Enum):
+    """Lifecycle states of a virtual machine."""
+
+    PROVISIONING = "provisioning"
+    BOOTING = "booting"
+    RUNNING = "running"
+    DRAINING = "draining"
+    TERMINATED = "terminated"
+
+
+#: Legal state transitions.
+_TRANSITIONS = {
+    VMState.PROVISIONING: {VMState.BOOTING, VMState.TERMINATED},
+    VMState.BOOTING: {VMState.RUNNING, VMState.TERMINATED},
+    VMState.RUNNING: {VMState.DRAINING, VMState.TERMINATED},
+    VMState.DRAINING: {VMState.TERMINATED, VMState.RUNNING},
+    VMState.TERMINATED: set(),
+}
+
+
+@dataclass(frozen=True)
+class VMProfile:
+    """A VM flavour (the paper's "Small" profile: 1 vCPU, 2 GB)."""
+
+    name: str = "small"
+    vcpus: int = 1
+    ram_gb: float = 2.0
+    disk_gb: float = 20.0
+
+
+#: The paper's experimental VM flavour (Fig 1(b)).
+SMALL = VMProfile()
+
+
+class VirtualMachine:
+    """One VM instance: placement unit, billing unit, server host."""
+
+    def __init__(self, name: str, profile: VMProfile = SMALL) -> None:
+        self.vm_id = next(_vm_ids)
+        self.name = name
+        self.profile = profile
+        self.state = VMState.PROVISIONING
+        self.host: Optional[object] = None  # PhysicalHost, set by the hypervisor
+        self.server: Optional[object] = None  # TierServer payload
+        # Lifecycle timestamps (simulated seconds), filled by the hypervisor.
+        self.provisioned_at: Optional[float] = None
+        self.running_at: Optional[float] = None
+        self.terminated_at: Optional[float] = None
+
+    def __repr__(self) -> str:
+        return f"<VM {self.name} {self.state.value}>"
+
+    @property
+    def is_running(self) -> bool:
+        """``True`` while the VM can serve traffic (RUNNING or DRAINING)."""
+        return self.state in (VMState.RUNNING, VMState.DRAINING)
+
+    def transition(self, new_state: VMState) -> None:
+        """Move to ``new_state``, enforcing lifecycle legality."""
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ControlError(
+                f"{self!r}: illegal transition {self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state

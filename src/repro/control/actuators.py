@@ -1,0 +1,209 @@
+"""The two actuators (Section IV): VM-agent and APP-agent.
+
+* :class:`VMAgent` performs VM-level scaling: provisions a VM through the
+  hypervisor (15 s preparation), creates the tier server inside it, joins it
+  to the balancer — or drains a server, waits for in-flight work, removes it
+  and terminates its VM.
+* :class:`AppAgent` performs fine-grained soft-resource re-allocation:
+  resizing thread pools and DB connection pools of *live* servers without
+  interrupting them.
+
+Both agents keep an action log so experiments can reconstruct the scaling
+timelines of Fig 5(c)–(f).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.cluster.hypervisor import Hypervisor
+from repro.cluster.vm import VirtualMachine, VMState
+from repro.errors import ControlError
+from repro.ntier.softconfig import SoftResourceConfig
+from repro.sim.events import Event, Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.monitor.agent import MonitorFleet
+    from repro.ntier.server import TierServer
+    from repro.ntier.topology import NTierSystem
+    from repro.sim.core import Environment
+
+
+@dataclass(frozen=True)
+class ActuatorAction:
+    """One entry in an actuator's audit log."""
+
+    time: float
+    actuator: str
+    action: str
+    tier: str
+    detail: str = ""
+
+
+class VMAgent:
+    """Starts and stops VMs carrying tier servers.
+
+    ``preparation_periods`` maps tier -> seconds from the provision call to
+    service mode.  Stateless app servers use the paper's 15 s; stateful DB
+    replicas default to 30 s — the paper notes that "adding VMs that run
+    stateful servers is more complicated because of the data/state
+    consistency issues", and the longer warm-up is what opens the windows
+    in which a freshly doubled connection-pool total hammers a not-yet-
+    reinforced MySQL tier (the Fig 5 incidents).
+    """
+
+    #: Tiers this agent can scale (the paper never scales the web tier).
+    SCALABLE_TIERS = ("app", "db")
+
+    #: Default per-tier VM preparation periods (seconds).
+    DEFAULT_PREPARATION_PERIODS = {"app": 15.0, "db": 30.0}
+
+    def __init__(
+        self,
+        env: "Environment",
+        system: "NTierSystem",
+        hypervisor: Hypervisor,
+        fleet: Optional["MonitorFleet"] = None,
+        preparation_periods: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.env = env
+        self.system = system
+        self.hypervisor = hypervisor
+        self.fleet = fleet
+        self.preparation_periods = dict(
+            self.DEFAULT_PREPARATION_PERIODS
+            if preparation_periods is None
+            else preparation_periods
+        )
+        self.actions: List[ActuatorAction] = []
+        self._vm_by_server: Dict[str, VirtualMachine] = {}
+        self._vm_seq = itertools.count(1)
+        self._bootstrapped = False
+
+    # -- bookkeeping --------------------------------------------------------------
+    def vm_for(self, server: "TierServer") -> Optional[VirtualMachine]:
+        """The VM hosting ``server`` (``None`` for unbootstrapped servers)."""
+        return self._vm_by_server.get(server.name)
+
+    def _log(self, action: str, tier: str, detail: str = "") -> None:
+        self.actions.append(
+            ActuatorAction(self.env.now, "vm-agent", action, tier, detail)
+        )
+
+    def bootstrap(self) -> None:
+        """Attach already-RUNNING VMs to the system's initial servers.
+
+        The paper's experiments start with a live 1/1/1 deployment; its VMs
+        exist (and bill) from t = 0 without a boot delay.
+        """
+        if self._bootstrapped:
+            raise ControlError("VMAgent.bootstrap() called twice")
+        self._bootstrapped = True
+        for server in self.system.all_servers():
+            vm, _ready = self.hypervisor.provision(
+                f"vm-{server.name}", preparation_period=0.0
+            )
+            vm.server = server
+            self._vm_by_server[server.name] = vm
+            self._log("bootstrap", server.tier, server.name)
+
+    # -- scale out -----------------------------------------------------------------
+    def scale_out(self, tier: str, **server_kwargs) -> Process:
+        """Provision a VM, boot it, create and register the tier server.
+
+        Returns a process that finishes with the new server once it is in
+        service.  ``server_kwargs`` are forwarded to the topology's server
+        factory (DCM passes the planned pool sizes here).
+        """
+        if tier not in self.SCALABLE_TIERS:
+            raise ControlError(f"tier {tier!r} is not scalable")
+        return self.env.process(self._scale_out(tier, server_kwargs))
+
+    def _scale_out(self, tier: str, server_kwargs):
+        vm_name = f"vm-{tier}-{next(self._vm_seq)}"
+        vm, ready = self.hypervisor.provision(
+            vm_name, preparation_period=self.preparation_periods.get(tier)
+        )
+        self._log("provision", tier, vm_name)
+        yield ready
+        if tier == "app":
+            server = self.system.add_tomcat(**server_kwargs)
+        else:
+            server = self.system.add_mysql(**server_kwargs)
+        vm.server = server
+        self._vm_by_server[server.name] = vm
+        if self.fleet is not None:
+            self.fleet.reconcile()
+        self._log("join", tier, f"{server.name} on {vm_name}")
+        return server
+
+    # -- scale in -------------------------------------------------------------------
+    def choose_victim(self, tier: str) -> "TierServer":
+        """Pick the server to remove: the most recently added accepting one
+        (LIFO keeps the oldest, warmest servers in place)."""
+        candidates = self.system.active_servers(tier)
+        if len(candidates) < 2:
+            raise ControlError(f"tier {tier!r} cannot shrink below one server")
+        return candidates[-1]
+
+    def scale_in(self, tier: str, server: Optional["TierServer"] = None) -> Process:
+        """Drain a server, remove it, and terminate its VM.
+
+        Returns a process that finishes with the removed server's name.
+        """
+        victim = server if server is not None else self.choose_victim(tier)
+        return self.env.process(self._scale_in(tier, victim))
+
+    def _scale_in(self, tier: str, victim: "TierServer"):
+        self._log("drain", tier, victim.name)
+        vm = self._vm_by_server.get(victim.name)
+        if vm is not None and vm.state is VMState.RUNNING:
+            vm.transition(VMState.DRAINING)
+        yield self.system.drain(victim)
+        self.system.remove(victim)
+        if vm is not None:
+            self.hypervisor.terminate(vm)
+            self._vm_by_server.pop(victim.name, None)
+        if self.fleet is not None:
+            self.fleet.reconcile()
+        self._log("terminate", tier, victim.name)
+        return victim.name
+
+
+class AppAgent:
+    """Resizes soft resources on live servers (Section IV-B).
+
+    Controls Tomcat's request-processing concurrency *directly* (its thread
+    pool) and MySQL's *indirectly* (the upstream Tomcat connection pools) —
+    the two mechanisms the paper describes.
+    """
+
+    def __init__(self, env: "Environment", system: "NTierSystem") -> None:
+        self.env = env
+        self.system = system
+        self.actions: List[ActuatorAction] = []
+
+    def _log(self, action: str, tier: str, detail: str) -> None:
+        self.actions.append(ActuatorAction(self.env.now, "app-agent", action, tier, detail))
+
+    def apply(self, soft: SoftResourceConfig) -> None:
+        """Apply a full soft-resource allocation to every live server."""
+        self.system.apply_soft_config(soft)
+        self._log("apply", "all", str(soft))
+
+    def set_tomcat_threads(self, size: int) -> None:
+        """Resize every Tomcat's thread pool (direct concurrency control)."""
+        for server in self.system.tier_servers("app"):
+            server.threads.resize(size)
+        self.system.soft = self.system.soft.with_tomcat_threads(size)
+        self._log("tomcat_threads", "app", str(size))
+
+    def set_db_connections_per_tomcat(self, size: int) -> None:
+        """Resize every Tomcat's DB connection pool (indirect control of
+        MySQL's concurrency)."""
+        for server in self.system.tier_servers("app"):
+            server.db_pool.resize(size)
+        self.system.soft = self.system.soft.with_db_connections(size)
+        self._log("db_connections", "db", str(size))

@@ -1,0 +1,159 @@
+"""Shared control loop for both autoscalers.
+
+Every ``control_period`` seconds the controller drains the metric stream,
+computes per-tier statistics over the elapsed period, runs the threshold
+policy, and launches VM-agent actions.  Subclasses customise (a) the soft
+configuration given to newly created servers and (b) what happens after a
+scaling action or at period end — that delta *is* the difference between
+EC2-AutoScale and DCM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.control.actuators import VMAgent
+from repro.control.policy import SCALE_IN, SCALE_OUT, PolicyStateTracker, ScalingPolicy
+from repro.errors import CapacityError, ControlError
+from repro.monitor.collector import MetricCollector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ntier.server import TierServer
+    from repro.ntier.topology import NTierSystem
+    from repro.sim.core import Environment
+
+
+@dataclass(frozen=True)
+class ControlEvent:
+    """One controller decision/outcome, for the Fig 5 timelines."""
+
+    time: float
+    tier: str
+    kind: str  # "scale_out_started", "scale_out_done", "scale_in_started", ...
+    detail: str = ""
+
+
+class BaseAutoScaleController:
+    """Threshold-driven VM scaling shared by EC2-AutoScale and DCM."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        env: "Environment",
+        system: "NTierSystem",
+        collector: MetricCollector,
+        vm_agent: VMAgent,
+        policy: Optional[ScalingPolicy] = None,
+        tiers: Tuple[str, ...] = ("app", "db"),
+    ) -> None:
+        self.env = env
+        self.system = system
+        self.collector = collector
+        self.vm_agent = vm_agent
+        self.policy = policy or ScalingPolicy()
+        self.tiers = tiers
+        self.states = PolicyStateTracker()
+        self.events: List[ControlEvent] = []
+        #: (time, tier, accepting-server count) snapshots, one per event.
+        self.counts_log: List[Tuple[float, str, int]] = [
+            (env.now, tier, len(system.active_servers(tier))) for tier in tiers
+        ]
+        self._running = True
+        self._process = env.process(self._run())
+
+    # -- lifecycle -----------------------------------------------------------------
+    def stop(self) -> None:
+        """Stop the control loop at its next tick."""
+        self._running = False
+
+    def _log(self, tier: str, kind: str, detail: str = "") -> None:
+        self.events.append(ControlEvent(self.env.now, tier, kind, detail))
+        if tier in self.tiers:
+            self.counts_log.append(
+                (self.env.now, tier, len(self.system.active_servers(tier)))
+            )
+
+    # -- the loop -------------------------------------------------------------------
+    def _run(self):
+        while self._running:
+            yield self.env.timeout(self.policy.control_period)
+            if not self._running:
+                break
+            self.collector.drain()
+            now = self.env.now
+            for tier in self.tiers:
+                stats = self.collector.tier_stats(
+                    tier, since=now - self.policy.control_period
+                )
+                servers = len(self.system.active_servers(tier))
+                state = self.states.state(tier)
+                decision = self.policy.decide(stats, servers, state)
+                if decision == SCALE_OUT:
+                    state.pending_action = True
+                    self._log(tier, "scale_out_started",
+                              f"util={stats.mean_cpu_utilization:.2f}")
+                    self.env.process(self._scale_out(tier))
+                elif decision == SCALE_IN:
+                    state.pending_action = True
+                    self._log(tier, "scale_in_started",
+                              f"util={stats.mean_cpu_utilization:.2f}")
+                    self.env.process(self._scale_in(tier))
+            self.on_period_end(now)
+        return len(self.events)
+
+    def _scale_out(self, tier: str):
+        state = self.states.state(tier)
+        try:
+            server = yield self.vm_agent.scale_out(
+                tier, **self.new_server_config(tier)
+            )
+        except (CapacityError, ControlError) as err:
+            self._log(tier, "scale_out_failed", str(err))
+            return
+        finally:
+            state.pending_action = False
+        self._log(tier, "scale_out_done", server.name)
+        self.on_scaled(tier, "out", server)
+
+    def _scale_in(self, tier: str):
+        state = self.states.state(tier)
+        try:
+            name = yield self.vm_agent.scale_in(tier)
+        except ControlError as err:
+            self._log(tier, "scale_in_failed", str(err))
+            return
+        finally:
+            state.pending_action = False
+        self.collector.forget(name)
+        self._log(tier, "scale_in_done", name)
+        self.on_scaled(tier, "in", None)
+
+    # -- subclass hooks ---------------------------------------------------------------
+    def new_server_config(self, tier: str) -> dict:
+        """Factory kwargs for a new server of ``tier``.
+
+        The base (hardware-only) behaviour: empty — the topology applies its
+        *static* soft defaults, which is exactly the paper's failure mode.
+        """
+        return {}
+
+    def on_scaled(self, tier: str, direction: str, server: Optional["TierServer"]) -> None:
+        """Called after a scaling action completes."""
+
+    def on_period_end(self, now: float) -> None:
+        """Called at the end of every control period."""
+
+    # -- reporting -------------------------------------------------------------------
+    def scaling_timeline(self, tier: str) -> List[Tuple[float, int]]:
+        """``(time, accepting server count)`` change points for ``tier``,
+        from the snapshots taken at every logged control event."""
+        timeline: List[Tuple[float, int]] = []
+        for t, tr, count in self.counts_log:
+            if tr != tier:
+                continue
+            if timeline and timeline[-1][1] == count:
+                continue
+            timeline.append((t, count))
+        return timeline or [(0.0, len(self.system.active_servers(tier)))]

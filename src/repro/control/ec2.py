@@ -1,0 +1,20 @@
+"""EC2-AutoScale: the hardware-only baseline (Section V-B).
+
+Follows Amazon's Auto Scaling group model: a CloudWatch-style CPU threshold
+adds or removes VMs, and that is all.  New servers come up with whatever
+*static* soft-resource configuration the deployment template carries — so a
+second Tomcat silently doubles the number of connections funnelled into
+MySQL, which is precisely the pathology Fig 2(b) and Fig 5(b)/(d)/(f)
+document.  The class body is nearly empty by design: the baseline *is* the
+base controller.
+"""
+
+from __future__ import annotations
+
+from repro.control.base import BaseAutoScaleController
+
+
+class EC2AutoScaleController(BaseAutoScaleController):
+    """Threshold VM scaling with no soft-resource adaptation."""
+
+    name = "ec2-autoscale"

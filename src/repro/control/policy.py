@@ -1,0 +1,98 @@
+"""Threshold scaling policy: "quick start but slow turn off" (Section V-B).
+
+Both controllers share the same VM-level policy, taken from the paper:
+
+* control period 15 s;
+* scale **out** a tier as soon as its utilization exceeds the upper bound
+  (80 %) during one control period — *quick start*;
+* scale **in** only after the utilization stays below the lower bound
+  (40 %) for three consecutive control periods — *slow turn off* (learned
+  from the AutoScale work to avoid instability under bursty workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.monitor.collector import TierStats
+
+#: Decision verdicts.
+SCALE_OUT = "scale_out"
+SCALE_IN = "scale_in"
+
+
+@dataclass
+class TierScalingState:
+    """Mutable per-tier controller state."""
+
+    consecutive_low: int = 0
+    pending_action: bool = False  # a scale op for this tier is in flight
+
+
+@dataclass(frozen=True)
+class ScalingPolicy:
+    """The threshold rules both controllers run at the VM level."""
+
+    control_period: float = 15.0
+    upper_threshold: float = 0.8
+    lower_threshold: float = 0.4
+    consecutive_low_periods: int = 3
+    min_servers: int = 1
+    max_servers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.control_period <= 0:
+            raise ConfigurationError("control_period must be positive")
+        if not 0.0 < self.lower_threshold < self.upper_threshold <= 1.0:
+            raise ConfigurationError("need 0 < lower < upper <= 1")
+        if self.consecutive_low_periods < 1:
+            raise ConfigurationError("consecutive_low_periods must be >= 1")
+        if not 1 <= self.min_servers <= self.max_servers:
+            raise ConfigurationError("need 1 <= min_servers <= max_servers")
+
+    def decide(
+        self, stats: Optional[TierStats], servers: int, state: TierScalingState
+    ) -> Optional[str]:
+        """One control-period decision for one tier.
+
+        Mutates ``state`` (the consecutive-low counter) and returns
+        :data:`SCALE_OUT`, :data:`SCALE_IN`, or ``None``.  While an action
+        is pending (a VM booting or draining) no new decision is made, but
+        the low-counter keeps accumulating so the paper's timing ("three
+        consecutive periods") is preserved.
+        """
+        if stats is None:
+            return None
+        util = stats.mean_cpu_utilization
+        if util > self.upper_threshold:
+            state.consecutive_low = 0
+            if state.pending_action or servers >= self.max_servers:
+                return None
+            return SCALE_OUT
+        if util < self.lower_threshold:
+            state.consecutive_low += 1
+            if (
+                state.consecutive_low >= self.consecutive_low_periods
+                and not state.pending_action
+                and servers > self.min_servers
+            ):
+                state.consecutive_low = 0
+                return SCALE_IN
+            return None
+        state.consecutive_low = 0
+        return None
+
+
+class PolicyStateTracker:
+    """Holds one :class:`TierScalingState` per tier."""
+
+    def __init__(self) -> None:
+        self._states: Dict[str, TierScalingState] = {}
+
+    def state(self, tier: str) -> TierScalingState:
+        """The (auto-created) state for ``tier``."""
+        if tier not in self._states:
+            self._states[tier] = TierScalingState()
+        return self._states[tier]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the DCM reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Simulation-control exceptions (``Interrupt``,
+``StopProcess``) live in :mod:`repro.sim.events` because they are part of the
+kernel's control flow rather than error reporting.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """An invariant of the discrete-event kernel was violated."""
+
+
+class ConfigurationError(ReproError):
+    """A component was built or reconfigured with invalid parameters."""
+
+
+class CapacityError(ReproError):
+    """An operation exceeded the capacity of a host, pool, or broker."""
+
+
+class TopologyError(ReproError):
+    """An n-tier topology was wired or scaled inconsistently."""
+
+
+class ModelError(ReproError):
+    """The concurrency-aware model could not be fitted or applied."""
+
+
+class BrokerError(ReproError):
+    """A message-broker operation failed (unknown topic, bad offset...)."""
+
+
+class ControlError(ReproError):
+    """A controller or actuator was asked to perform an invalid action."""

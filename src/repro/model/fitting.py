@@ -1,0 +1,201 @@
+"""Least-squares estimation of the concurrency-aware model (Section V-A).
+
+The paper: "We use the Least-Square Fitting method to estimate the
+parameters in Equation 7."  Eq (7) is nonlinear in X but *linear* in the
+transformed target ``D(N) = N / X(N)``:
+
+    D(N) = c0 + c1*(N-1) + c2*N*(N-1),   with (c0,c1,c2) = (S0,alpha,beta)/gamma
+
+so ordinary weighted least squares on the features ``[1, N-1, N(N-1)]``
+recovers the curve.  We weight samples by ``(X_i^2 / N_i)^2``, which makes
+the linearised fit a first-order approximation of least squares *on
+throughput* (the quantity the paper's R² is reported against).
+
+Goodness of fit (R²) is computed on throughput predictions, matching
+Table I's ``R^2`` row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.service_time import ConcurrencyModel
+
+#: Smallest admissible fitted coefficient (clips tiny negatives from noise).
+_COEFF_FLOOR = 1e-12
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of one model fit."""
+
+    model: ConcurrencyModel
+    r_squared: float
+    n_samples: int
+    concurrency_range: Tuple[float, float]
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        m = self.model
+        return (
+            f"{m.tier or 'tier'}: S0={m.s0:.3e} alpha={m.alpha:.3e} "
+            f"beta={m.beta:.3e} gamma={m.gamma:.3g} R2={self.r_squared:.3f} "
+            f"N_b={m.optimal_concurrency_int()} Xmax={m.max_throughput():.0f}"
+        )
+
+
+def bin_samples(
+    samples: Sequence[Tuple[float, float]], bin_width: float = 1.0
+) -> List[Tuple[float, float]]:
+    """Aggregate raw ``(concurrency, throughput)`` samples into bins.
+
+    Monitoring produces many noisy per-window samples at similar
+    concurrencies; binning by rounded concurrency and averaging throughput
+    per bin stabilises the regression exactly like averaging repeated
+    measurements at one JMeter setting.
+    """
+    if bin_width <= 0:
+        raise ModelError("bin_width must be positive")
+    sums: dict[float, list[float]] = {}
+    for conc, xput in samples:
+        if conc <= 0 or xput <= 0:
+            continue
+        key = round(conc / bin_width) * bin_width
+        if key <= 0:
+            continue  # sub-half-bin concurrency: no usable curve position
+        sums.setdefault(key, []).append(xput)
+    return sorted((k, float(np.mean(v))) for k, v in sums.items())
+
+
+def _gauss_newton_refine(
+    coeffs: np.ndarray,
+    features: np.ndarray,
+    n_arr: np.ndarray,
+    x_arr: np.ndarray,
+    iterations: int = 25,
+) -> np.ndarray:
+    """Refine the linearised estimate by least squares in *throughput* space.
+
+    The linearised fit minimises residuals of ``D = N/X``, which over-weights
+    low-concurrency points; the paper's R² (and what the controller cares
+    about) is accuracy in ``X``.  A few damped Gauss-Newton steps on
+    ``r_i = X_i - N_i / D_i(theta)`` fix that; the Jacobian is linear per
+    step because ``D`` is linear in the parameters.
+    """
+
+    def sse(c: np.ndarray) -> float:
+        d = features @ c
+        if np.any(d <= 0):
+            return float("inf")
+        return float(np.sum((x_arr - n_arr / d) ** 2))
+
+    best = coeffs.copy()
+    best_sse = sse(best)
+    current = best.copy()
+    damping = 1.0
+    for _ in range(iterations):
+        d = features @ current
+        if np.any(d <= 0):
+            break
+        residuals = x_arr - n_arr / d
+        jacobian = (n_arr / d**2)[:, None] * features
+        try:
+            step, *_ = np.linalg.lstsq(jacobian, residuals, rcond=None)
+        except np.linalg.LinAlgError:  # pragma: no cover - degenerate data
+            break
+        improved = False
+        for _backtrack in range(8):
+            candidate = np.maximum(current + damping * step, _COEFF_FLOOR)
+            cand_sse = sse(candidate)
+            if cand_sse < best_sse - 1e-15:
+                current = candidate
+                best, best_sse = candidate, cand_sse
+                improved = True
+                damping = min(1.0, damping * 2.0)
+                break
+            damping *= 0.5
+        if not improved:
+            break
+    return best
+
+
+def fit_concurrency_model(
+    samples: Sequence[Tuple[float, float]],
+    tier: str = "",
+    gamma: float = 1.0,
+    min_distinct: int = 4,
+) -> FitResult:
+    """Fit Eq (7) to ``(concurrency, single-server throughput)`` samples.
+
+    Parameters
+    ----------
+    samples:
+        Measured pairs; concurrency may be fractional (window averages).
+    tier:
+        Label stored on the model.
+    gamma:
+        Normalisation convention for reporting (S0, alpha, beta) — the fit
+        itself is gamma-invariant (see DESIGN.md §2).  Predictions from the
+        returned model are identical for any ``gamma``.
+    min_distinct:
+        Minimum number of distinct concurrency levels required.
+
+    Raises
+    ------
+    ModelError
+        On insufficient or degenerate data.
+    """
+    clean = [(float(n), float(x)) for n, x in samples if n > 0 and x > 0]
+    if len({round(n, 6) for n, _ in clean}) < min_distinct:
+        raise ModelError(
+            f"need >= {min_distinct} distinct concurrency levels, "
+            f"got {len({round(n, 6) for n, _ in clean})}"
+        )
+    n_arr = np.array([n for n, _ in clean])
+    x_arr = np.array([x for _, x in clean])
+
+    # Linearised target and features.
+    target = n_arr / x_arr
+    features = np.column_stack([np.ones_like(n_arr), n_arr - 1.0, n_arr * (n_arr - 1.0)])
+    weights = (x_arr**2 / n_arr) ** 2
+    w_sqrt = np.sqrt(weights)
+    coeffs, *_ = np.linalg.lstsq(features * w_sqrt[:, None], target * w_sqrt, rcond=None)
+    coeffs = np.maximum(coeffs, _COEFF_FLOOR)
+    coeffs = _gauss_newton_refine(coeffs, features, n_arr, x_arr)
+    c0, c1, c2 = (max(float(c), _COEFF_FLOOR) for c in coeffs)
+
+    model = ConcurrencyModel(
+        s0=c0 * gamma, alpha=c1 * gamma, beta=c2 * gamma, gamma=gamma, tier=tier
+    )
+    predicted = np.array([model.throughput(n) for n in n_arr])
+    ss_res = float(np.sum((x_arr - predicted) ** 2))
+    ss_tot = float(np.sum((x_arr - x_arr.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return FitResult(
+        model=model,
+        r_squared=r_squared,
+        n_samples=len(clean),
+        concurrency_range=(float(n_arr.min()), float(n_arr.max())),
+    )
+
+
+def estimate_scaling_correction(
+    single_server_max: float, multi_server_max: float, servers: int
+) -> float:
+    """Estimate the paper's γ-style correction for multi-server tiers.
+
+    Eq (4) writes ``X_max = gamma * K_b / D_b``; with the single-server
+    ceiling measured as ``X1`` and the K-server ceiling as ``XK``, the
+    *scaling efficiency* is ``XK / (K * X1)`` — 1.0 for perfectly linear
+    scaling, below 1 under load imbalance ("the load inbalancing problem
+    among servers", Section III-A).
+    """
+    if servers < 1:
+        raise ModelError(f"servers must be >= 1, got {servers}")
+    if single_server_max <= 0 or multi_server_max <= 0:
+        raise ModelError("throughput ceilings must be positive")
+    return multi_server_max / (servers * single_server_max)

@@ -1,0 +1,93 @@
+"""Operational queueing laws (Section III-A).
+
+The textbook operational laws the paper builds its model from:
+
+* Utilization Law       ``U = X * S``
+* Forced Flow Law       ``X_m = X * V_m``
+* Little's Law          ``N = X * R``
+* Interactive Response  ``R = N/X - Z``
+
+plus the derived bottleneck analysis of Eq (2)–(4): with per-tier service
+demands ``D_m = V_m * S_m``, the bottleneck is ``argmax D_m`` and the system
+throughput ceiling is ``gamma * K_b / D_b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.errors import ModelError
+
+
+def utilization(throughput: float, service_time: float) -> float:
+    """Utilization Law: ``U = X * S``."""
+    return throughput * service_time
+
+
+def forced_flow(system_throughput: float, visit_ratio: float) -> float:
+    """Forced Flow Law: a tier's throughput is ``X * V_m`` (Eq 1)."""
+    return system_throughput * visit_ratio
+
+
+def system_throughput_from_tier(
+    tier_utilization: float, visit_ratio: float, service_time: float
+) -> float:
+    """Eq (2): ``X = U_m / (V_m * S_m)``."""
+    demand = visit_ratio * service_time
+    if demand <= 0:
+        raise ModelError("visit_ratio * service_time must be positive")
+    return tier_utilization / demand
+
+
+def littles_law_population(throughput: float, response_time: float) -> float:
+    """Little's Law: ``N = X * R``."""
+    return throughput * response_time
+
+
+def interactive_response_time(users: float, throughput: float, think_time: float) -> float:
+    """Interactive response-time law: ``R = N/X - Z``."""
+    if throughput <= 0:
+        raise ModelError("throughput must be positive")
+    return users / throughput - think_time
+
+
+@dataclass(frozen=True)
+class TierDemand:
+    """One tier's demand profile for bottleneck analysis."""
+
+    tier: str
+    visit_ratio: float
+    service_time: float
+    servers: int = 1
+
+    @property
+    def demand(self) -> float:
+        """Service demand per HTTP request: ``D_m = V_m * S_m``."""
+        return self.visit_ratio * self.service_time
+
+    @property
+    def capacity(self) -> float:
+        """Throughput ceiling of this tier alone: ``K_m / D_m``."""
+        if self.demand <= 0:
+            raise ModelError(f"tier {self.tier} has non-positive demand")
+        return self.servers / self.demand
+
+
+def bottleneck(tiers: Sequence[TierDemand]) -> TierDemand:
+    """The tier with the lowest capacity (highest per-server demand wins
+    when server counts equalise) — Section III-A's ``max(V_m * S_m)``
+    generalised to multi-server tiers."""
+    if not tiers:
+        raise ModelError("bottleneck analysis needs at least one tier")
+    return min(tiers, key=lambda t: t.capacity)
+
+
+def max_system_throughput(tiers: Sequence[TierDemand], gamma: float = 1.0) -> float:
+    """Eq (4): ``X_max = gamma * K_b / (V_b * S_b)``."""
+    return gamma * bottleneck(tiers).capacity
+
+
+def demand_table(tiers: Sequence[TierDemand]) -> Dict[str, float]:
+    """Per-tier demands keyed by tier name (for reports)."""
+    return {t.tier: t.demand for t in tiers}

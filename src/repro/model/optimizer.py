@@ -1,0 +1,131 @@
+"""From fitted models to concrete soft-resource allocations (Section III-C).
+
+The model yields one number per tier — the optimal request-processing
+concurrency ``N_b`` — but the actuator needs pool sizes:
+
+* **Tomcat thread pool**: the model's ``N_b`` counts threads *executing on
+  the CPU*, while a Tomcat thread also idles on DB calls.  The paper notes
+  "the realistic configuration of maxThreads ... should be larger than this
+  theoretical value because not all threads will be in Active state"; we
+  implement that with the measured *active fraction* (CPU concurrency /
+  busy threads) so ``maxThreads = N_b / active_fraction`` keeps ``N_b``
+  threads on the CPU.
+* **Per-Tomcat DB connection pool**: MySQL's concurrency is the sum of all
+  upstream pools, so each of ``K_app`` Tomcats gets
+  ``N_b_mysql * K_db / K_app`` connections — the paper's "each Tomcat
+  share[s] half of the optimal connection pool size" generalised.
+
+A multiplicative ``headroom`` (default 1.1) covers estimation noise; the
+paper's own DCM run starts with 40 connections for a knee of 36, i.e.
+headroom ≈ 1.1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ModelError
+from repro.model.service_time import ConcurrencyModel
+from repro.ntier.softconfig import SoftResourceConfig
+
+#: Default safety margin over the theoretical optimum.
+DEFAULT_HEADROOM = 1.1
+
+
+@dataclass(frozen=True)
+class AllocationPlan:
+    """The planner's output: a soft config plus its reasoning trail."""
+
+    soft: SoftResourceConfig
+    tomcat_knee: int
+    mysql_knee: int
+    app_servers: int
+    db_servers: int
+    active_fraction: float
+    headroom: float
+
+    def describe(self) -> str:
+        """Human-readable explanation of the plan."""
+        return (
+            f"plan {self.soft} (N_b app={self.tomcat_knee} db={self.mysql_knee}, "
+            f"K app={self.app_servers} db={self.db_servers}, "
+            f"active_frac={self.active_fraction:.2f}, headroom={self.headroom:.2f})"
+        )
+
+
+class AllocationPlanner:
+    """Turns fitted tier models + topology into a soft-resource allocation.
+
+    Parameters
+    ----------
+    apache_threads:
+        Web-tier pool size to carry through (never the bottleneck; the paper
+        keeps it at 1000).
+    headroom:
+        Multiplier over theoretical knees.
+    min_pool / max_pool:
+        Clamps for any computed pool size (safety rails).
+    """
+
+    def __init__(
+        self,
+        apache_threads: int = 1000,
+        headroom: float = DEFAULT_HEADROOM,
+        min_pool: int = 2,
+        max_pool: int = 2000,
+    ) -> None:
+        if headroom < 1.0:
+            raise ModelError(f"headroom must be >= 1, got {headroom}")
+        if not 1 <= min_pool <= max_pool:
+            raise ModelError("need 1 <= min_pool <= max_pool")
+        self.apache_threads = apache_threads
+        self.headroom = headroom
+        self.min_pool = min_pool
+        self.max_pool = max_pool
+
+    def _clamp(self, value: float) -> int:
+        return int(min(self.max_pool, max(self.min_pool, math.ceil(value))))
+
+    def plan(
+        self,
+        tomcat_model: ConcurrencyModel,
+        mysql_model: ConcurrencyModel,
+        app_servers: int,
+        db_servers: int,
+        active_fraction: Optional[float] = None,
+    ) -> AllocationPlan:
+        """Compute the allocation for the given topology.
+
+        ``active_fraction`` is the measured ratio of Tomcat CPU concurrency
+        to busy threads (0 < f <= 1).  ``None`` falls back to a conservative
+        0.5 (threads spend about half their residence blocked on the DB in
+        the browse mix).
+        """
+        if app_servers < 1 or db_servers < 1:
+            raise ModelError("server counts must be >= 1")
+        fraction = 0.5 if active_fraction is None else active_fraction
+        if not 0.05 <= fraction <= 1.0:
+            raise ModelError(f"active_fraction out of range: {fraction}")
+
+        tomcat_knee = tomcat_model.optimal_concurrency_int()
+        mysql_knee = mysql_model.optimal_concurrency_int()
+
+        threads = self._clamp(self.headroom * tomcat_knee / fraction)
+        total_connections = self.headroom * mysql_knee * db_servers
+        per_tomcat_connections = self._clamp(total_connections / app_servers)
+        soft = SoftResourceConfig(
+            apache_threads=self.apache_threads,
+            tomcat_threads=threads,
+            db_connections=per_tomcat_connections,
+        )
+        return AllocationPlan(
+            soft=soft,
+            tomcat_knee=tomcat_knee,
+            mysql_knee=mysql_knee,
+            app_servers=app_servers,
+            db_servers=db_servers,
+            active_fraction=fraction,
+            headroom=self.headroom,
+        )

@@ -1,0 +1,251 @@
+"""Analytic operating-point prediction for the closed n-tier network.
+
+The simulator *measures*; this module *predicts* — a mean-value-analysis
+style fixed point for the closed network of N think-time users over tiers
+whose servers follow the concurrency-inflation law.  Unlike a classical
+single-server PS station, our servers run every admitted request
+concurrently at rate ``1/phi(n)``, so below the pool caps a tier behaves
+like an infinite-server station with crowd-dependent slowdown; at the caps
+it saturates at ``max_n n / (s * phi(n))``.
+
+The solver iterates Little's-law consistency:
+
+    x_m = X * V_m / K_m                     (per-server visit throughput)
+    n_m = x_m * s_m * phi_m(n_m)            (in-service jobs, Little)
+    R   = sum_m V_m * s_m * phi_m(n_m)      (response time, no saturation)
+    X   = N / (R + Z)                       (interactive law)
+
+clamping X to the tier capacity envelope and attributing the excess
+population to queueing via ``R = N/X - Z`` when saturated.  Used to sanity-
+check simulations, to size systems without running them, and (tested in
+``tests/test_predictor.py``) validated against the simulator within a few
+percent below saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+
+#: Fixed-point iteration controls.
+_MAX_ITER = 200
+_DAMPING = 0.5
+_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One tier's parameters for the analytic solver.
+
+    Attributes
+    ----------
+    name:
+        Label ("web" / "app" / "db").
+    visit_ratio:
+        Mean visits per HTTP request (V_m).
+    base_demand:
+        Single-threaded service demand *per visit* in seconds (s_m).
+    inflation:
+        ``phi(n) -> float`` with ``phi(1) == 1`` (the tier's contention law;
+        pass ``ContentionModel.inflation``).
+    servers:
+        Number of servers in the tier (K_m).
+    concurrency_cap:
+        Maximum in-service requests per server (thread/connection pool);
+        ``None`` means effectively unbounded.
+    """
+
+    name: str
+    visit_ratio: float
+    base_demand: float
+    inflation: Callable[[int], float]
+    servers: int = 1
+    concurrency_cap: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.visit_ratio <= 0 or self.base_demand <= 0:
+            raise ModelError(f"{self.name}: visit ratio and demand must be positive")
+        if self.servers < 1:
+            raise ModelError(f"{self.name}: servers must be >= 1")
+        if self.concurrency_cap is not None and self.concurrency_cap < 1:
+            raise ModelError(f"{self.name}: concurrency cap must be >= 1")
+
+    # -- per-server service physics ------------------------------------------------
+    def phi(self, n: float) -> float:
+        """Inflation at (fractional) concurrency ``n`` (linear interpolation)."""
+        if n <= 1.0:
+            return 1.0
+        lo = int(n)
+        hi = lo + 1
+        f_lo = float(self.inflation(lo))
+        f_hi = float(self.inflation(hi))
+        return f_lo + (f_hi - f_lo) * (n - lo)
+
+    def rate(self, n: float) -> float:
+        """Per-server visit throughput with ``n`` in service: ``n/(s*phi)``."""
+        if n <= 0:
+            return 0.0
+        return n / (self.base_demand * self.phi(n))
+
+    def search_limit(self) -> int:
+        """Upper bound of the concurrency search range."""
+        return self.concurrency_cap if self.concurrency_cap is not None else 4096
+
+    def peak_rate(self) -> float:
+        """Best per-server visit throughput within the cap."""
+        return max(self.rate(n) for n in range(1, self.search_limit() + 1))
+
+    def capacity(self) -> float:
+        """Tier HTTP-request capacity: ``K * peak / V``."""
+        return self.servers * self.peak_rate() / self.visit_ratio
+
+    def concurrency_for_rate(self, x: float) -> float:
+        """Invert ``rate(n) = x`` on the rising branch (bisection).
+
+        ``x`` at or above the peak returns the rate-maximising concurrency.
+        """
+        if x <= 0:
+            return 0.0
+        limit = self.search_limit()
+        n_star = max(range(1, limit + 1), key=self.rate)
+        if x >= self.rate(n_star):
+            return float(n_star)
+        lo, hi = 0.0, float(n_star)
+        for _ in range(80):
+            mid = (lo + hi) / 2.0
+            if self.rate(mid) < x:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """The solver's prediction for one population size."""
+
+    users: int
+    throughput: float
+    response_time: float
+    saturated: bool
+    bottleneck: str
+    tier_concurrency: Dict[str, float]
+
+    def utilization(self, tier_capacity: Dict[str, float]) -> Dict[str, float]:
+        """Throughput as a fraction of each tier's capacity."""
+        return {
+            name: self.throughput / cap if cap > 0 else 0.0
+            for name, cap in tier_capacity.items()
+        }
+
+
+def predict_operating_point(
+    users: int,
+    think_time: float,
+    tiers: Sequence[TierSpec],
+) -> OperatingPoint:
+    """Solve the closed-network fixed point for ``users`` clients.
+
+    Raises :class:`ModelError` on invalid inputs; always converges (damped
+    iteration on a monotone map, then capacity clamping).
+    """
+    if users < 1:
+        raise ModelError("users must be >= 1")
+    if think_time < 0:
+        raise ModelError("think_time must be >= 0")
+    if not tiers:
+        raise ModelError("need at least one tier")
+
+    capacities = {t.name: t.capacity() for t in tiers}
+    bottleneck = min(capacities, key=capacities.get)
+    x_max = capacities[bottleneck]
+
+    # Damped fixed point on X.
+    base_rt = sum(t.visit_ratio * t.base_demand for t in tiers)
+    x = min(users / (think_time + base_rt), x_max)
+    conc: Dict[str, float] = {}
+    for _ in range(_MAX_ITER):
+        rt = 0.0
+        for t in tiers:
+            per_server = x * t.visit_ratio / t.servers
+            n = t.concurrency_for_rate(per_server)
+            conc[t.name] = n
+            rt += t.visit_ratio * t.base_demand * t.phi(max(1.0, n))
+        x_new = min(users / (think_time + rt), x_max)
+        if abs(x_new - x) < _TOLERANCE * max(1.0, x):
+            x = x_new
+            break
+        x = (1 - _DAMPING) * x + _DAMPING * x_new
+
+    saturated = x >= 0.995 * x_max
+    if saturated:
+        x = x_max
+        response_time = users / x - think_time
+        # At saturation the bottleneck runs at its optimal concurrency and
+        # the excess population queues ahead of it.
+        for t in tiers:
+            per_server = x * t.visit_ratio / t.servers
+            conc[t.name] = t.concurrency_for_rate(per_server)
+    else:
+        response_time = users / x - think_time
+    return OperatingPoint(
+        users=users,
+        throughput=x,
+        response_time=max(0.0, response_time),
+        saturated=saturated,
+        bottleneck=bottleneck,
+        tier_concurrency=dict(conc),
+    )
+
+
+def predict_curve(
+    user_levels: Sequence[int],
+    think_time: float,
+    tiers: Sequence[TierSpec],
+) -> Tuple[OperatingPoint, ...]:
+    """Predict a whole throughput/RT-vs-users curve."""
+    return tuple(predict_operating_point(u, think_time, tiers) for u in user_levels)
+
+
+def specs_from_system(system) -> Tuple[TierSpec, ...]:
+    """Build tier specs from a live :class:`~repro.ntier.topology.NTierSystem`.
+
+    Uses the catalogue's mix-mean demands and the tiers' ground-truth
+    contention laws; pool caps come from the current soft configuration.
+    """
+    means = system.catalog.mean_demands()
+    visits = system.catalog.visit_ratios()
+    web = system.tier_servers("web")
+    app = system.tier_servers("app")
+    db = system.tier_servers("db")
+    if not (web and app and db):
+        raise ModelError("system must have at least one server per tier")
+    return (
+        TierSpec(
+            name="web",
+            visit_ratio=visits["web"],
+            base_demand=means["apache"],
+            inflation=web[0].contention.inflation,
+            servers=len(web),
+            concurrency_cap=web[0].threads.size,
+        ),
+        TierSpec(
+            name="app",
+            visit_ratio=visits["app"],
+            base_demand=means["tomcat"],
+            inflation=app[0].contention.inflation,
+            servers=len(app),
+            concurrency_cap=None,  # CPU concurrency, not thread count (threads
+            # blocked on the DB are CPU-neutral; see DESIGN.md §5)
+        ),
+        TierSpec(
+            name="db",
+            visit_ratio=visits["db"],
+            base_demand=means["db_total"] / visits["db"],
+            inflation=db[0].contention.inflation,
+            servers=len(db),
+            concurrency_cap=system.max_db_concurrency() // max(1, len(db)),
+        ),
+    )

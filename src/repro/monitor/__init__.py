@@ -1,0 +1,25 @@
+"""Fine-grained resource monitoring: per-VM agents → broker → collector.
+
+One agent per server samples system- and application-level metrics every
+second into the mini-Kafka topic; the controller-side collector aggregates
+tier statistics and model-training samples from the stream.
+"""
+
+from repro.monitor.agent import (
+    DEFAULT_SAMPLE_INTERVAL,
+    METRICS_TOPIC,
+    MonitorFleet,
+    MonitoringAgent,
+)
+from repro.monitor.collector import MetricCollector, TierStats
+from repro.monitor.metrics import ServerMetricsSampler
+
+__all__ = [
+    "DEFAULT_SAMPLE_INTERVAL",
+    "METRICS_TOPIC",
+    "MetricCollector",
+    "MonitorFleet",
+    "MonitoringAgent",
+    "ServerMetricsSampler",
+    "TierStats",
+]

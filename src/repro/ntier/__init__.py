@@ -1,0 +1,44 @@
+"""The n-tier application substrate.
+
+Simulated Apache / Tomcat / MySQL component servers with the soft resources
+the paper manipulates (thread pools, DB connection pools), HAProxy-style
+balancers, the ground-truth concurrency-contention law, and the
+:class:`~repro.ntier.topology.NTierSystem` assembly with runtime scaling.
+"""
+
+from repro.ntier.apache import ApacheServer
+from repro.ntier.balancer import Balancer
+from repro.ntier.connpool import ConnectionPool
+from repro.ntier.contention import (
+    APACHE_CONTENTION,
+    MYSQL_CONTENTION,
+    TOMCAT_CONTENTION,
+    ContentionModel,
+)
+from repro.ntier.mysql import MySQLServer
+from repro.ntier.request import DemandProfile, Interaction, Request
+from repro.ntier.server import TierServer
+from repro.ntier.softconfig import HardwareConfig, SoftResourceConfig
+from repro.ntier.threadpool import ThreadPool
+from repro.ntier.tomcat import TomcatServer
+from repro.ntier.topology import NTierSystem
+
+__all__ = [
+    "APACHE_CONTENTION",
+    "ApacheServer",
+    "Balancer",
+    "ConnectionPool",
+    "ContentionModel",
+    "DemandProfile",
+    "HardwareConfig",
+    "Interaction",
+    "MYSQL_CONTENTION",
+    "MySQLServer",
+    "NTierSystem",
+    "Request",
+    "SoftResourceConfig",
+    "TOMCAT_CONTENTION",
+    "ThreadPool",
+    "TierServer",
+    "TomcatServer",
+]

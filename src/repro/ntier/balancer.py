@@ -1,0 +1,134 @@
+"""HAProxy-style load balancer with runtime membership changes.
+
+The paper fronts every scalable tier (Tomcat, and MySQL when replicated)
+with HAProxy.  The balancer's behaviour matters to DCM in two ways:
+
+* **Membership churn** — the VM-agent adds freshly-booted servers and drains
+  servers marked for removal, without dropping in-flight requests.
+* **Imperfect balance** — the paper's correction factor γ in Eq (4) exists
+  because "the load imbalancing problem among servers" keeps K servers from
+  delivering K× one server's throughput.  We model this with a configurable
+  ``imbalance`` probability: that fraction of picks bypasses the policy and
+  goes to the *first* eligible backend — a persistent skew of the
+  sticky-session / hash-affinity kind.  Its throughput cost interacts with
+  the concurrency curve: skew is nearly free while both servers sit on the
+  flat part of Fig 2(a), and expensive once the favourite crosses the
+  thrash knee (see ``bench_ablation_balance.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ntier.server import TierServer
+
+#: Valid balancing policies.
+POLICIES = ("round_robin", "least_conn", "random")
+
+
+class Balancer:
+    """Distributes work over a dynamic set of backend servers.
+
+    Parameters
+    ----------
+    name:
+        Label (e.g. ``"haproxy-app"``).
+    policy:
+        One of :data:`POLICIES`.
+    imbalance:
+        Probability in ``[0, 1]`` that a pick ignores the policy and goes to
+        the first eligible backend — the knob behind the paper's γ < linear
+        scaling.
+    rng:
+        numpy Generator used for the imbalance/random draws.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        policy: str = "least_conn",
+        imbalance: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ConfigurationError(f"unknown policy {policy!r}; pick from {POLICIES}")
+        if not 0.0 <= imbalance <= 1.0:
+            raise ConfigurationError(f"imbalance must be in [0, 1], got {imbalance}")
+        self.name = name
+        self.policy = policy
+        self.imbalance = imbalance
+        self._rng = rng or np.random.default_rng(0)
+        self._backends: List["TierServer"] = []
+        self._rr_index = 0
+        self._dispatches = 0
+
+    # -- membership -------------------------------------------------------------
+    @property
+    def backends(self) -> Sequence["TierServer"]:
+        """All registered backends (including draining ones)."""
+        return tuple(self._backends)
+
+    def eligible(self) -> List["TierServer"]:
+        """Backends currently accepting new work."""
+        return [b for b in self._backends if b.accepting]
+
+    @property
+    def size(self) -> int:
+        """Number of backends accepting new work."""
+        return len(self.eligible())
+
+    def add(self, server: "TierServer") -> None:
+        """Register a backend (idempotent additions are an error)."""
+        if server in self._backends:
+            raise TopologyError(f"{server.name} already behind {self.name}")
+        self._backends.append(server)
+
+    def remove(self, server: "TierServer") -> None:
+        """Deregister a backend entirely (it should be drained first)."""
+        try:
+            self._backends.remove(server)
+        except ValueError:
+            raise TopologyError(f"{server.name} is not behind {self.name}") from None
+
+    # -- picking ------------------------------------------------------------------
+    def pick(self) -> "TierServer":
+        """Choose a backend for one new request/query.
+
+        Raises :class:`TopologyError` when no backend is accepting — callers
+        turn that into a failed request.
+        """
+        candidates = self.eligible()
+        if not candidates:
+            raise TopologyError(f"{self.name}: no backend available")
+        self._dispatches += 1
+        if len(candidates) == 1:
+            return candidates[0]
+        if self.imbalance > 0.0 and self._rng.random() < self.imbalance:
+            return candidates[0]
+        if self.policy == "round_robin":
+            self._rr_index = (self._rr_index + 1) % len(candidates)
+            return candidates[self._rr_index]
+        if self.policy == "least_conn":
+            return min(candidates, key=lambda b: (b.outstanding, b.name))
+        return candidates[int(self._rng.integers(len(candidates)))]
+
+    @property
+    def dispatches(self) -> int:
+        """Total picks made."""
+        return self._dispatches
+
+
+def drain_and_wait(server: "TierServer") -> Callable:
+    """Convenience: returns a process generator that drains ``server`` and
+    finishes when its last in-flight request completes."""
+
+    def _proc(env):
+        server.begin_drain()
+        yield server.drained_event()
+
+    return _proc

@@ -1,0 +1,149 @@
+"""The ground-truth multi-threading contention law for tier servers.
+
+Section III-B of the paper models the service time of one request when ``N``
+threads execute concurrently as
+
+    S*(N) = S0 + alpha*(N - 1) + beta*N*(N - 1)          (Eq 5)
+
+with ``alpha`` capturing SMT-style thread contention (linear) and ``beta``
+capturing cache-coherency "crosstalk" (quadratic).  Our simulated servers use
+this law — **as an inflation ratio, which is scale-free** — as their physical
+truth, so the paper's model (fitted in :mod:`repro.model`) is confronting a
+system that genuinely behaves this way, plus one deliberate wrinkle:
+
+The *thrash term*.  Real servers (most visibly MySQL in the paper's Fig 2(a)
+and the Fig 5 incidents) degrade much harder beyond a certain concurrency
+than the quadratic extrapolation suggests: lock convoys, buffer-pool
+contention and context-switch storms pile up.  We add
+``delta * max(0, N - knee)**2`` to ``S*``, active only past ``knee``.  This is
+what makes hardware-only scaling *genuinely* harmful (doubling connection
+pools into one MySQL), not merely sub-optimal; without it, the quadratic
+alone prices 160 connections at only ~3 % below peak and neither Fig 2(b)
+nor the Fig 5 response-time spikes can reproduce.  The model-training range
+is kept mostly below the knee, so the paper's quadratic fit still achieves
+its reported R² — exactly the situation the authors faced.
+
+All parameters here are expressed in the *paper's* scale (Table I units);
+only the ratios ``S*(N)/S*(1)`` reach the simulator, so the scale cancels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ContentionModel:
+    """Concurrency-dependent service-time inflation for one server type.
+
+    Parameters
+    ----------
+    s0:
+        Single-threaded service time (paper scale; only ratios matter).
+    alpha:
+        Linear thread-contention coefficient (Eq 5).
+    beta:
+        Quadratic crosstalk coefficient (Eq 5).
+    delta:
+        Super-quadratic thrash coefficient, active past ``knee`` (0 disables).
+    knee:
+        Concurrency beyond which the thrash term applies.
+    """
+
+    s0: float
+    alpha: float
+    beta: float
+    delta: float = 0.0
+    knee: int = 0
+
+    def __post_init__(self) -> None:
+        if self.s0 <= 0:
+            raise ConfigurationError(f"s0 must be positive, got {self.s0}")
+        if self.alpha < 0 or self.beta < 0 or self.delta < 0:
+            raise ConfigurationError("contention coefficients must be non-negative")
+        if self.delta > 0 and self.knee < 1:
+            raise ConfigurationError("a thrash term requires knee >= 1")
+
+    # -- the law --------------------------------------------------------------
+    def service_time(self, n: int) -> float:
+        """``S*(n)``: per-request service time with ``n`` concurrent threads."""
+        if n < 1:
+            raise ConfigurationError(f"concurrency must be >= 1, got {n}")
+        s = self.s0 + self.alpha * (n - 1) + self.beta * n * (n - 1)
+        if self.delta > 0.0 and n > self.knee:
+            s += self.delta * (n - self.knee) ** 2
+        return s
+
+    def inflation(self, n: int) -> float:
+        """``phi(n) = S*(n)/S0`` — the scale-free factor used by the CPU."""
+        return self.service_time(n) / self.s0
+
+    def effective_service_time(self, n: int) -> float:
+        """``S(n) = S*(n)/n``: the paper's Eq (6) average service time."""
+        return self.service_time(n) / n
+
+    def throughput(self, n: int, gamma: float = 1.0, servers: int = 1) -> float:
+        """``X(n)`` from Eq (7): ``gamma * K * n / S*(n)`` (paper scale)."""
+        return gamma * servers * n / self.service_time(n)
+
+    # -- analytic optima -------------------------------------------------------
+    def optimal_concurrency_quadratic(self) -> float:
+        """Closed-form optimum ``N_b = sqrt((S0 - alpha)/beta)`` (Section III-C).
+
+        This is the paper's formula and deliberately ignores the thrash term
+        (the paper's model does not know about it either).  Raises when the
+        quadratic has no interior optimum (``beta == 0`` or ``alpha >= S0``).
+        """
+        if self.beta <= 0:
+            raise ConfigurationError("no interior optimum: beta must be positive")
+        if self.alpha >= self.s0:
+            raise ConfigurationError("no interior optimum: alpha >= s0")
+        return math.sqrt((self.s0 - self.alpha) / self.beta)
+
+    def optimal_concurrency(self, search_limit: int = 4096) -> int:
+        """Exact integer optimum of ``n / S*(n)`` including the thrash term."""
+        best_n, best_rate = 1, 1.0 / self.service_time(1)
+        for n in range(2, search_limit + 1):
+            rate = n / self.service_time(n)
+            if rate > best_rate:
+                best_n, best_rate = n, rate
+        return best_n
+
+    def peak_rate(self, search_limit: int = 4096) -> float:
+        """Maximum of ``n / S*(n)`` (paper-scale requests per second)."""
+        n = self.optimal_concurrency(search_limit)
+        return n / self.service_time(n)
+
+
+# ----------------------------------------------------------------------------
+# Calibrated ground truths.
+#
+# The quadratic cores are the paper's Table I values verbatim.  Thrash terms
+# are calibrated so that (a) MySQL at 160 connections loses ~20 % of its peak
+# (the Fig 2(b)/Fig 5 failure mode), (b) Tomcat at its default 100 threads
+# delivers ~30 % less than the optimal 20 (the Fig 4(a) margin), while (c)
+# both fits over the training ranges keep R^2 ~ 0.96+ as Table I reports.
+# ----------------------------------------------------------------------------
+
+#: Ground-truth contention for a Tomcat application server (paper Table I core).
+TOMCAT_CONTENTION = ContentionModel(
+    s0=2.84e-2, alpha=9.87e-3, beta=4.54e-5, delta=3.75e-5, knee=60
+)
+
+#: Ground-truth contention for a MySQL database server (paper Table I core).
+#: Thrash: X(160) ~ 0.80 * peak (the Fig 2(b) failure), steep collapse by 600
+#: (Fig 2(a) tail); knee at 100 keeps the model-training range (<= 100)
+#: quadratic so the fit recovers Table I.
+MYSQL_CONTENTION = ContentionModel(
+    s0=7.19e-3, alpha=5.04e-3, beta=1.65e-6, delta=5.04e-5, knee=100
+)
+
+#: Apache mostly shuffles bytes; give it mild contention and a distant knee so
+#: the web tier is never the bottleneck in browse-only workloads (as in the
+#: paper, which always runs a single Apache at 1000 threads).
+APACHE_CONTENTION = ContentionModel(
+    s0=1.0e-3, alpha=2.0e-7, beta=1.0e-9, delta=0.0, knee=0
+)

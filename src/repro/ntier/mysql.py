@@ -1,0 +1,66 @@
+"""MySQL database server model.
+
+The paper's most performance-sensitive tier (Fig 2(a)): query throughput
+peaks around 36–40 concurrent queries and *degrades* beyond — gently at
+first (the quadratic crosstalk term), then sharply once lock convoys and
+buffer-pool contention set in (our thrash term past the knee).
+
+MySQL has no explicit request thread-pool knob in the paper; its
+request-processing concurrency is whatever the upstream Tomcat connection
+pools let through, bounded by ``max_connections`` (a wide default, as in
+stock MySQL — hitting it means connection errors, not queueing).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import CapacityError
+from repro.ntier.contention import MYSQL_CONTENTION, ContentionModel
+from repro.ntier.request import Request
+from repro.ntier.server import TierServer
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class MySQLServer(TierServer):
+    """One MySQL instance (read-only replica semantics for browse workloads)."""
+
+    tier = "db"
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        max_connections: int = 400,
+        contention: ContentionModel = MYSQL_CONTENTION,
+    ) -> None:
+        super().__init__(env, name, contention)
+        self.max_connections = int(max_connections)
+
+    @property
+    def active_queries(self) -> int:
+        """Queries currently executing (the paper's 'request processing
+        concurrency in MySQL')."""
+        return self.cpu.active_jobs
+
+    def _process(
+        self, request: Request, started_holder: list, demand: float = 0.0, **kwargs: Any
+    ) -> Generator[Event, Any, None]:
+        if self.active_queries >= self.max_connections:
+            raise CapacityError(f"{self.name}: max_connections exceeded")
+        started_holder[0] = self.env.now
+        yield self.cpu.execute(demand)
+
+    def snapshot(self) -> dict:
+        """Extend the base counters with connection statistics."""
+        snap = super().snapshot()
+        snap.update(
+            {
+                "active_queries": float(self.active_queries),
+                "max_connections": float(self.max_connections),
+            }
+        )
+        return snap

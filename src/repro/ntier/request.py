@@ -1,0 +1,98 @@
+"""Request objects and fine-grained interaction tracing.
+
+One :class:`Request` represents a single HTTP request from a client session.
+As it flows Apache → Tomcat → MySQL it may trigger multiple *interactions*
+(the paper: "an HTTP request may trigger multiple interactions between
+component servers"); when tracing is enabled each interaction is recorded
+with per-tier queueing and service timestamps, which is the "fine-grained
+measurement data" DCM's monitor feeds on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.servlets import Servlet
+
+_request_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class DemandProfile:
+    """Sampled CPU demands (single-threaded seconds) for one request.
+
+    Demands are drawn once, when the request is created, from the servlet's
+    distributions — so a request is fully determined at birth and the servers
+    stay deterministic given their inputs.
+    """
+
+    apache: float
+    tomcat: float
+    db_queries: tuple[float, ...]
+
+    @property
+    def db_total(self) -> float:
+        """Total DB demand across all queries of this request."""
+        return sum(self.db_queries)
+
+
+@dataclass
+class Interaction:
+    """One visit of a request to one component server."""
+
+    server: str
+    tier: str
+    arrived: float
+    started: Optional[float] = None
+    completed: Optional[float] = None
+
+    @property
+    def queue_time(self) -> float:
+        """Time spent waiting for admission (thread/connection) at the server."""
+        if self.started is None:
+            return 0.0
+        return self.started - self.arrived
+
+    @property
+    def residence_time(self) -> float:
+        """Total time spent at the server for this interaction."""
+        if self.completed is None:
+            return 0.0
+        return self.completed - self.arrived
+
+
+@dataclass
+class Request:
+    """A client HTTP request and its life-cycle record."""
+
+    servlet: "Servlet"
+    created: float
+    demand: DemandProfile
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    completed: Optional[float] = None
+    failed: bool = False
+    failure_reason: str = ""
+    interactions: Optional[List[Interaction]] = None
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """End-to-end response time; ``None`` while in flight."""
+        if self.completed is None:
+            return None
+        return self.completed - self.created
+
+    def trace(self, server: str, tier: str, arrived: float) -> Optional[Interaction]:
+        """Record a new interaction if tracing is enabled for this request."""
+        if self.interactions is None:
+            return None
+        interaction = Interaction(server=server, tier=tier, arrived=arrived)
+        self.interactions.append(interaction)
+        return interaction
+
+    def enable_tracing(self) -> None:
+        """Turn on per-interaction recording for this request."""
+        if self.interactions is None:
+            self.interactions = []

@@ -1,0 +1,173 @@
+"""Base class shared by all component servers (Apache, Tomcat, MySQL).
+
+A :class:`TierServer` owns a :class:`~repro.sim.processor.ContentionProcessor`
+(its CPU, governed by the tier's ground-truth contention law) and exposes the
+cumulative counters the monitoring agent samples every second:
+arrivals/completions/failures, residence-time sums, CPU-utilization and
+concurrency integrals, and pool statistics.  Subclasses implement
+:meth:`_process` — a generator describing how one interaction flows through
+the server.
+
+Life-cycle: a server starts ``accepting``; :meth:`begin_drain` stops new
+admissions (HAProxy keeps it registered but stops picking it) and
+:meth:`drained_event` fires when the last in-flight interaction completes —
+the hand-off point at which the VM-agent may terminate the underlying VM.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
+
+from repro.errors import TopologyError
+from repro.ntier.contention import ContentionModel
+from repro.ntier.request import Request
+from repro.sim.events import Event
+from repro.sim.processor import ContentionProcessor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class TierServer:
+    """One component server instance within a tier."""
+
+    #: Subclasses set this ("web", "app", "db").
+    tier: str = "generic"
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        contention: ContentionModel,
+        peak_search_limit: int = 2048,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.contention = contention
+        self.cpu = ContentionProcessor(
+            env, contention.inflation, peak_search_limit=peak_search_limit, name=name
+        )
+        self._accepting = True
+        self._draining = False
+        self._drained_event: Optional[Event] = None
+
+        # Cumulative counters (the monitor computes windowed deltas).
+        self.arrivals = 0
+        self.completions = 0
+        self.failures = 0
+        self.residence_time_total = 0.0
+        self.queue_time_total = 0.0
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} outstanding={self.outstanding}>"
+
+    # -- admission state ---------------------------------------------------------
+    @property
+    def accepting(self) -> bool:
+        """Whether the balancer may send new work here."""
+        return self._accepting and not self._draining
+
+    @property
+    def draining(self) -> bool:
+        """Whether the server is finishing in-flight work before shutdown."""
+        return self._draining
+
+    @property
+    def outstanding(self) -> int:
+        """Interactions currently in flight (queued or in service)."""
+        return self.arrivals - self.completions - self.failures
+
+    def set_accepting(self, value: bool) -> None:
+        """Administratively enable/disable admission (VM lifecycle hook)."""
+        self._accepting = bool(value)
+
+    def begin_drain(self) -> None:
+        """Stop accepting new work; in-flight interactions run to completion."""
+        self._draining = True
+        self._maybe_finish_drain()
+
+    def cancel_drain(self) -> None:
+        """Abort a drain (e.g. the controller changed its mind)."""
+        self._draining = False
+        self._drained_event = None
+
+    def drained_event(self) -> Event:
+        """Event firing once draining and ``outstanding == 0``."""
+        if self._drained_event is None:
+            self._drained_event = Event(self.env)
+            self._maybe_finish_drain()
+        return self._drained_event
+
+    def _maybe_finish_drain(self) -> None:
+        if (
+            self._draining
+            and self.outstanding == 0
+            and self._drained_event is not None
+            and not self._drained_event.triggered
+        ):
+            self._drained_event.succeed(self)
+
+    # -- request handling ------------------------------------------------------
+    def handle(self, request: Request, **kwargs: Any) -> Event:
+        """Process one interaction of ``request``; returns its completion event.
+
+        Wraps the subclass :meth:`_process` generator with arrival/completion
+        accounting and optional fine-grained tracing.  Extra keyword
+        arguments are forwarded to :meth:`_process` (MySQL receives the
+        per-query ``demand`` this way).
+        """
+        if not self.accepting:
+            raise TopologyError(f"{self.name} is not accepting requests")
+        self.arrivals += 1
+        arrived = self.env.now
+        interaction = request.trace(self.name, self.tier, arrived)
+        return self.env.process(self._handle(request, arrived, interaction, kwargs))
+
+    def _handle(self, request, arrived, interaction, kwargs) -> Generator[Event, Any, None]:
+        try:
+            started_holder = [arrived]
+            yield from self._process(request, started_holder, **kwargs)
+        except Exception:
+            self.failures += 1
+            self._maybe_finish_drain()
+            raise
+        now = self.env.now
+        self.completions += 1
+        self.residence_time_total += now - arrived
+        self.queue_time_total += started_holder[0] - arrived
+        if interaction is not None:
+            interaction.started = started_holder[0]
+            interaction.completed = now
+        self._maybe_finish_drain()
+
+    def _process(
+        self, request: Request, started_holder: list, **kwargs: Any
+    ) -> Generator[Event, Any, None]:
+        """Subclass hook: the server-specific flow for one interaction.
+
+        ``started_holder`` is a single-element list; implementations store
+        the time at which the interaction obtained its thread/slot (i.e.
+        left the admission queue) in ``started_holder[0]``.
+        """
+        raise NotImplementedError
+
+    # -- monitoring --------------------------------------------------------------
+    @property
+    def concurrency(self) -> int:
+        """Instantaneous request-processing concurrency on the CPU."""
+        return self.cpu.active_jobs
+
+    def snapshot(self) -> Dict[str, float]:
+        """Cumulative counters for the monitoring agent (delta-friendly)."""
+        return {
+            "arrivals": float(self.arrivals),
+            "completions": float(self.completions),
+            "failures": float(self.failures),
+            "residence_time_total": self.residence_time_total,
+            "queue_time_total": self.queue_time_total,
+            "cpu_util_integral": self.cpu.utilization_integral(),
+            "cpu_eff_integral": self.cpu.efficiency_integral(),
+            "cpu_busy_integral": self.cpu.busy_integral(),
+            "cpu_nonidle_integral": self.cpu.nonidle_integral(),
+            "outstanding": float(self.outstanding),
+        }

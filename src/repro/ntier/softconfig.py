@@ -1,0 +1,111 @@
+"""Soft-resource allocation notation.
+
+The paper denotes hardware topologies ``#W/#A/#D`` (Apache/Tomcat/MySQL
+server counts) and soft-resource allocations ``#W_T/#A_T/#A_C`` — Apache
+thread pool size, per-Tomcat thread pool size, and per-Tomcat DB connection
+pool size, e.g. the default ``1000/100/80``.  This module gives both
+notations first-class types with parsing, formatting and validation so that
+experiments and logs read like the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """``#W/#A/#D`` — servers per tier (web / app / db)."""
+
+    web: int
+    app: int
+    db: int
+
+    def __post_init__(self) -> None:
+        for tier, count in (("web", self.web), ("app", self.app), ("db", self.db)):
+            if count < 1:
+                raise ConfigurationError(f"{tier} tier needs >= 1 server, got {count}")
+
+    @classmethod
+    def parse(cls, text: str) -> "HardwareConfig":
+        """Parse ``"1/2/1"`` into ``HardwareConfig(web=1, app=2, db=1)``."""
+        parts = text.strip().split("/")
+        if len(parts) != 3:
+            raise ConfigurationError(f"expected '#W/#A/#D', got {text!r}")
+        try:
+            web, app, db = (int(p) for p in parts)
+        except ValueError as err:
+            raise ConfigurationError(f"non-integer tier count in {text!r}") from err
+        return cls(web, app, db)
+
+    def __str__(self) -> str:
+        return f"{self.web}/{self.app}/{self.db}"
+
+
+@dataclass(frozen=True)
+class SoftResourceConfig:
+    """``#W_T/#A_T/#A_C`` — the three concurrency-controlling soft resources.
+
+    Attributes
+    ----------
+    apache_threads:
+        Worker thread pool size of each Apache server.
+    tomcat_threads:
+        Thread pool size (``maxThreads``) of each Tomcat server.
+    db_connections:
+        Global DB connection pool size of each Tomcat server (the paper
+        modified RUBBoS so all servlets share one pool per Tomcat; the
+        maximum concurrency reaching MySQL is therefore
+        ``app_servers * db_connections``).
+    """
+
+    apache_threads: int
+    tomcat_threads: int
+    db_connections: int
+
+    #: The paper's default allocation (assigned after the class definition).
+    DEFAULT: ClassVar["SoftResourceConfig"]
+
+    def __post_init__(self) -> None:
+        for label, size in (
+            ("apache_threads", self.apache_threads),
+            ("tomcat_threads", self.tomcat_threads),
+            ("db_connections", self.db_connections),
+        ):
+            if size < 1:
+                raise ConfigurationError(f"{label} must be >= 1, got {size}")
+
+    @classmethod
+    def parse(cls, text: str) -> "SoftResourceConfig":
+        """Parse ``"1000/100/80"`` (also accepts ``-`` separators as in the
+        paper's prose, e.g. ``"1000-100-80"``)."""
+        norm = text.strip().replace("-", "/")
+        parts = norm.split("/")
+        if len(parts) != 3:
+            raise ConfigurationError(f"expected '#W_T/#A_T/#A_C', got {text!r}")
+        try:
+            wt, at, ac = (int(p) for p in parts)
+        except ValueError as err:
+            raise ConfigurationError(f"non-integer pool size in {text!r}") from err
+        return cls(wt, at, ac)
+
+    def with_tomcat_threads(self, n: int) -> "SoftResourceConfig":
+        """Copy with a different per-Tomcat thread pool size."""
+        return SoftResourceConfig(self.apache_threads, n, self.db_connections)
+
+    def with_db_connections(self, n: int) -> "SoftResourceConfig":
+        """Copy with a different per-Tomcat DB connection pool size."""
+        return SoftResourceConfig(self.apache_threads, self.tomcat_threads, n)
+
+    def max_db_concurrency(self, app_servers: int) -> int:
+        """Maximum request-processing concurrency reaching the DB tier."""
+        return self.db_connections * app_servers
+
+    def __str__(self) -> str:
+        return f"{self.apache_threads}/{self.tomcat_threads}/{self.db_connections}"
+
+
+SoftResourceConfig.DEFAULT = SoftResourceConfig(1000, 100, 80)

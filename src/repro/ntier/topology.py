@@ -1,0 +1,258 @@
+"""n-tier system assembly and runtime scaling operations.
+
+:class:`NTierSystem` wires client traffic → Apache tier → (app balancer) →
+Tomcat tier → (db balancer) → MySQL tier, following the paper's ``#W/#A/#D``
+topologies (Fig 1(c)), and exposes the runtime operations the actuators
+drive: add/drain/remove servers in the app and db tiers, and resize soft
+resources on live servers.
+
+The system object is deliberately ignorant of *policies* — controllers
+(:mod:`repro.control`) decide when to scale; the workload generators
+(:mod:`repro.workload`) decide what to submit.  It also keeps the request
+log used by the analysis layer: ``(created, response_time)`` per completed
+request plus failure timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import TopologyError
+from repro.ntier.apache import ApacheServer
+from repro.ntier.balancer import Balancer
+from repro.ntier.contention import (
+    APACHE_CONTENTION,
+    MYSQL_CONTENTION,
+    TOMCAT_CONTENTION,
+    ContentionModel,
+)
+from repro.ntier.mysql import MySQLServer
+from repro.ntier.request import Request
+from repro.ntier.softconfig import HardwareConfig, SoftResourceConfig
+from repro.ntier.tomcat import TomcatServer
+from repro.sim.events import Event
+from repro.sim.rng import RandomStreams
+from repro.workload.servlets import ServletCatalog, browse_only_catalog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+TIERS = ("web", "app", "db")
+
+
+class NTierSystem:
+    """A running n-tier deployment with runtime scaling hooks.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    streams:
+        Named random streams (``workload.mix``, ``balancer.app`` ...).
+    hardware:
+        Initial ``#W/#A/#D`` server counts.
+    soft:
+        Initial soft-resource allocation applied to every server.
+    catalog:
+        Servlet catalogue; defaults to the calibrated browse-only mix.
+    balancer_policy / imbalance:
+        Passed to the app- and db-tier balancers; ``imbalance`` produces the
+        sub-linear multi-server scaling behind the paper's γ.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        streams: Optional[RandomStreams] = None,
+        hardware: HardwareConfig = HardwareConfig(1, 1, 1),
+        soft: SoftResourceConfig = SoftResourceConfig.DEFAULT,
+        catalog: Optional[ServletCatalog] = None,
+        balancer_policy: str = "least_conn",
+        imbalance: float = 0.05,
+        apache_contention: ContentionModel = APACHE_CONTENTION,
+        tomcat_contention: ContentionModel = TOMCAT_CONTENTION,
+        mysql_contention: ContentionModel = MYSQL_CONTENTION,
+    ) -> None:
+        self.env = env
+        self.streams = streams or RandomStreams(0)
+        self.soft = soft
+        self.catalog = catalog or browse_only_catalog()
+        self._contention = {
+            "web": apache_contention,
+            "app": tomcat_contention,
+            "db": mysql_contention,
+        }
+
+        self.web_balancer = Balancer(
+            "lb-web", policy="round_robin", rng=self.streams.stream("balancer.web")
+        )
+        self.app_balancer = Balancer(
+            "lb-app",
+            policy=balancer_policy,
+            imbalance=imbalance,
+            rng=self.streams.stream("balancer.app"),
+        )
+        self.db_balancer = Balancer(
+            "lb-db",
+            policy=balancer_policy,
+            imbalance=imbalance,
+            rng=self.streams.stream("balancer.db"),
+        )
+
+        self._counters = {"web": 0, "app": 0, "db": 0}
+        # Request accounting for the analysis layer.
+        self.request_log: List[Tuple[float, float]] = []
+        self.failure_log: List[float] = []
+        self.submitted = 0
+
+        for _ in range(hardware.db):
+            self.add_mysql()
+        for _ in range(hardware.app):
+            self.add_tomcat()
+        for _ in range(hardware.web):
+            self.add_apache()
+
+    # -- construction helpers -----------------------------------------------------
+    def _next_name(self, tier: str) -> str:
+        self._counters[tier] += 1
+        prefix = {"web": "apache", "app": "tomcat", "db": "mysql"}[tier]
+        return f"{prefix}-{self._counters[tier]}"
+
+    def add_apache(self, threads: Optional[int] = None) -> ApacheServer:
+        """Create and register a new Apache server (web tier)."""
+        server = ApacheServer(
+            self.env,
+            self._next_name("web"),
+            app_balancer=self.app_balancer,
+            threads=threads if threads is not None else self.soft.apache_threads,
+            contention=self._contention["web"],
+        )
+        self.web_balancer.add(server)
+        return server
+
+    def add_tomcat(
+        self,
+        threads: Optional[int] = None,
+        db_connections: Optional[int] = None,
+    ) -> TomcatServer:
+        """Create and register a new Tomcat server (app tier).
+
+        Defaults to the system's current soft configuration — exactly the
+        paper's hardware-only failure mode, where a new Tomcat arrives with
+        the default connection pool and doubles MySQL's concurrency cap.
+        """
+        server = TomcatServer(
+            self.env,
+            self._next_name("app"),
+            db_balancer=self.db_balancer,
+            threads=threads if threads is not None else self.soft.tomcat_threads,
+            db_connections=(
+                db_connections if db_connections is not None else self.soft.db_connections
+            ),
+            contention=self._contention["app"],
+        )
+        self.app_balancer.add(server)
+        return server
+
+    def add_mysql(self, max_connections: int = 400) -> MySQLServer:
+        """Create and register a new MySQL server (db tier)."""
+        server = MySQLServer(
+            self.env,
+            self._next_name("db"),
+            max_connections=max_connections,
+            contention=self._contention["db"],
+        )
+        self.db_balancer.add(server)
+        return server
+
+    # -- tier access -----------------------------------------------------------------
+    def balancer(self, tier: str) -> Balancer:
+        """The balancer in front of ``tier``."""
+        try:
+            return {"web": self.web_balancer, "app": self.app_balancer, "db": self.db_balancer}[tier]
+        except KeyError:
+            raise TopologyError(f"unknown tier {tier!r}; pick from {TIERS}") from None
+
+    def tier_servers(self, tier: str) -> list:
+        """All registered servers of ``tier`` (including draining ones)."""
+        return list(self.balancer(tier).backends)
+
+    def active_servers(self, tier: str) -> list:
+        """Servers of ``tier`` currently accepting work."""
+        return self.balancer(tier).eligible()
+
+    def all_servers(self) -> list:
+        """Every registered server across all tiers."""
+        return [s for tier in TIERS for s in self.tier_servers(tier)]
+
+    @property
+    def hardware(self) -> HardwareConfig:
+        """Current accepting-server counts as a ``#W/#A/#D`` config."""
+        return HardwareConfig(
+            max(1, len(self.active_servers("web"))),
+            max(1, len(self.active_servers("app"))),
+            max(1, len(self.active_servers("db"))),
+        )
+
+    # -- scaling operations (used by actuators) -----------------------------------------
+    def drain(self, server) -> Event:
+        """Begin draining ``server``; returns the drained event."""
+        server.begin_drain()
+        return server.drained_event()
+
+    def remove(self, server) -> None:
+        """Deregister a (drained) server from its tier balancer."""
+        self.balancer(server.tier).remove(server)
+
+    def apply_soft_config(self, soft: SoftResourceConfig) -> None:
+        """Resize every live server's pools to ``soft`` (APP-agent bulk op)."""
+        self.soft = soft
+        for server in self.tier_servers("web"):
+            server.threads.resize(soft.apache_threads)
+        for server in self.tier_servers("app"):
+            server.threads.resize(soft.tomcat_threads)
+            server.db_pool.resize(soft.db_connections)
+
+    # -- request entry point ----------------------------------------------------------
+    def submit(self, servlet_name: Optional[str] = None) -> Tuple[Request, Event]:
+        """Create one HTTP request and drive it through the system.
+
+        Returns the request object and an event that fires when the request
+        completes (successfully or not — inspect ``request.failed``).
+        """
+        rng = self.streams.stream("workload.demand")
+        if servlet_name is None:
+            servlet = self.catalog.sample(self.streams.stream("workload.mix"))
+        else:
+            servlet = self.catalog[servlet_name]
+        demand = servlet.sample_demand(rng, self.catalog.demand_distribution)
+        request = Request(servlet=servlet, created=self.env.now, demand=demand)
+        self.submitted += 1
+        done = self.env.process(self._drive(request))
+        return request, done
+
+    def _drive(self, request: Request):
+        try:
+            apache = self.web_balancer.pick()
+            yield apache.handle(request)
+        except Exception as err:  # failed request: record, do not crash the client
+            request.failed = True
+            request.failure_reason = f"{type(err).__name__}: {err}"
+            self.failure_log.append(self.env.now)
+            return request
+        request.completed = self.env.now
+        self.request_log.append((request.created, request.completed - request.created))
+        return request
+
+    # -- quick stats ---------------------------------------------------------------------
+    def completed_count(self) -> int:
+        """Number of successfully completed requests so far."""
+        return len(self.request_log)
+
+    def db_concurrency(self) -> int:
+        """Total queries in service across the DB tier (paper's key metric)."""
+        return sum(s.active_queries for s in self.tier_servers("db"))
+
+    def max_db_concurrency(self) -> int:
+        """Upper bound on DB concurrency from the live Tomcat conn pools."""
+        return sum(s.db_pool.size for s in self.active_servers("app"))

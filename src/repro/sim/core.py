@@ -1,0 +1,159 @@
+"""The discrete-event simulation environment.
+
+:class:`Environment` owns the simulation clock and the event heap.  All other
+components (servers, workload generators, controllers, agents) are processes
+or callbacks scheduled on a single environment, which makes every experiment
+fully deterministic given its random seed.
+
+Example
+-------
+>>> from repro.sim.core import Environment
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(3.0)
+...     return env.now
+>>> proc = env.process(hello(env))
+>>> env.run()
+>>> proc.value
+3.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import (
+    NORMAL,
+    Condition,
+    Event,
+    Process,
+    Timeout,
+    all_of,
+    any_of,
+)
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Parameters
+    ----------
+    initial_time:
+        Simulated time at which the clock starts (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_proc: Optional[Process] = None
+        self._active_event: Optional[Event] = None
+
+    # -- clock & introspection ----------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    @property
+    def active_event(self) -> Optional[Event]:
+        """The event whose callbacks are currently running, if any."""
+        return self._active_event
+
+    @property
+    def queue_size(self) -> int:
+        """Number of events currently scheduled on the heap."""
+        return len(self._heap)
+
+    # -- event construction ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now with ``value``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start ``generator`` as a simulation process."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        """Event that fires when *all* of ``events`` have fired successfully."""
+        return all_of(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        """Event that fires when *any* of ``events`` fires successfully."""
+        return any_of(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Place a triggered ``event`` on the heap ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event, advancing the clock to its fire time."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        self._active_event = event
+        callbacks = event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+        self._active_event = None
+        if not event.ok and not callbacks and isinstance(event, Process):
+            # A failed process nobody is waiting on: surface the error rather
+            # than dropping it silently.
+            raise event.value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the heap drains), a number (run
+        until that simulated time), or an :class:`Event` (run until it has
+        been processed; its value is returned, and a failed event re-raises
+        its exception).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"run(until={stop_time}) is in the past (now={self._now})"
+                )
+
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.processed:
+                raise SimulationError("run() ended before its `until` event fired")
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        if stop_time != float("inf") and self._now < stop_time:
+            self._now = stop_time
+        return None

@@ -1,0 +1,297 @@
+"""Event primitives for the discrete-event kernel.
+
+The kernel follows the classic generator-based design: simulation *processes*
+are Python generators that ``yield`` :class:`Event` objects and are resumed
+when those events fire.  Three event states exist:
+
+``PENDING``
+    created, not yet scheduled to fire;
+``TRIGGERED``
+    scheduled on the environment's event heap with a value or an exception;
+``PROCESSED``
+    callbacks have run.
+
+Only :class:`Process`, :class:`Timeout`, :class:`Condition` and the resource
+request events from :mod:`repro.sim.resources` are usually instantiated
+directly by user code; everything else goes through the convenience methods
+on :class:`repro.sim.core.Environment`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.core import Environment
+
+PENDING = 0
+TRIGGERED = 1
+PROCESSED = 2
+
+#: Default scheduling priority; lower fires first at equal times.
+NORMAL = 1
+#: Priority used for "immediate" wakeups that must precede normal events.
+URGENT = 0
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    The interrupt ``cause`` (an arbitrary object supplied by the caller of
+    :meth:`Process.interrupt`) is available as ``exc.cause``.
+    """
+
+    @property
+    def cause(self) -> Any:
+        """Arbitrary object describing why the process was interrupted."""
+        return self.args[0]
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event carries either a *value* (on success) or an *exception* (on
+    failure).  Waiting processes are stored in :attr:`callbacks` and invoked,
+    in registration order, when the environment pops the event off its heap.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_state")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state: int = PENDING
+
+    def __repr__(self) -> str:
+        status = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
+        return f"<{type(self).__name__} {status[self._state]} at {id(self):#x}>"
+
+    # -- state inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has been scheduled to fire."""
+        return self._state >= TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once the event's callbacks have been run."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded.  Only valid once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (or the exception on failure)."""
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Schedule the event to fire successfully with ``value``."""
+        if self._state != PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        self.env.schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Schedule the event to fire by raising ``exception`` in waiters."""
+        if self._state != PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = TRIGGERED
+        self.env.schedule(self, delay=0.0, priority=priority)
+        return self
+
+    # -- internal -----------------------------------------------------------
+    def _mark_processed(self) -> list[Callable[["Event"], None]]:
+        """Flip to PROCESSED and detach the callback list (kernel use only)."""
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks or [], None
+        return callbacks
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        self._state = TRIGGERED
+        env.schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process *is itself an event* that fires when the generator returns
+    (with its return value) or raises (failing with the exception).  That
+    allows processes to wait on each other simply by yielding a process.
+    """
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process() requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Kick the process off via an already-triggered initialisation event.
+        init = Event(env)
+        init._ok = True
+        init._state = TRIGGERED
+        init.callbacks.append(self._resume)
+        env.schedule(init, delay=0.0, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the underlying generator has not finished."""
+        return self._state == PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on, if any."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process stops waiting on its current target (the target event is
+        *not* cancelled; its eventual value is simply ignored by this
+        process) and resumes with ``Interrupt(cause)`` raised at the yield
+        statement.  Interrupting a finished process is an error.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has already terminated")
+        if self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup._state = TRIGGERED
+        wakeup.callbacks.append(self._resume)
+        # Defuse the old target: drop our callback so we do not resume twice.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self.env.schedule(wakeup, delay=0.0, priority=URGENT)
+
+    # -- internal -----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired ``event`` (kernel use only)."""
+        env = self.env
+        env._active_proc = self
+        while True:
+            try:
+                if event.ok:
+                    next_event = self._generator.send(event.value)
+                else:
+                    exc = event.value
+                    if isinstance(exc, Interrupt):
+                        next_event = self._generator.throw(exc)
+                    else:
+                        next_event = self._generator.throw(type(exc), exc, exc.__traceback__)
+            except StopIteration as stop:
+                self._target = None
+                env._active_proc = None
+                if self._state == PENDING:
+                    self.succeed(stop.value)
+                return
+            except BaseException as err:
+                self._target = None
+                env._active_proc = None
+                if self._state == PENDING:
+                    self.fail(err)
+                    return
+                raise
+
+            if not isinstance(next_event, Event):
+                env._active_proc = None
+                self._generator.throw(
+                    SimulationError(f"process yielded a non-event: {next_event!r}")
+                )
+                return
+            if next_event.callbacks is None:
+                # Already processed: resume immediately with its value.
+                event = next_event
+                continue
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+            env._active_proc = None
+            return
+
+
+class Condition(Event):
+    """Composite event over several child events.
+
+    ``Condition(env, events, wait_all=True)`` fires once *all* children have
+    fired (``AllOf``); with ``wait_all=False`` it fires as soon as *any*
+    child fires (``AnyOf``).  The value is a dict mapping each fired child to
+    its value.  A failing child fails the condition with the same exception.
+    """
+
+    __slots__ = ("_events", "_wait_all")
+
+    def __init__(self, env: "Environment", events: Iterable[Event], wait_all: bool) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._wait_all = wait_all
+        for ev in self._events:
+            if not isinstance(ev, Event):
+                raise TypeError(f"condition over non-event: {ev!r}")
+            if ev.env is not env:
+                raise SimulationError("condition events belong to different environments")
+        for ev in self._events:
+            if ev.callbacks is None:  # already processed
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+        if self._state == PENDING and self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:
+        if self._wait_all:
+            return all(ev.processed and ev.ok for ev in self._events)
+        return any(ev.processed and ev.ok for ev in self._events)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self._events if ev.processed and ev.ok}
+
+    def _check(self, event: Event) -> None:
+        if self._state != PENDING:
+            return
+        if not event.ok:
+            self.fail(event.value)
+        elif self._satisfied():
+            self.succeed(self._collect())
+
+
+def all_of(env: "Environment", events: Iterable[Event]) -> Condition:
+    """Return an event that fires when every event in ``events`` has fired."""
+    return Condition(env, events, wait_all=True)
+
+
+def any_of(env: "Environment", events: Iterable[Event]) -> Condition:
+    """Return an event that fires when the first event in ``events`` fires."""
+    return Condition(env, events, wait_all=False)

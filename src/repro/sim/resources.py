@@ -1,0 +1,196 @@
+"""Shared-resource primitives: counted semaphores and FIFO stores.
+
+:class:`Resource` is the building block for thread pools and connection
+pools: a counted semaphore with a FIFO wait queue whose capacity can be
+changed *at runtime* (the key requirement for the paper's APP-agent, which
+resizes pools on the fly).  Growing the capacity immediately admits queued
+waiters; shrinking takes effect lazily as in-flight holders release — exactly
+how Tomcat's ``maxThreads`` behaves when lowered on a live server.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class Acquire(Event):
+    """Pending acquisition of one resource slot.
+
+    Yielded by processes; fires when the slot is granted.  Queued (not yet
+    granted) acquisitions may be cancelled with :meth:`cancel`, which is how
+    admission timeouts are implemented.
+    """
+
+    __slots__ = ("resource", "granted")
+
+    def __init__(self, env: "Environment", resource: "Resource") -> None:
+        super().__init__(env)
+        self.resource = resource
+        self.granted = False
+
+    def cancel(self) -> bool:
+        """Withdraw a *queued* acquisition.
+
+        Returns ``True`` if the acquisition was still queued and has been
+        removed; ``False`` if it had already been granted (in which case the
+        caller still owns a slot and must release it).
+        """
+        if self.granted:
+            return False
+        self.resource._withdraw(self)
+        return True
+
+
+class Resource:
+    """A counted semaphore with FIFO queueing and runtime resizing.
+
+    Parameters
+    ----------
+    env:
+        The owning simulation environment.
+    capacity:
+        Initial number of concurrently grantable slots (>= 1).
+    name:
+        Optional label used in reprs and error messages.
+    """
+
+    def __init__(self, env: "Environment", capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.name = name
+        self._capacity = int(capacity)
+        self._in_use = 0
+        self._queue: Deque[Acquire] = deque()
+        # Time-weighted occupancy accounting for monitoring.
+        self._occupancy_integral = 0.0
+        self._last_change = env.now
+
+    def __repr__(self) -> str:
+        return (
+            f"<Resource {self.name or id(self):#x} {self._in_use}/{self._capacity}"
+            f" queued={len(self._queue)}>"
+        )
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Current slot capacity."""
+        return self._capacity
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots (may exceed capacity briefly
+        after a shrink, until holders release)."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Number of immediately grantable slots."""
+        return max(0, self._capacity - self._in_use)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of acquisitions waiting in the FIFO queue."""
+        return len(self._queue)
+
+    def occupancy_integral(self) -> float:
+        """Integral of ``in_use`` over time (for time-averaged occupancy)."""
+        return self._occupancy_integral + self._in_use * (self.env.now - self._last_change)
+
+    # -- operations ---------------------------------------------------------
+    def acquire(self) -> Acquire:
+        """Request one slot; returns an event that fires when granted."""
+        req = Acquire(self.env, self)
+        if self._in_use < self._capacity:
+            self._grant(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, req: Acquire) -> None:
+        """Return the slot held by ``req`` and admit the next waiter."""
+        if not req.granted:
+            raise SimulationError("release() of an acquisition that was never granted")
+        req.granted = False
+        self._account()
+        self._in_use -= 1
+        self._admit()
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity at runtime.
+
+        Growth admits queued waiters immediately; shrinkage never revokes
+        granted slots — the resource drains down to the new capacity as
+        holders release.
+        """
+        if capacity < 1:
+            raise ConfigurationError(f"resource capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._admit()
+
+    # -- internals ----------------------------------------------------------
+    def _account(self) -> None:
+        now = self.env.now
+        self._occupancy_integral += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def _grant(self, req: Acquire) -> None:
+        self._account()
+        self._in_use += 1
+        req.granted = True
+        req.succeed(req)
+
+    def _admit(self) -> None:
+        while self._queue and self._in_use < self._capacity:
+            self._grant(self._queue.popleft())
+
+    def _withdraw(self, req: Acquire) -> None:
+        try:
+            self._queue.remove(req)
+        except ValueError:
+            raise SimulationError("cancel() of an acquisition not in the queue") from None
+
+
+class Store:
+    """An unbounded FIFO buffer of items with blocking ``get``.
+
+    Used by the mini message broker for blocking consumer polls.  ``put``
+    never blocks; ``get`` returns an event that fires with the oldest item.
+    """
+
+    def __init__(self, env: "Environment", name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Append ``item``, waking the oldest blocked getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the oldest item."""
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; ``None`` when empty."""
+        return self._items.popleft() if self._items else None

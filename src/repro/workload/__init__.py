@@ -1,0 +1,56 @@
+"""Workload generation: servlet catalogue, closed-loop clients, traces.
+
+Mirrors the paper's three generators — JMeter (fixed concurrency, zero
+think time), the original RUBBoS client (static users, 3 s think time), and
+the revised trace-driven emulator — plus trace builders and burstiness
+tooling.
+"""
+
+from repro.workload.burstiness import (
+    arrival_counts,
+    burstiness_profile,
+    index_of_dispersion,
+    mmpp2_trace,
+)
+from repro.workload.jmeter import JMeterGenerator
+from repro.workload.rubbos import DEFAULT_THINK_TIME, RubbosGenerator
+from repro.workload.servlets import (
+    MYSQL_MEAN_DEMAND,
+    TOMCAT_MEAN_DEMAND,
+    Servlet,
+    ServletCatalog,
+    browse_only_catalog,
+    read_write_catalog,
+)
+from repro.workload.session import UserSession
+from repro.workload.traced import TraceDrivenGenerator
+from repro.workload.traces import (
+    WorkloadTrace,
+    large_variation,
+    sine_trace,
+    spike_trace,
+    step_trace,
+)
+
+__all__ = [
+    "DEFAULT_THINK_TIME",
+    "JMeterGenerator",
+    "MYSQL_MEAN_DEMAND",
+    "RubbosGenerator",
+    "Servlet",
+    "ServletCatalog",
+    "TOMCAT_MEAN_DEMAND",
+    "TraceDrivenGenerator",
+    "UserSession",
+    "WorkloadTrace",
+    "arrival_counts",
+    "browse_only_catalog",
+    "read_write_catalog",
+    "burstiness_profile",
+    "index_of_dispersion",
+    "large_variation",
+    "mmpp2_trace",
+    "sine_trace",
+    "spike_trace",
+    "step_trace",
+]

@@ -1,0 +1,58 @@
+"""JMeter-style workload generator: precisely controlled concurrency.
+
+Section V-A: "we set the think time between consecutive HTTP requests from
+the same thread to be zero, [so] the workload concurrency for the target
+system can be controlled by the number of concurrent users specified in
+JMeter."  This generator runs exactly that: ``concurrency`` closed-loop
+sessions with zero think time, used to train the concurrency-aware model.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.errors import ConfigurationError
+from repro.workload.session import UserSession
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ntier.topology import NTierSystem
+    from repro.sim.core import Environment
+
+
+class JMeterGenerator:
+    """A fixed population of zero-think-time users."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        system: "NTierSystem",
+        concurrency: int,
+        stagger: float = 0.0,
+    ) -> None:
+        if concurrency < 1:
+            raise ConfigurationError(f"concurrency must be >= 1, got {concurrency}")
+        self.env = env
+        self.system = system
+        self.concurrency = int(concurrency)
+        self.stagger = stagger
+        self._sessions: List[UserSession] = []
+
+    def start(self) -> None:
+        """Launch all sessions (idempotence is an error by design)."""
+        if self._sessions:
+            raise ConfigurationError("generator already started")
+        for i in range(self.concurrency):
+            delay = self.stagger * i / self.concurrency if self.stagger else 0.0
+            session = UserSession(self.env, self.system, think_time=0.0, initial_delay=delay)
+            session.start()
+            self._sessions.append(session)
+
+    def stop(self) -> None:
+        """Gracefully stop all sessions."""
+        for session in self._sessions:
+            session.stop()
+
+    @property
+    def sessions(self) -> List[UserSession]:
+        """The live session objects."""
+        return list(self._sessions)

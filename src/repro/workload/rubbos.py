@@ -1,0 +1,106 @@
+"""RUBBoS client emulator: realistic closed-loop users with think time.
+
+The original RUBBoS workload generator simulates a *static* number of
+concurrent users, each with an average 3-second think time between
+consecutive requests (Section II-A / V-A).  :class:`RubbosGenerator` manages
+such a population and additionally supports changing the population size at
+runtime — the primitive on which the revised, trace-driven emulator
+(:mod:`repro.workload.traced`) is built.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+from repro.workload.session import UserSession
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ntier.topology import NTierSystem
+    from repro.sim.core import Environment
+
+#: The RUBBoS clients' average think time (seconds).
+DEFAULT_THINK_TIME = 3.0
+
+
+class RubbosGenerator:
+    """A dynamically resizable population of thinking users.
+
+    Parameters
+    ----------
+    env, system:
+        Environment and target system.
+    users:
+        Initial population size (may be 0; grown later via :meth:`set_users`).
+    think_time:
+        Mean exponential think time, default 3 s as in RUBBoS.
+    streams:
+        Random streams (uses ``workload.think`` and ``workload.stagger``).
+    stagger:
+        New sessions start after a uniform random delay in ``[0, stagger]``
+        so population changes do not synchronise request waves.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        system: "NTierSystem",
+        users: int = 0,
+        think_time: float = DEFAULT_THINK_TIME,
+        streams: RandomStreams | None = None,
+        stagger: float = 1.0,
+    ) -> None:
+        if users < 0:
+            raise ConfigurationError(f"users must be >= 0, got {users}")
+        if think_time <= 0:
+            raise ConfigurationError("RubbosGenerator requires positive think time")
+        self.env = env
+        self.system = system
+        self.think_time = think_time
+        self.stagger = stagger
+        self.streams = streams or system.streams
+        self._think_rng = self.streams.stream("workload.think")
+        self._stagger_rng = self.streams.stream("workload.stagger")
+        self._active: List[UserSession] = []
+        self._user_history: List[tuple[float, int]] = []
+        if users:
+            self.set_users(users)
+
+    # -- population control ---------------------------------------------------------
+    @property
+    def users(self) -> int:
+        """Current target population size."""
+        return len(self._active)
+
+    @property
+    def user_history(self) -> List[tuple[float, int]]:
+        """``(time, users)`` samples recorded at every population change."""
+        return list(self._user_history)
+
+    def set_users(self, target: int) -> None:
+        """Grow or shrink the population to ``target`` users.
+
+        Growth spawns staggered new sessions; shrinkage gracefully stops the
+        most recently added sessions (they finish any in-flight request).
+        """
+        if target < 0:
+            raise ConfigurationError(f"target users must be >= 0, got {target}")
+        while len(self._active) < target:
+            delay = float(self._stagger_rng.uniform(0.0, self.stagger)) if self.stagger else 0.0
+            session = UserSession(
+                self.env,
+                self.system,
+                think_time=self.think_time,
+                think_rng=self._think_rng,
+                initial_delay=delay,
+            )
+            session.start()
+            self._active.append(session)
+        while len(self._active) > target:
+            self._active.pop().stop()
+        self._user_history.append((self.env.now, target))
+
+    def stop(self) -> None:
+        """Gracefully stop the whole population."""
+        self.set_users(0)

@@ -1,0 +1,100 @@
+"""Closed-loop user sessions.
+
+All three of the paper's workload generators (JMeter, the original RUBBoS
+client, and the revised trace-driven emulator) are *closed loops*: each
+emulated user thinks, issues one request, waits for the response, and
+repeats.  :class:`UserSession` implements one such user; the generators in
+the sibling modules manage populations of sessions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ntier.topology import NTierSystem
+    from repro.sim.core import Environment
+    from repro.sim.events import Process
+
+_session_ids = itertools.count(1)
+
+
+class UserSession:
+    """One emulated user running a think/request loop against the system.
+
+    Parameters
+    ----------
+    env, system:
+        Environment and target system.
+    think_time:
+        Mean think time between consecutive requests (seconds).  ``0`` means
+        no think time (JMeter-style maximal pressure).  Positive values draw
+        exponentially-distributed think times (the RUBBoS clients' average
+        3-second think time).
+    think_rng:
+        Generator for think-time draws.
+    initial_delay:
+        Fixed delay before the first request — used to stagger session
+        start-up so populations do not fire in lock-step.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        system: "NTierSystem",
+        think_time: float = 0.0,
+        think_rng: Optional[np.random.Generator] = None,
+        initial_delay: float = 0.0,
+    ) -> None:
+        if think_time < 0:
+            raise ConfigurationError(f"think_time must be >= 0, got {think_time}")
+        if think_time > 0 and think_rng is None:
+            raise ConfigurationError("positive think_time requires a think_rng")
+        self.env = env
+        self.system = system
+        self.think_time = think_time
+        self.initial_delay = initial_delay
+        self._rng = think_rng
+        self.session_id = next(_session_ids)
+        self.requests_issued = 0
+        self._running = False
+        self._process: Optional["Process"] = None
+
+    # -- lifecycle -----------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the session loop is active."""
+        return self._running
+
+    def start(self) -> "Process":
+        """Begin the think/request loop."""
+        if self._running:
+            raise ConfigurationError("session already running")
+        self._running = True
+        self._process = self.env.process(self._run())
+        return self._process
+
+    def stop(self) -> None:
+        """Gracefully stop: the session exits at its next loop boundary
+        (it never abandons an in-flight request, matching the paper's
+        client emulator when the trace's user count drops)."""
+        self._running = False
+
+    # -- the loop --------------------------------------------------------------------
+    def _run(self):
+        if self.initial_delay > 0:
+            yield self.env.timeout(self.initial_delay)
+        while self._running:
+            if self.think_time > 0:
+                yield self.env.timeout(self._rng.exponential(self.think_time))
+                if not self._running:
+                    break
+            _request, done = self.system.submit()
+            self.requests_issued += 1
+            yield done
+        return self.requests_issued

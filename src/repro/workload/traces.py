@@ -1,0 +1,204 @@
+"""Workload traces: time series of concurrent-user targets.
+
+The paper's Section V-B drives the system with the "Large Variation" trace
+from the AutoScale paper (Gandhi et al., TOCS 2012), replayed by the revised
+RUBBoS client emulator.  The original trace file is not publicly archived,
+so :func:`large_variation` synthesises a trace that reproduces the paper's
+narrative timeline exactly: a sharp burst at ~50–90 s (driving the first
+Tomcat/MySQL scale-outs), a second climb around ~220–260 s (third Tomcat and
+MySQL), a long decline that triggers scale-ins, and a flash crowd at
+~530–560 s that catches the shrunken system with one cold MySQL.
+
+Traces are expressed as *fractions of a reference capacity* so the same
+shape can be replayed against any demand scaling; generators multiply by a
+``max_users`` population.
+"""
+
+from __future__ import annotations
+
+import csv
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A piecewise-linear target-user curve.
+
+    ``times`` must be strictly increasing and start at 0; ``levels`` holds
+    the target at each time (interpolated linearly in between).  Levels are
+    dimensionless fractions unless the trace was built with absolute users.
+    """
+
+    times: Tuple[float, ...]
+    levels: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.levels):
+            raise ConfigurationError("times and levels must have equal length")
+        if len(self.times) < 2:
+            raise ConfigurationError("a trace needs at least two points")
+        if self.times[0] != 0.0:
+            raise ConfigurationError("traces must start at t = 0")
+        if any(b <= a for a, b in zip(self.times, self.times[1:])):
+            raise ConfigurationError("trace times must be strictly increasing")
+        if any(level < 0 for level in self.levels):
+            raise ConfigurationError("trace levels must be non-negative")
+
+    # -- evaluation ---------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Total trace length in seconds."""
+        return self.times[-1]
+
+    def level_at(self, t: float) -> float:
+        """Linearly interpolated level at time ``t`` (clamped at the ends)."""
+        if t <= self.times[0]:
+            return self.levels[0]
+        if t >= self.times[-1]:
+            return self.levels[-1]
+        idx = bisect_right(self.times, t)
+        t0, t1 = self.times[idx - 1], self.times[idx]
+        l0, l1 = self.levels[idx - 1], self.levels[idx]
+        return l0 + (l1 - l0) * (t - t0) / (t1 - t0)
+
+    def sample(self, step: float = 1.0) -> List[Tuple[float, float]]:
+        """Evaluate the trace every ``step`` seconds (inclusive of the end)."""
+        if step <= 0:
+            raise ConfigurationError(f"step must be positive, got {step}")
+        points = []
+        t = 0.0
+        while t < self.duration:
+            points.append((t, self.level_at(t)))
+            t += step
+        points.append((self.duration, self.level_at(self.duration)))
+        return points
+
+    # -- transforms ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "WorkloadTrace":
+        """Multiply every level by ``factor``."""
+        return WorkloadTrace(self.times, tuple(level * factor for level in self.levels))
+
+    def stretched(self, factor: float) -> "WorkloadTrace":
+        """Multiply every time by ``factor`` (slow down / speed up)."""
+        return WorkloadTrace(tuple(t * factor for t in self.times), self.levels)
+
+    @property
+    def peak_to_mean(self) -> float:
+        """Peak-to-mean ratio of the (sampled) trace — a burstiness summary."""
+        samples = np.array([level for _, level in self.sample(1.0)])
+        mean = samples.mean()
+        return float(samples.max() / mean) if mean > 0 else float("inf")
+
+    # -- persistence (the paper's emulator reads a trace file) -------------------------
+    def to_csv(self, path: str) -> None:
+        """Write the trace as ``time,level`` CSV rows."""
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["time", "level"])
+            for t, level in zip(self.times, self.levels):
+                writer.writerow([t, level])
+
+    @classmethod
+    def from_csv(cls, path: str) -> "WorkloadTrace":
+        """Read a trace written by :meth:`to_csv` (header optional)."""
+        times: List[float] = []
+        levels: List[float] = []
+        with open(path, newline="") as fh:
+            for row in csv.reader(fh):
+                if not row or row[0].strip().lower() == "time":
+                    continue
+                times.append(float(row[0]))
+                levels.append(float(row[1]))
+        return cls(tuple(times), tuple(levels))
+
+
+# -------------------------------------------------------------------------------
+# Builders
+# -------------------------------------------------------------------------------
+
+def step_trace(levels: Sequence[float], step_duration: float) -> WorkloadTrace:
+    """A staircase: each level held for ``step_duration`` seconds (with 1 s
+    ramps between steps to keep the trace well-defined)."""
+    if not levels:
+        raise ConfigurationError("step_trace needs at least one level")
+    ramp = min(1.0, step_duration / 10.0)
+    times: List[float] = [0.0]
+    values: List[float] = [levels[0]]
+    for i, level in enumerate(levels):
+        end = (i + 1) * step_duration
+        if i + 1 < len(levels):
+            times.extend([end, end + ramp])
+            values.extend([level, levels[i + 1]])
+        else:
+            times.append(end)
+            values.append(level)
+    return WorkloadTrace(tuple(times), tuple(values))
+
+
+def sine_trace(duration: float, period: float, low: float, high: float) -> WorkloadTrace:
+    """A smooth diurnal-style oscillation between ``low`` and ``high``."""
+    if duration <= 0 or period <= 0:
+        raise ConfigurationError("duration and period must be positive")
+    times = np.arange(0.0, duration + 1.0, max(1.0, period / 60.0))
+    mid, amp = (high + low) / 2.0, (high - low) / 2.0
+    levels = mid + amp * np.sin(2.0 * np.pi * times / period - np.pi / 2.0)
+    return WorkloadTrace(tuple(float(t) for t in times), tuple(float(v) for v in levels))
+
+
+def spike_trace(
+    duration: float, base: float, spike: float, spike_start: float, spike_length: float
+) -> WorkloadTrace:
+    """Flat base load with one rectangular flash crowd."""
+    if not 0.0 < spike_start < spike_start + spike_length < duration:
+        raise ConfigurationError("spike must fall strictly inside the trace")
+    return WorkloadTrace(
+        (0.0, spike_start, spike_start + 2.0, spike_start + spike_length,
+         spike_start + spike_length + 2.0, duration),
+        (base, base, spike, spike, base, base),
+    )
+
+
+def large_variation() -> WorkloadTrace:
+    """The synthetic "Large Variation" trace (fractions of peak users).
+
+    Shaped to the paper's Fig 5 narrative on a 600 s horizon:
+
+    * ``50–70 s``  — first burst: 0.25 → 0.52 of peak.  Both controlled
+      tiers scale out (Tomcat ~67 s, MySQL ~80 s in the paper); while the
+      slower stateful MySQL replica warms, the hardware-only baseline's two
+      default connection pools funnel 2 × 80 concurrent queries into the
+      lone MySQL — the paper's first response-time incident.
+    * ``220–300 s`` — second climb to 1.0: third Tomcat and third MySQL
+      join (paper: the 227–259 s deterioration).
+    * ``300–470 s`` — long decline into a shallow trough (0.34) sized so
+      the *DB* tier scales back to one server while the baseline's app tier
+      legitimately keeps two Tomcats — recreating the paper's pre-flash
+      state (MySQL 2 → 1 at 528 s).
+    * ``530–565 s`` — flash crowd to 0.52 that slams the shrunken system:
+      160 connections into one cold MySQL for the baseline (the paper's
+      third spike at ~550 s), ~40 for DCM.
+    """
+    points = (
+        (0.0, 0.25),
+        (50.0, 0.25),
+        (70.0, 0.52),
+        (220.0, 0.52),
+        (240.0, 1.00),
+        (300.0, 1.00),
+        (360.0, 0.70),
+        (420.0, 0.45),
+        (470.0, 0.34),
+        (530.0, 0.34),
+        (537.0, 0.52),
+        (565.0, 0.52),
+        (585.0, 0.40),
+        (600.0, 0.35),
+    )
+    times, levels = zip(*points)
+    return WorkloadTrace(times, levels)

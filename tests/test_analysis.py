@@ -1,0 +1,174 @@
+"""Tests for time-series utilities, SLA metrics, and table rendering."""
+
+import pytest
+
+from repro.analysis import (
+    BinnedSeries,
+    find_spikes,
+    metric_series,
+    percentile,
+    render_series,
+    render_sparkline,
+    render_table,
+    response_time_series,
+    sla_violation_fraction,
+    stability_report,
+    step_series,
+    throughput_series,
+)
+from repro.broker import MetricRecord
+from repro.errors import ConfigurationError
+
+
+class TestBinnedSeries:
+    def test_pairs_and_times(self):
+        s = BinnedSeries(0.0, 2.0, (1.0, 3.0, 2.0))
+        assert s.times == (0.0, 2.0, 4.0)
+        assert s.pairs() == [(0.0, 1.0), (2.0, 3.0), (4.0, 2.0)]
+        assert s.max() == 3.0
+        assert s.mean() == pytest.approx(2.0)
+
+    def test_empty(self):
+        s = BinnedSeries(0.0, 1.0, ())
+        assert s.max() == 0.0
+        assert s.mean() == 0.0
+
+
+class TestThroughputSeries:
+    def test_bins_by_completion_time(self):
+        log = [(0.0, 0.5), (0.2, 0.5), (1.0, 0.5), (5.0, 10.0)]  # last completes at 15 (out)
+        s = throughput_series(log, duration=10.0, width=1.0)
+        assert s.values[0] == 2.0  # completions at 0.5 and 0.7
+        assert s.values[1] == 1.0
+        assert sum(s.values) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            throughput_series([], duration=0.0)
+        with pytest.raises(ConfigurationError):
+            throughput_series([], duration=10.0, width=0.0)
+
+
+class TestResponseTimeSeries:
+    def test_percentile_per_bin(self):
+        log = [(0.0, 0.1), (0.0, 0.3), (1.5, 0.1)]
+        s = response_time_series(log, duration=3.0, width=1.0, percentile=100.0)
+        assert s.values[0] == pytest.approx(0.3)
+        assert s.values[1] == pytest.approx(0.1)
+        assert s.values[2] == 0.0  # empty bin
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ConfigurationError):
+            response_time_series([], 10.0, 1.0, percentile=0.0)
+
+
+class TestStepAndMetricSeries:
+    def test_step_series_holds_values(self):
+        s = step_series([(0.0, 1), (3.0, 2), (7.0, 1)], duration=10.0, width=1.0)
+        assert s.values[0] == 1.0
+        assert s.values[3] == 2.0
+        assert s.values[6] == 2.0
+        assert s.values[9] == 1.0
+
+    def test_step_series_validation(self):
+        with pytest.raises(ConfigurationError):
+            step_series([], 10.0)
+        with pytest.raises(ConfigurationError):
+            step_series([(5.0, 1), (1.0, 2)], 10.0)
+
+    def test_metric_series_averages_and_carries_forward(self):
+        recs = [
+            MetricRecord(0.5, "s", "db", 1.0, {"concurrency": 10.0}),
+            MetricRecord(0.9, "s", "db", 1.0, {"concurrency": 20.0}),
+            MetricRecord(2.5, "s", "db", 1.0, {"concurrency": 40.0}),
+        ]
+        s = metric_series(recs, "concurrency", duration=4.0, width=1.0)
+        assert s.values[0] == pytest.approx(15.0)
+        assert s.values[1] == pytest.approx(15.0)  # carried forward
+        assert s.values[2] == pytest.approx(40.0)
+        assert s.values[3] == pytest.approx(40.0)
+
+
+class TestPercentile:
+    def test_basic(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50.0)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 0.0)
+
+
+class TestSLA:
+    def test_violation_fraction(self):
+        log = [(0.0, 0.5), (0.0, 1.5), (0.0, 2.0), (0.0, 0.2)]
+        assert sla_violation_fraction(log, 1.0) == pytest.approx(0.5)
+        assert sla_violation_fraction([], 1.0) == 0.0
+        with pytest.raises(ConfigurationError):
+            sla_violation_fraction(log, 0.0)
+
+    def test_find_spikes_groups_consecutive_bins(self):
+        series = BinnedSeries(0.0, 1.0, (0.1, 1.5, 2.0, 0.3, 1.2, 0.2))
+        spikes = find_spikes(series, threshold=1.0)
+        assert len(spikes) == 2
+        assert spikes[0].start == 1.0
+        assert spikes[0].end == 3.0
+        assert spikes[0].peak == 2.0
+        assert spikes[0].duration == 2.0
+
+    def test_spike_at_series_end_closed(self):
+        series = BinnedSeries(0.0, 1.0, (0.1, 2.0))
+        spikes = find_spikes(series, threshold=1.0)
+        assert len(spikes) == 1
+        assert spikes[0].end == 2.0
+
+    def test_stability_report_fields(self):
+        log = [(float(i), 0.1) for i in range(50)] + [(50.0, 3.0)]
+        report = stability_report(log, failed=2, duration=60.0, vm_seconds=120.0)
+        assert report.completed == 51
+        assert report.failed == 2
+        assert report.max_response_time == 3.0
+        assert report.sla_violation_fraction == pytest.approx(1 / 51)
+        assert report.spike_episodes == 1
+        assert report.vm_seconds == 120.0
+        labels = [k for k, _v in report.rows()]
+        assert "p95 RT (s)" in labels
+
+    def test_stability_report_empty_log(self):
+        report = stability_report([], failed=0, duration=10.0)
+        assert report.completed == 0
+        assert report.mean_response_time == 0.0
+        assert report.spike_episodes == 0
+
+
+class TestRendering:
+    def test_render_table_aligns(self):
+        text = render_table(["name", "x"], [["a", 1.0], ["bbbb", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_table_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_render_table_scientific_for_tiny(self):
+        text = render_table(["v"], [[1.65e-6]])
+        assert "e-06" in text
+
+    def test_render_series_downsamples(self):
+        pairs = [(float(i), float(i)) for i in range(100)]
+        text = render_series("lbl", pairs, max_points=10)
+        assert text.startswith("lbl:")
+        assert text.count(":") <= 12
+
+    def test_render_series_empty(self):
+        assert "empty" in render_series("lbl", [])
+
+    def test_sparkline_shape(self):
+        line = render_sparkline([0.0, 0.5, 1.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert render_sparkline([]) == ""

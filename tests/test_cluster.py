@@ -1,0 +1,218 @@
+"""Tests for VM lifecycle, hosts, hypervisor, and billing."""
+
+import pytest
+
+from repro.cluster import (
+    DEFAULT_PREPARATION_PERIOD,
+    Hypervisor,
+    PhysicalHost,
+    SMALL,
+    VMProfile,
+    VMState,
+    VirtualMachine,
+)
+from repro.errors import CapacityError, ControlError
+from repro.sim import Environment
+
+
+class TestVMLifecycle:
+    def test_new_vm_is_provisioning(self):
+        vm = VirtualMachine("vm-1")
+        assert vm.state is VMState.PROVISIONING
+        assert not vm.is_running
+
+    def test_legal_transition_chain(self):
+        vm = VirtualMachine("vm-1")
+        vm.transition(VMState.BOOTING)
+        vm.transition(VMState.RUNNING)
+        assert vm.is_running
+        vm.transition(VMState.DRAINING)
+        assert vm.is_running  # still serving while draining
+        vm.transition(VMState.TERMINATED)
+        assert not vm.is_running
+
+    def test_illegal_transitions_rejected(self):
+        vm = VirtualMachine("vm-1")
+        with pytest.raises(ControlError):
+            vm.transition(VMState.RUNNING)  # must boot first
+        vm.transition(VMState.BOOTING)
+        vm.transition(VMState.RUNNING)
+        vm.transition(VMState.TERMINATED)
+        with pytest.raises(ControlError):
+            vm.transition(VMState.RUNNING)  # terminated is final
+
+    def test_draining_can_return_to_running(self):
+        vm = VirtualMachine("vm-1")
+        vm.transition(VMState.BOOTING)
+        vm.transition(VMState.RUNNING)
+        vm.transition(VMState.DRAINING)
+        vm.transition(VMState.RUNNING)  # drain cancelled
+        assert vm.state is VMState.RUNNING
+
+
+class TestPhysicalHost:
+    def test_capacity_accounting(self):
+        host = PhysicalHost("h1", vcpus=2, ram_gb=4.0)
+        vm1, vm2 = VirtualMachine("a"), VirtualMachine("b")
+        host.place(vm1)
+        assert host.vcpus_used == 1
+        assert host.ram_used == 2.0
+        assert host.fits(vm2)
+        host.place(vm2)
+        assert not host.fits(VirtualMachine("c"))
+
+    def test_overplacement_rejected(self):
+        host = PhysicalHost("h1", vcpus=1, ram_gb=2.0)
+        host.place(VirtualMachine("a"))
+        with pytest.raises(CapacityError):
+            host.place(VirtualMachine("b"))
+
+    def test_unplace_releases_capacity(self):
+        host = PhysicalHost("h1", vcpus=1, ram_gb=2.0)
+        vm = VirtualMachine("a")
+        host.place(vm)
+        host.unplace(vm)
+        assert vm.host is None
+        assert host.vcpus_used == 0
+        with pytest.raises(CapacityError):
+            host.unplace(vm)
+
+    def test_big_profile_respects_ram(self):
+        host = PhysicalHost("h1", vcpus=8, ram_gb=4.0)
+        big = VirtualMachine("big", VMProfile("large", vcpus=2, ram_gb=8.0))
+        assert not host.fits(big)
+
+
+class TestHypervisor:
+    def test_provision_takes_preparation_period(self):
+        env = Environment()
+        hyp = Hypervisor(env)
+        vm, ready = hyp.provision("vm-1")
+        assert vm.state is VMState.PROVISIONING
+        result = env.run(until=ready)
+        assert result is vm
+        assert env.now == pytest.approx(DEFAULT_PREPARATION_PERIOD)
+        assert vm.state is VMState.RUNNING
+        assert vm.running_at == pytest.approx(15.0)
+
+    def test_custom_preparation_period(self):
+        env = Environment()
+        hyp = Hypervisor(env)
+        _vm, ready = hyp.provision("vm-1", preparation_period=3.0)
+        env.run(until=ready)
+        assert env.now == pytest.approx(3.0)
+
+    def test_placement_first_fit_and_capacity_exhaustion(self):
+        env = Environment()
+        hyp = Hypervisor(env, hosts=[PhysicalHost("h1", vcpus=2, ram_gb=4.0)])
+        hyp.provision("vm-1")
+        hyp.provision("vm-2")
+        with pytest.raises(CapacityError):
+            hyp.provision("vm-3")
+
+    def test_terminate_releases_capacity_for_reuse(self):
+        env = Environment()
+        hyp = Hypervisor(env, hosts=[PhysicalHost("h1", vcpus=1, ram_gb=2.0)])
+        vm, ready = hyp.provision("vm-1")
+        env.run(until=ready)
+        hyp.terminate(vm)
+        assert vm.state is VMState.TERMINATED
+        vm2, ready2 = hyp.provision("vm-2")
+        env.run(until=ready2)
+        assert vm2.state is VMState.RUNNING
+
+    def test_terminate_is_idempotent(self):
+        env = Environment()
+        hyp = Hypervisor(env)
+        vm, ready = hyp.provision("vm-1")
+        env.run(until=ready)
+        hyp.terminate(vm)
+        hyp.terminate(vm)  # no error
+
+    def test_kill_during_boot_fails_ready_event(self):
+        env = Environment()
+        hyp = Hypervisor(env)
+        vm, ready = hyp.provision("vm-1")
+
+        def killer(env):
+            yield env.timeout(5.0)
+            hyp.terminate(vm)
+
+        def waiter(env):
+            try:
+                yield ready
+                return "ready"
+            except CapacityError:
+                return "killed"
+
+        env.process(killer(env))
+        proc = env.process(waiter(env))
+        assert env.run(until=proc) == "killed"
+
+    def test_running_vms_inventory(self):
+        env = Environment()
+        hyp = Hypervisor(env)
+        vm1, r1 = hyp.provision("vm-1")
+        env.run(until=r1)
+        vm2, _r2 = hyp.provision("vm-2")  # still booting
+        assert hyp.running_vms() == [vm1]
+        assert set(hyp.vms) == {vm1, vm2}
+
+    def test_total_capacity(self):
+        env = Environment()
+        hyp = Hypervisor(env, hosts=[PhysicalHost("h1", vcpus=4, ram_gb=8.0)])
+        vm, ready = hyp.provision("vm-1")
+        env.run(until=ready)
+        cap = hyp.total_capacity()
+        assert cap == {"vcpus": 4, "vcpus_used": 1, "ram_gb": 8.0, "ram_used": 2.0}
+
+
+class TestBilling:
+    def test_vm_seconds_accumulate_from_running(self):
+        env = Environment()
+        hyp = Hypervisor(env)
+        vm, ready = hyp.provision("vm-1")  # runs at t=15
+        env.run(until=ready)
+        env.run(until=115.0)
+        assert hyp.billing.vm_seconds() == pytest.approx(100.0)
+
+    def test_terminated_interval_closed(self):
+        env = Environment()
+        hyp = Hypervisor(env)
+        vm, ready = hyp.provision("vm-1", preparation_period=0.0)
+        env.run(until=ready)
+        env.run(until=60.0)
+        hyp.terminate(vm)
+        env.run(until=600.0)
+        assert hyp.billing.vm_seconds() == pytest.approx(60.0)
+
+    def test_cost_at_hourly_rate(self):
+        env = Environment()
+        hyp = Hypervisor(env)
+        _vm, ready = hyp.provision("vm-1", preparation_period=0.0)
+        env.run(until=ready)
+        env.run(until=1800.0)
+        assert hyp.billing.cost(0.10) == pytest.approx(0.05)
+
+    def test_never_started_vm_not_billed(self):
+        env = Environment()
+        hyp = Hypervisor(env)
+        vm, _ready = hyp.provision("vm-1")
+        env.run(until=5.0)
+        hyp.terminate(vm)  # killed mid-boot
+        env.run(until=100.0)
+        assert hyp.billing.vm_seconds() == 0.0
+
+    def test_intervals_report(self):
+        env = Environment()
+        hyp = Hypervisor(env)
+        vm1, r1 = hyp.provision("a", preparation_period=0.0)
+        env.run(until=r1)
+        env.run(until=10.0)
+        hyp.terminate(vm1)
+        vm2, r2 = hyp.provision("b", preparation_period=0.0)
+        env.run(until=r2)
+        rows = hyp.billing.intervals()
+        assert rows[0] == ("a", 0.0, 10.0)
+        assert rows[1][0] == "b"
+        assert rows[1][2] is None  # still open

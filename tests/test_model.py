@@ -1,0 +1,227 @@
+"""Tests for operational laws, the concurrency model, fitting, and planning."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (
+    AllocationPlanner,
+    ConcurrencyModel,
+    TierDemand,
+    bin_samples,
+    bottleneck,
+    estimate_scaling_correction,
+    fit_concurrency_model,
+    forced_flow,
+    interactive_response_time,
+    littles_law_population,
+    max_system_throughput,
+    system_throughput_from_tier,
+    utilization,
+)
+from repro.ntier.contention import MYSQL_CONTENTION, TOMCAT_CONTENTION
+
+
+class TestOperationalLaws:
+    def test_utilization_law(self):
+        assert utilization(100.0, 0.005) == pytest.approx(0.5)
+
+    def test_forced_flow_law(self):
+        assert forced_flow(400.0, 2.0) == pytest.approx(800.0)
+
+    def test_eq2_system_throughput(self):
+        # X = U / (V * S)
+        assert system_throughput_from_tier(0.8, 2.0, 0.001) == pytest.approx(400.0)
+        with pytest.raises(ModelError):
+            system_throughput_from_tier(0.8, 0.0, 0.001)
+
+    def test_littles_law(self):
+        assert littles_law_population(100.0, 0.5) == pytest.approx(50.0)
+
+    def test_interactive_response_time(self):
+        # N = 400 users, X = 100/s, Z = 3s -> R = 1s
+        assert interactive_response_time(400, 100.0, 3.0) == pytest.approx(1.0)
+        with pytest.raises(ModelError):
+            interactive_response_time(400, 0.0, 3.0)
+
+    def test_bottleneck_is_highest_demand(self):
+        tiers = [
+            TierDemand("web", 1.0, 0.0002),
+            TierDemand("app", 1.0, 0.0026),
+            TierDemand("db", 2.0, 0.0008),
+        ]
+        assert bottleneck(tiers).tier == "app"
+
+    def test_bottleneck_accounts_for_server_counts(self):
+        tiers = [
+            TierDemand("app", 1.0, 0.0026, servers=4),
+            TierDemand("db", 2.0, 0.0008, servers=1),
+        ]
+        assert bottleneck(tiers).tier == "db"
+
+    def test_max_system_throughput_eq4(self):
+        tiers = [TierDemand("app", 1.0, 0.002, servers=2)]
+        assert max_system_throughput(tiers, gamma=0.9) == pytest.approx(900.0)
+
+
+class TestConcurrencyModel:
+    def model(self, **kw):
+        defaults = dict(s0=1.0, alpha=0.1, beta=0.01, gamma=1.0, tier="t")
+        defaults.update(kw)
+        return ConcurrencyModel(**defaults)
+
+    def test_eq5_eq6_eq7(self):
+        m = self.model()
+        assert m.service_time(3) == pytest.approx(1.26)
+        assert m.effective_service_time(3) == pytest.approx(0.42)
+        assert m.throughput(3, servers=2) == pytest.approx(2 * 3 / 1.26)
+
+    def test_optimal_concurrency_closed_form(self):
+        m = self.model()
+        assert m.optimal_concurrency() == pytest.approx(math.sqrt(90.0))
+        n_int = m.optimal_concurrency_int()
+        assert n_int in (9, 10)
+        assert m.throughput(n_int) >= m.throughput(n_int + 1)
+        assert m.throughput(n_int) >= m.throughput(max(1, n_int - 1))
+
+    def test_eq8_matches_throughput_at_optimum(self):
+        m = self.model()
+        n_star = m.optimal_concurrency()
+        assert m.max_throughput() == pytest.approx(m.throughput(n_star), rel=1e-9)
+
+    def test_degenerate_models_raise(self):
+        with pytest.raises(ModelError):
+            self.model(beta=0.0).optimal_concurrency()
+        with pytest.raises(ModelError):
+            self.model(alpha=2.0).optimal_concurrency()
+        with pytest.raises(ModelError):
+            ConcurrencyModel(s0=-1.0, alpha=0.1, beta=0.01)
+
+    def test_rescaled_preserves_predictions(self):
+        m = self.model(gamma=1.0)
+        r = m.rescaled(11.03)
+        for n in (1, 5, 10, 50):
+            assert r.throughput(n) == pytest.approx(m.throughput(n))
+        assert r.optimal_concurrency() == pytest.approx(m.optimal_concurrency())
+        assert r.s0 == pytest.approx(m.s0 * 11.03)
+
+
+class TestFitting:
+    def curve_samples(self, contention, gamma, n_max, step=2):
+        return [
+            (n, contention.throughput(n, gamma=gamma))
+            for n in range(1, n_max + 1, step)
+        ]
+
+    def test_recovers_tomcat_table1(self):
+        samples = self.curve_samples(TOMCAT_CONTENTION, 11.03, 58)  # below thrash knee
+        fit = fit_concurrency_model(samples, tier="app")
+        assert fit.r_squared > 0.999
+        assert fit.model.optimal_concurrency_int() == 20
+        assert fit.model.max_throughput() == pytest.approx(946, rel=0.02)
+
+    def test_recovers_mysql_table1(self):
+        samples = self.curve_samples(MYSQL_CONTENTION, 4.45, 100)
+        fit = fit_concurrency_model(samples, tier="db")
+        assert fit.r_squared > 0.999
+        assert fit.model.optimal_concurrency_int() == 36
+        assert fit.model.max_throughput() == pytest.approx(865, rel=0.02)
+
+    def test_noise_tolerance(self):
+        rng = np.random.default_rng(0)
+        samples = [
+            (n, x * (1 + rng.normal(0, 0.01)))
+            for n, x in self.curve_samples(MYSQL_CONTENTION, 4.45, 100)
+        ]
+        fit = fit_concurrency_model(samples, tier="db")
+        assert fit.r_squared > 0.93
+        assert 22 <= fit.model.optimal_concurrency_int() <= 60
+
+    def test_insufficient_distinct_levels_raise(self):
+        with pytest.raises(ModelError):
+            fit_concurrency_model([(1, 100), (1, 101), (2, 150)])
+
+    def test_nonpositive_samples_filtered(self):
+        good = self.curve_samples(MYSQL_CONTENTION, 4.45, 60)
+        fit = fit_concurrency_model(good + [(0, 100), (5, -1)], tier="db")
+        assert fit.n_samples == len(good)
+
+    def test_fit_result_summary_contains_key_fields(self):
+        fit = fit_concurrency_model(self.curve_samples(MYSQL_CONTENTION, 4.45, 80))
+        text = fit.summary()
+        assert "N_b=" in text and "R2=" in text
+
+    def test_bin_samples_averages(self):
+        binned = bin_samples([(1.1, 10.0), (0.9, 20.0), (5.0, 7.0)], bin_width=1.0)
+        assert binned == [(1.0, 15.0), (5.0, 7.0)]
+        with pytest.raises(ModelError):
+            bin_samples([], bin_width=0.0)
+
+    def test_scaling_correction(self):
+        assert estimate_scaling_correction(100.0, 190.0, 2) == pytest.approx(0.95)
+        with pytest.raises(ModelError):
+            estimate_scaling_correction(0.0, 100.0, 2)
+        with pytest.raises(ModelError):
+            estimate_scaling_correction(100.0, 100.0, 0)
+
+
+class TestAllocationPlanner:
+    def models(self):
+        app = ConcurrencyModel(
+            s0=2.84e-2, alpha=9.87e-3, beta=4.54e-5, gamma=11.03, tier="app"
+        )
+        db = ConcurrencyModel(
+            s0=7.19e-3, alpha=5.04e-3, beta=1.65e-6, gamma=4.45, tier="db"
+        )
+        return app, db
+
+    def test_single_server_plan_matches_paper_dcm_start(self):
+        """DCM's Fig 5 initial allocation has 40 DB connections — the knee
+        36 with ~1.1 headroom."""
+        app, db = self.models()
+        plan = AllocationPlanner(headroom=1.1).plan(app, db, 1, 1, active_fraction=0.5)
+        assert plan.mysql_knee == 36
+        assert plan.tomcat_knee == 20
+        assert plan.soft.db_connections == 40
+        assert plan.soft.tomcat_threads == 44  # ceil(1.1 * 20 / 0.5)
+
+    def test_connections_split_across_tomcats(self):
+        """The paper's 1/2/1 validation: each of two Tomcats gets half the
+        optimal pool (36/2 = 18 at headroom 1.0)."""
+        app, db = self.models()
+        plan = AllocationPlanner(headroom=1.0).plan(app, db, 2, 1, active_fraction=0.5)
+        assert plan.soft.db_connections == 18
+
+    def test_connections_scale_with_db_servers(self):
+        app, db = self.models()
+        plan = AllocationPlanner(headroom=1.0).plan(app, db, 2, 2, active_fraction=0.5)
+        assert plan.soft.db_connections == 36  # 36 * 2 / 2
+
+    def test_active_fraction_inflates_threads(self):
+        app, db = self.models()
+        half = AllocationPlanner(headroom=1.0).plan(app, db, 1, 1, active_fraction=0.5)
+        full = AllocationPlanner(headroom=1.0).plan(app, db, 1, 1, active_fraction=1.0)
+        assert half.soft.tomcat_threads == 2 * full.soft.tomcat_threads
+
+    def test_clamps(self):
+        app, db = self.models()
+        planner = AllocationPlanner(headroom=1.0, min_pool=30, max_pool=35)
+        plan = planner.plan(app, db, 1, 1, active_fraction=1.0)
+        assert plan.soft.tomcat_threads == 30  # clamped up from 20
+        assert plan.soft.db_connections == 35  # clamped down from 36
+
+    def test_validation(self):
+        app, db = self.models()
+        with pytest.raises(ModelError):
+            AllocationPlanner(headroom=0.5)
+        with pytest.raises(ModelError):
+            AllocationPlanner().plan(app, db, 0, 1)
+        with pytest.raises(ModelError):
+            AllocationPlanner().plan(app, db, 1, 1, active_fraction=2.0)
+
+    def test_describe_mentions_knees(self):
+        app, db = self.models()
+        plan = AllocationPlanner().plan(app, db, 2, 1)
+        assert "N_b app=20 db=36" in plan.describe()

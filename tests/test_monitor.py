@@ -1,0 +1,171 @@
+"""Tests for monitoring agents, metric sampling, and the collector."""
+
+import pytest
+
+from repro.broker import KafkaBroker, Producer
+from repro.monitor import (
+    METRICS_TOPIC,
+    MetricCollector,
+    MonitorFleet,
+    MonitoringAgent,
+    ServerMetricsSampler,
+)
+from repro.ntier import HardwareConfig, NTierSystem, SoftResourceConfig
+from repro.sim import Environment, RandomStreams
+from repro.workload import JMeterGenerator, browse_only_catalog
+
+
+def make_stack(hardware=HardwareConfig(1, 1, 1), users=0, seed=5):
+    env = Environment()
+    system = NTierSystem(
+        env,
+        RandomStreams(seed),
+        hardware=hardware,
+        soft=SoftResourceConfig.DEFAULT,
+        catalog=browse_only_catalog(demand_distribution="deterministic"),
+    )
+    broker = KafkaBroker(env)
+    broker.create_topic(METRICS_TOPIC, partitions=2)
+    producer = Producer(broker)
+    if users:
+        JMeterGenerator(env, system, users).start()
+    return env, system, broker, producer
+
+
+class TestSampler:
+    def test_windowed_throughput_and_rt(self):
+        env, system, broker, producer = make_stack(users=10)
+        tomcat = system.tier_servers("app")[0]
+        sampler = ServerMetricsSampler(env, tomcat)
+        env.run(until=5.0)
+        record = sampler.sample()
+        assert record.source == "tomcat-1"
+        assert record.tier == "app"
+        assert record.window == pytest.approx(5.0)
+        assert record.get("throughput") > 0
+        assert record.get("mean_response_time") > 0
+        assert 0 < record.get("cpu_utilization") <= 1.0
+        assert record.get("concurrency") > 0
+        assert record.get("pool_size") == 100.0
+
+    def test_consecutive_windows_are_deltas(self):
+        env, system, broker, producer = make_stack(users=10)
+        tomcat = system.tier_servers("app")[0]
+        sampler = ServerMetricsSampler(env, tomcat)
+        env.run(until=2.0)
+        first = sampler.sample()
+        env.run(until=4.0)
+        second = sampler.sample()
+        # Two consecutive ~equal windows of a steady workload.
+        assert second.get("throughput") == pytest.approx(
+            first.get("throughput"), rel=0.4
+        )
+
+    def test_idle_window_is_all_zero_rates(self):
+        env, system, broker, producer = make_stack(users=0)
+        mysql = system.tier_servers("db")[0]
+        sampler = ServerMetricsSampler(env, mysql)
+        env.run(until=1.0)
+        record = sampler.sample()
+        assert record.get("throughput") == 0.0
+        assert record.get("cpu_utilization") == 0.0
+        assert record.get("mean_response_time") == 0.0
+
+
+class TestAgentsAndFleet:
+    def test_agent_produces_every_interval(self):
+        env, system, broker, producer = make_stack(users=5)
+        agent = MonitoringAgent(
+            env, system.tier_servers("db")[0], producer, interval=1.0
+        )
+        env.run(until=10.5)
+        assert agent.samples_sent == 10
+        assert broker.end_offsets(METRICS_TOPIC)[broker.topic(METRICS_TOPIC).partition_for("mysql-1")] == 10
+
+    def test_agent_stop(self):
+        env, system, broker, producer = make_stack(users=5)
+        agent = MonitoringAgent(env, system.tier_servers("db")[0], producer)
+        env.run(until=3.5)
+        agent.stop()
+        sent = agent.samples_sent
+        env.run(until=10.0)
+        assert agent.samples_sent == sent
+
+    def test_fleet_covers_all_servers_and_reconciles(self):
+        env, system, broker, producer = make_stack()
+        fleet = MonitorFleet(env, system, producer)
+        assert set(fleet.agents) == {"apache-1", "tomcat-1", "mysql-1"}
+        new = system.add_tomcat()
+        fleet.reconcile()
+        assert new.name in fleet.agents
+        system.drain(new)
+        system.remove(new)
+        fleet.reconcile()
+        assert new.name not in fleet.agents
+
+    def test_fleet_stop(self):
+        env, system, broker, producer = make_stack()
+        fleet = MonitorFleet(env, system, producer)
+        fleet.stop()
+        assert fleet.agents == {}
+
+
+class TestCollector:
+    def _collected(self, users=20, until=10.0):
+        env, system, broker, producer = make_stack(users=users)
+        MonitorFleet(env, system, producer)
+        collector = MetricCollector(broker)
+        env.run(until=until)
+        collector.drain()
+        return env, system, collector
+
+    def test_drain_ingests_all(self):
+        env, system, collector = self._collected()
+        # ~3 servers x 10 samples
+        assert len(collector.servers()) == 3
+        assert collector.servers("db") == ["mysql-1"]
+        latest = collector.latest("tomcat-1")
+        assert latest is not None
+        assert latest.timestamp == pytest.approx(10.0)
+
+    def test_tier_stats_aggregation(self):
+        env, system, collector = self._collected()
+        stats = collector.tier_stats("app", since=5.0)
+        assert stats is not None
+        assert stats.servers == 1
+        assert stats.throughput > 0
+        assert 0 < stats.mean_cpu_utilization <= 1.0
+        assert stats.mean_concurrency_per_server > 0
+        assert stats.mean_response_time > 0
+
+    def test_tier_stats_none_without_data(self):
+        env, system, collector = self._collected()
+        assert collector.tier_stats("app", since=999.0) is None
+
+    def test_training_samples_positive_pairs(self):
+        env, system, collector = self._collected(users=30)
+        samples = collector.training_samples("db", visit_ratio=2.0)
+        assert len(samples) > 5
+        for conc, xput in samples:
+            assert conc > 0
+            assert xput > 0
+
+    def test_forget_removes_server(self):
+        env, system, collector = self._collected()
+        collector.forget("tomcat-1")
+        assert "tomcat-1" not in collector.servers()
+        assert collector.latest("tomcat-1") is None
+
+    def test_multi_server_tier_sums_throughput(self):
+        env, system, broker, producer = make_stack(
+            hardware=HardwareConfig(1, 2, 1), users=40
+        )
+        MonitorFleet(env, system, producer)
+        collector = MetricCollector(broker)
+        env.run(until=10.0)
+        collector.drain()
+        stats = collector.tier_stats("app", since=4.0)
+        assert stats.servers == 2
+        # Tier throughput ~ system throughput (each request visits one Tomcat).
+        system_xput = system.completed_count() / 10.0
+        assert stats.throughput == pytest.approx(system_xput, rel=0.3)

@@ -1,0 +1,131 @@
+"""Tests for the ground-truth contention law (paper Eq 5-7 + thrash)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ntier.contention import (
+    APACHE_CONTENTION,
+    MYSQL_CONTENTION,
+    TOMCAT_CONTENTION,
+    ContentionModel,
+)
+
+
+class TestServiceTime:
+    def test_single_thread_is_s0(self):
+        m = ContentionModel(s0=2.0, alpha=0.5, beta=0.1)
+        assert m.service_time(1) == pytest.approx(2.0)
+        assert m.inflation(1) == pytest.approx(1.0)
+
+    def test_eq5_shape(self):
+        m = ContentionModel(s0=1.0, alpha=0.1, beta=0.01)
+        # S*(3) = 1 + 0.1*2 + 0.01*3*2 = 1.26
+        assert m.service_time(3) == pytest.approx(1.26)
+
+    def test_thrash_only_past_knee(self):
+        m = ContentionModel(s0=1.0, alpha=0.1, beta=0.01, delta=0.5, knee=10)
+        base = ContentionModel(s0=1.0, alpha=0.1, beta=0.01)
+        assert m.service_time(10) == pytest.approx(base.service_time(10))
+        assert m.service_time(12) == pytest.approx(base.service_time(12) + 0.5 * 4)
+
+    def test_eq6_effective_service_time(self):
+        m = ContentionModel(s0=1.0, alpha=0.1, beta=0.01)
+        assert m.effective_service_time(4) == pytest.approx(m.service_time(4) / 4)
+
+    def test_eq7_throughput(self):
+        m = ContentionModel(s0=1.0, alpha=0.1, beta=0.01)
+        assert m.throughput(5, gamma=2.0, servers=3) == pytest.approx(
+            2.0 * 3 * 5 / m.service_time(5)
+        )
+
+    def test_invalid_concurrency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContentionModel(s0=1.0, alpha=0.1, beta=0.01).service_time(0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContentionModel(s0=0.0, alpha=0.1, beta=0.01)
+        with pytest.raises(ConfigurationError):
+            ContentionModel(s0=1.0, alpha=-0.1, beta=0.01)
+        with pytest.raises(ConfigurationError):
+            ContentionModel(s0=1.0, alpha=0.1, beta=0.01, delta=0.1, knee=0)
+
+
+class TestOptima:
+    def test_quadratic_optimum_formula(self):
+        m = ContentionModel(s0=1.0, alpha=0.1, beta=0.01)
+        assert m.optimal_concurrency_quadratic() == pytest.approx(math.sqrt(90.0))
+
+    def test_no_interior_optimum(self):
+        with pytest.raises(ConfigurationError):
+            ContentionModel(s0=1.0, alpha=0.1, beta=0.0).optimal_concurrency_quadratic()
+        with pytest.raises(ConfigurationError):
+            ContentionModel(s0=1.0, alpha=1.5, beta=0.01).optimal_concurrency_quadratic()
+
+    def test_integer_optimum_matches_quadratic_without_thrash(self):
+        m = ContentionModel(s0=1.0, alpha=0.1, beta=0.01)
+        n_star = m.optimal_concurrency()
+        n_quad = m.optimal_concurrency_quadratic()
+        assert abs(n_star - n_quad) <= 1.0
+
+    def test_thrash_pulls_optimum_down_or_keeps_it(self):
+        base = ContentionModel(s0=1.0, alpha=0.01, beta=1e-5)
+        thrashy = ContentionModel(s0=1.0, alpha=0.01, beta=1e-5, delta=0.01, knee=50)
+        assert thrashy.optimal_concurrency() <= base.optimal_concurrency()
+
+
+class TestCalibratedGroundTruths:
+    """The calibration contract from DESIGN.md §2 — these values anchor
+    every experiment, so they are pinned here."""
+
+    def test_tomcat_knee_is_paper_value(self):
+        # Table I: N_b = 20 for Tomcat.
+        assert round(TOMCAT_CONTENTION.optimal_concurrency_quadratic()) == 20
+        assert TOMCAT_CONTENTION.optimal_concurrency() == 20
+
+    def test_mysql_knee_is_paper_value(self):
+        # Table I: N_b = 36 for MySQL.
+        assert round(MYSQL_CONTENTION.optimal_concurrency_quadratic()) == 36
+        assert MYSQL_CONTENTION.optimal_concurrency() == 36
+
+    def test_tomcat_peak_throughput_with_paper_gamma(self):
+        # Table I: X_max = 946 for Tomcat (gamma = 11.03, K = 1).
+        x = TOMCAT_CONTENTION.throughput(20, gamma=11.03)
+        assert x == pytest.approx(946, rel=0.01)
+
+    def test_mysql_peak_throughput_with_paper_gamma(self):
+        # Table I: X_max = 865 for MySQL (gamma = 4.45, K = 1).
+        x = MYSQL_CONTENTION.throughput(36, gamma=4.45)
+        assert x == pytest.approx(865, rel=0.01)
+
+    def test_mysql_160_connections_is_genuinely_bad(self):
+        """The Fig 2(b)/Fig 5 failure mode: two default connection pools
+        (2 x 80 = 160) into one MySQL lose >= 15 % of peak."""
+        peak = MYSQL_CONTENTION.throughput(36, gamma=4.45)
+        at_160 = MYSQL_CONTENTION.throughput(160, gamma=4.45)
+        assert at_160 < 0.85 * peak
+
+    def test_mysql_reasonable_range_20_to_80(self):
+        """Fig 2(a): MySQL keeps reasonable performance for 20..80."""
+        peak = MYSQL_CONTENTION.throughput(36, gamma=4.45)
+        for n in (20, 40, 60, 80):
+            assert MYSQL_CONTENTION.throughput(n, gamma=4.45) > 0.9 * peak
+
+    def test_mysql_high_concurrency_collapse(self):
+        """Fig 2(a): significant decline by concurrency 600."""
+        peak = MYSQL_CONTENTION.throughput(36, gamma=4.45)
+        assert MYSQL_CONTENTION.throughput(600, gamma=4.45) < 0.5 * peak
+
+    def test_tomcat_default_100_threads_loses_about_30_percent(self):
+        """Fig 4(a): optimal 20 threads beats the default 100 by ~30 %."""
+        x_opt = TOMCAT_CONTENTION.throughput(20, gamma=11.03)
+        x_default = TOMCAT_CONTENTION.throughput(100, gamma=11.03)
+        assert x_opt / x_default == pytest.approx(1.30, abs=0.08)
+
+    def test_apache_never_bottleneck_scale(self):
+        """Apache's peak rate is orders of magnitude above the app tiers."""
+        apache_peak = APACHE_CONTENTION.peak_rate()
+        tomcat_peak = TOMCAT_CONTENTION.peak_rate()
+        assert apache_peak > 100 * tomcat_peak

@@ -1,0 +1,253 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.broker import PartitionLog
+from repro.model import ConcurrencyModel, fit_concurrency_model
+from repro.ntier.contention import ContentionModel
+from repro.ntier.softconfig import HardwareConfig, SoftResourceConfig
+from repro.sim import ContentionProcessor, Environment, Resource
+from repro.workload.traces import WorkloadTrace
+
+# ---------------------------------------------------------------------------
+# Contention law
+# ---------------------------------------------------------------------------
+
+contention_params = st.tuples(
+    st.floats(min_value=1e-4, max_value=1.0),   # s0
+    st.floats(min_value=0.0, max_value=0.5),    # alpha
+    st.floats(min_value=1e-9, max_value=1e-2),  # beta
+)
+
+
+@given(contention_params, st.integers(min_value=1, max_value=500))
+def test_service_time_monotone_in_concurrency(params, n):
+    s0, alpha, beta = params
+    m = ContentionModel(s0=s0, alpha=alpha, beta=beta)
+    assert m.service_time(n + 1) >= m.service_time(n) > 0
+    assert m.inflation(1) == 1.0
+
+
+@given(contention_params)
+def test_closed_form_optimum_is_argmax_of_eq7(params):
+    s0, alpha, beta = params
+    m = ContentionModel(s0=s0, alpha=alpha, beta=beta)
+    if alpha >= s0:
+        return  # no interior optimum
+    n_star = m.optimal_concurrency_quadratic()
+    if n_star > 1000:
+        return  # outside any realistic search range
+    n_int = m.optimal_concurrency(search_limit=int(max(4, n_star * 3)))
+    # The integer argmax sits next to the closed-form optimum.
+    assert abs(n_int - n_star) <= 1.0
+
+
+@given(contention_params, st.integers(min_value=1, max_value=300))
+def test_throughput_positive_and_bounded_by_peak(params, n):
+    s0, alpha, beta = params
+    m = ContentionModel(s0=s0, alpha=alpha, beta=beta)
+    x = m.throughput(n)
+    assert x > 0
+    assert x <= m.peak_rate(search_limit=4096) * (1 + 1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Fitting: exact recovery on clean curves
+# ---------------------------------------------------------------------------
+
+@given(
+    st.floats(min_value=5e-3, max_value=0.5),    # s0
+    st.floats(min_value=1e-4, max_value=4e-3),   # alpha
+    st.floats(min_value=1e-6, max_value=5e-4),   # beta
+)
+@settings(max_examples=30, deadline=None)
+def test_fit_recovers_exact_curve(s0, alpha, beta):
+    if alpha >= s0:
+        return
+    truth = ConcurrencyModel(s0=s0, alpha=alpha, beta=beta)
+    n_star = truth.optimal_concurrency()
+    n_max = max(8, int(n_star * 2))
+    samples = [(n, truth.throughput(n)) for n in range(1, n_max + 1)]
+    fit = fit_concurrency_model(samples)
+    assert fit.r_squared > 0.999
+    assert math.isclose(
+        fit.model.optimal_concurrency(), n_star, rel_tol=0.08, abs_tol=1.0
+    )
+
+
+# ---------------------------------------------------------------------------
+# Processor-sharing CPU: conservation & timing
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=20),
+    st.floats(min_value=0.0, max_value=0.5),
+    st.floats(min_value=0.0, max_value=0.05),
+)
+@settings(max_examples=40, deadline=None)
+def test_processor_conserves_work_and_completes_everything(works, alpha, beta):
+    env = Environment()
+    s0 = 1.0
+    cpu = ContentionProcessor(
+        env, lambda n: (s0 + alpha * (n - 1) + beta * n * (n - 1)) / s0
+    )
+    done = [cpu.execute(w) for w in works]
+    env.run(until=env.all_of(done))
+    assert cpu.completions == len(works)
+    assert cpu.active_jobs == 0
+    assert math.isclose(cpu.work_done, sum(works), rel_tol=1e-6)
+    # With contention, total elapsed >= the longest job alone.
+    assert env.now >= max(works) * (1 - 1e-9)
+
+
+@given(st.lists(st.floats(min_value=0.05, max_value=2.0), min_size=2, max_size=10))
+@settings(max_examples=30, deadline=None)
+def test_processor_completion_order_follows_remaining_work(works):
+    """Under egalitarian PS with simultaneous submission, jobs finish in
+    order of their total work."""
+    env = Environment()
+    cpu = ContentionProcessor(env, lambda n: 1.0)
+    finish_times = {}
+    done = []
+    for i, w in enumerate(works):
+        ev = cpu.execute(w)
+        ev.callbacks.append(lambda _e, i=i: finish_times.setdefault(i, env.now))
+        done.append(ev)
+    env.run(until=env.all_of(done))
+    order = sorted(range(len(works)), key=lambda i: finish_times[i])
+    sorted_by_work = sorted(range(len(works)), key=lambda i: works[i])
+    # Equal works may tie in either order; compare the work sequences.
+    assert [round(works[i], 9) for i in order] == [
+        round(works[i], 9) for i in sorted_by_work
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Resource: FIFO + conservation under arbitrary acquire/release interleavings
+# ---------------------------------------------------------------------------
+
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.lists(st.floats(min_value=0.01, max_value=2.0), min_size=1, max_size=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_resource_never_exceeds_capacity_and_serves_fifo(capacity, durations):
+    env = Environment()
+    res = Resource(env, capacity)
+    grant_order = []
+    peak = [0]
+
+    def holder(env, idx, dur):
+        req = res.acquire()
+        yield req
+        grant_order.append(idx)
+        peak[0] = max(peak[0], res.in_use)
+        yield env.timeout(dur)
+        res.release(req)
+
+    for i, d in enumerate(durations):
+        env.process(holder(env, i, d))
+    env.run()
+    assert grant_order == list(range(len(durations)))  # FIFO admission
+    assert peak[0] <= capacity
+    assert res.in_use == 0
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=8),
+    st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=5, max_size=25),
+)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.filter_too_much])
+def test_resource_resize_keeps_invariants(cap1, cap2, durations):
+    env = Environment()
+    res = Resource(env, cap1)
+    granted = [0]
+
+    def holder(env, dur):
+        req = res.acquire()
+        yield req
+        granted[0] += 1
+        assert res.in_use <= max(cap1, cap2)
+        yield env.timeout(dur)
+        res.release(req)
+
+    for d in durations:
+        env.process(holder(env, d))
+
+    def resizer(env):
+        yield env.timeout(durations[0] / 2)
+        res.resize(cap2)
+
+    env.process(resizer(env))
+    env.run()
+    assert granted[0] == len(durations)
+    assert res.in_use == 0
+    assert res.queue_length == 0
+
+
+# ---------------------------------------------------------------------------
+# Partition log: offsets are stable under retention
+# ---------------------------------------------------------------------------
+
+@given(
+    st.integers(min_value=1, max_value=50),
+    st.lists(st.integers(), min_size=0, max_size=200),
+)
+def test_partition_log_read_returns_suffix_with_correct_offsets(retention, values):
+    log = PartitionLog(retention=retention)
+    for v in values:
+        log.append(v)
+    assert log.end_offset == len(values)
+    rows = log.read(0, max_count=10_000)
+    # Whatever is retained must be a contiguous suffix with matching offsets.
+    for offset, value in rows:
+        assert values[offset] == value
+    if rows:
+        offsets = [o for o, _v in rows]
+        assert offsets == list(range(offsets[0], offsets[0] + len(offsets)))
+        assert offsets[-1] == len(values) - 1
+
+
+# ---------------------------------------------------------------------------
+# Traces & configs
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=100.0),
+            st.floats(min_value=0.0, max_value=10.0),
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    st.floats(min_value=0.0, max_value=150.0),
+)
+def test_trace_interpolation_within_level_bounds(increments, t):
+    times = [0.0]
+    levels = [1.0]
+    for dt, level in increments:
+        times.append(times[-1] + dt)
+        levels.append(level)
+    trace = WorkloadTrace(tuple(times), tuple(levels))
+    value = trace.level_at(t)
+    assert min(levels) - 1e-9 <= value <= max(levels) + 1e-9
+
+
+@given(st.integers(min_value=1, max_value=999), st.integers(min_value=1, max_value=999),
+       st.integers(min_value=1, max_value=999))
+def test_softconfig_roundtrip(a, b, c):
+    cfg = SoftResourceConfig(a, b, c)
+    assert SoftResourceConfig.parse(str(cfg)) == cfg
+    assert SoftResourceConfig.parse(f"{a}-{b}-{c}") == cfg
+
+
+@given(st.integers(min_value=1, max_value=99), st.integers(min_value=1, max_value=99),
+       st.integers(min_value=1, max_value=99))
+def test_hardware_roundtrip(w, a, d):
+    cfg = HardwareConfig(w, a, d)
+    assert HardwareConfig.parse(str(cfg)) == cfg

@@ -1,0 +1,294 @@
+"""Unit tests for the discrete-event kernel: environment, events, processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Interrupt
+
+
+def test_clock_starts_at_initial_time():
+    assert Environment().now == 0.0
+    assert Environment(initial_time=5.5).now == 5.5
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def waiter(env):
+        yield env.timeout(2.5)
+
+    env.process(waiter(env))
+    env.run()
+    assert env.now == 2.5
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(ticker(env))
+    env.run(until=3.5)
+    assert env.now == 3.5
+
+
+def test_run_until_time_with_empty_heap_advances_clock():
+    env = Environment()
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_run_until_past_time_raises():
+    env = Environment(initial_time=5.0)
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def test_process_return_value_becomes_event_value():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(1.0)
+        return "done"
+
+    proc = env.process(worker(env))
+    result = env.run(until=proc)
+    assert result == "done"
+    assert proc.value == "done"
+    assert env.now == 1.0
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def waiter(env, delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(waiter(env, 3.0, "c"))
+    env.process(waiter(env, 1.0, "a"))
+    env.process(waiter(env, 2.0, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    env = Environment()
+    order = []
+
+    def waiter(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abc":
+        env.process(waiter(env, tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_can_wait_on_another_process():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(2.0)
+        return 42
+
+    def outer(env):
+        value = yield env.process(inner(env))
+        return value + 1
+
+    proc = env.process(outer(env))
+    assert env.run(until=proc) == 43
+
+
+def test_waiting_on_already_finished_process_resumes_immediately():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(1.0)
+        return "x"
+
+    inner_proc = env.process(inner(env))
+
+    def outer(env):
+        yield env.timeout(5.0)
+        value = yield inner_proc  # finished long ago
+        return (value, env.now)
+
+    proc = env.process(outer(env))
+    assert env.run(until=proc) == ("x", 5.0)
+
+
+def test_event_succeed_wakes_waiters_with_value():
+    env = Environment()
+    gate = env.event()
+    seen = []
+
+    def waiter(env):
+        value = yield gate
+        seen.append((env.now, value))
+
+    def opener(env):
+        yield env.timeout(4.0)
+        gate.succeed("open")
+
+    env.process(waiter(env))
+    env.process(waiter(env))
+    env.process(opener(env))
+    env.run()
+    assert seen == [(4.0, "open"), (4.0, "open")]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("boom"))
+
+
+def test_failed_event_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+
+    def waiter(env):
+        try:
+            yield gate
+        except RuntimeError as err:
+            return f"caught {err}"
+
+    def failer(env):
+        yield env.timeout(1.0)
+        gate.fail(RuntimeError("boom"))
+
+    proc = env.process(waiter(env))
+    env.process(failer(env))
+    assert env.run(until=proc) == "caught boom"
+
+
+def test_unhandled_process_failure_propagates_from_run():
+    env = Environment()
+
+    def crasher(env):
+        yield env.timeout(1.0)
+        raise ValueError("crash")
+
+    env.process(crasher(env))
+    with pytest.raises(ValueError, match="crash"):
+        env.run()
+
+
+def test_handled_process_failure_does_not_crash_run():
+    env = Environment()
+
+    def crasher(env):
+        yield env.timeout(1.0)
+        raise ValueError("crash")
+
+    def supervisor(env, crasher_proc):
+        try:
+            yield crasher_proc
+        except ValueError:
+            return "recovered"
+
+    crasher_proc = env.process(crasher(env))
+    sup = env.process(supervisor(env, crasher_proc))
+    assert env.run(until=sup) == "recovered"
+
+
+def test_interrupt_raises_in_target_with_cause():
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as intr:
+            return ("interrupted", intr.cause, env.now)
+
+    def interrupter(env, victim):
+        yield env.timeout(2.0)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    assert env.run(until=victim) == ("interrupted", "wake up", 2.0)
+
+
+def test_interrupt_of_finished_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_interrupted_process_can_keep_running():
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+        yield env.timeout(3.0)
+        return env.now
+
+    def interrupter(env, victim):
+        yield env.timeout(2.0)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    assert env.run(until=victim) == 5.0
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def worker(env):
+        cond = yield env.all_of([env.timeout(1.0, "a"), env.timeout(3.0, "b")])
+        return (env.now, sorted(cond.values()))
+
+    proc = env.process(worker(env))
+    assert env.run(until=proc) == (3.0, ["a", "b"])
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+
+    def worker(env):
+        cond = yield env.any_of([env.timeout(5.0, "slow"), env.timeout(1.0, "fast")])
+        return (env.now, list(cond.values()))
+
+    proc = env.process(worker(env))
+    assert env.run(until=proc) == (1.0, ["fast"])
+
+
+def test_peek_and_queue_size():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+    assert env.queue_size == 1
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)

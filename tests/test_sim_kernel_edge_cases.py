@@ -1,0 +1,248 @@
+"""Deeper kernel edge cases: condition failures, priorities, timer races."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import ContentionProcessor, Environment, Interrupt, Resource
+from repro.sim.events import NORMAL, URGENT, Event
+
+
+class TestConditionEdgeCases:
+    def test_all_of_fails_fast_on_child_failure(self):
+        env = Environment()
+        good = env.timeout(10.0)
+        bad = env.event()
+
+        def failer(env):
+            yield env.timeout(1.0)
+            bad.fail(RuntimeError("child died"))
+
+        def waiter(env):
+            try:
+                yield env.all_of([good, bad])
+            except RuntimeError:
+                return env.now
+
+        env.process(failer(env))
+        proc = env.process(waiter(env))
+        assert env.run(until=proc) == 1.0  # fails at the child, not at 10s
+
+    def test_any_of_with_already_processed_child(self):
+        env = Environment()
+        done = env.event()
+        done.succeed("early")
+        env.run(until=0.0)  # process it
+        assert done.processed
+
+        def waiter(env):
+            cond = yield env.any_of([done, env.timeout(50.0)])
+            return (env.now, list(cond.values()))
+
+        proc = env.process(waiter(env))
+        assert env.run(until=proc) == (0.0, ["early"])
+
+    def test_condition_rejects_foreign_events(self):
+        env_a, env_b = Environment(), Environment()
+        with pytest.raises(SimulationError):
+            env_a.all_of([env_a.timeout(1.0), env_b.timeout(1.0)])
+
+    def test_condition_rejects_non_events(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.all_of([env.timeout(1.0), "not an event"])
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+
+        def waiter(env):
+            cond = yield env.all_of([])
+            return (env.now, cond)
+
+        proc = env.process(waiter(env))
+        assert env.run(until=proc) == (0.0, {})
+
+
+class TestSchedulingPriorities:
+    def test_urgent_beats_normal_at_same_time(self):
+        env = Environment()
+        order = []
+        normal = Event(env)
+        urgent = Event(env)
+        normal.callbacks.append(lambda _e: order.append("normal"))
+        urgent.callbacks.append(lambda _e: order.append("urgent"))
+        normal._state = 1
+        urgent._state = 1
+        env.schedule(normal, delay=1.0, priority=NORMAL)
+        env.schedule(urgent, delay=1.0, priority=URGENT)
+        env.run()
+        assert order == ["urgent", "normal"]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        ev = Event(env)
+        ev._state = 1
+        with pytest.raises(SimulationError):
+            env.schedule(ev, delay=-0.1)
+
+    def test_step_on_empty_heap_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_run_until_untriggered_event_raises_when_heap_drains(self):
+        env = Environment()
+        never = env.event()
+        env.timeout(1.0)
+        with pytest.raises(SimulationError):
+            env.run(until=never)
+
+    def test_run_until_failed_event_reraises(self):
+        env = Environment()
+        ev = env.event()
+
+        def failer(env):
+            yield env.timeout(1.0)
+            ev.fail(ValueError("boom"))
+
+        proc = env.process(failer(env))
+
+        def absorber(env):
+            try:
+                yield ev
+            except ValueError:
+                pass
+
+        env.process(absorber(env))
+        with pytest.raises(ValueError, match="boom"):
+            env.run(until=ev)
+
+
+class TestInterruptEdgeCases:
+    def test_interrupt_before_first_yield_is_illegal_timing(self):
+        """Interrupting a process that has not started yet still works: it
+        receives the interrupt at its first yield."""
+        env = Environment()
+
+        def victim(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as intr:
+                return f"got {intr.cause}"
+
+        proc = env.process(victim(env))
+        proc.interrupt("early")
+        assert env.run(until=proc) == "got early"
+
+    def test_double_interrupt_delivers_both(self):
+        env = Environment()
+        causes = []
+
+        def victim(env):
+            for _ in range(2):
+                try:
+                    yield env.timeout(100.0)
+                except Interrupt as intr:
+                    causes.append(intr.cause)
+            return causes
+
+        proc = env.process(victim(env))
+
+        def interrupter(env):
+            yield env.timeout(1.0)
+            proc.interrupt("a")
+            yield env.timeout(1.0)
+            proc.interrupt("b")
+
+        env.process(interrupter(env))
+        assert env.run(until=proc) == ["a", "b"]
+
+    def test_interrupted_resource_wait_can_cancel(self):
+        env = Environment()
+        res = Resource(env, 1)
+        res.acquire()  # occupy the only slot
+        outcome = {}
+
+        def waiter(env):
+            req = res.acquire()
+            try:
+                yield req
+            except Interrupt:
+                outcome["cancelled"] = req.cancel()
+
+        proc = env.process(waiter(env))
+
+        def interrupter(env):
+            yield env.timeout(2.0)
+            proc.interrupt()
+
+        env.process(interrupter(env))
+        env.run()
+        assert outcome == {"cancelled": True}
+        assert res.queue_length == 0
+
+
+class TestProcessorTimerRaces:
+    def test_arrival_exactly_at_completion_time(self):
+        """A job arriving at the precise instant another completes must not
+        corrupt the virtual clock."""
+        env = Environment()
+        cpu = ContentionProcessor(env, lambda n: 1.0)
+        first = cpu.execute(2.0)
+        second_holder = {}
+
+        def submitter(env):
+            yield env.timeout(2.0)  # exactly when `first` completes
+            second_holder["ev"] = cpu.execute(1.0)
+
+        env.process(submitter(env))
+        env.run(until=first)
+        assert env.now == pytest.approx(2.0)
+        env.run(until=second_holder["ev"])
+        assert env.now == pytest.approx(3.0)
+
+    def test_many_equal_jobs_complete_together(self):
+        env = Environment()
+        cpu = ContentionProcessor(env, lambda n: 1.0)
+        done = [cpu.execute(1.0) for _ in range(50)]
+        env.run(until=env.all_of(done))
+        assert env.now == pytest.approx(1.0)
+        assert cpu.completions == 50
+
+    def test_interleaved_bursts(self):
+        """Alternating burst arrivals and drains keep conservation exact."""
+        env = Environment()
+        cpu = ContentionProcessor(
+            env, lambda n: 1.0 + 0.1 * (n - 1)
+        )
+        all_done = []
+
+        def burster(env):
+            for _round in range(5):
+                batch = [cpu.execute(0.05 * (i + 1)) for i in range(8)]
+                all_done.extend(batch)
+                yield env.all_of(batch)
+                yield env.timeout(0.1)
+
+        proc = env.process(burster(env))
+        env.run(until=proc)
+        assert cpu.completions == 40
+        assert cpu.active_jobs == 0
+        assert all(ev.processed and ev.ok for ev in all_done)
+
+    def test_phi_cache_is_used(self):
+        calls = []
+
+        def counting_phi(n):
+            calls.append(n)
+            return 1.0 + 0.01 * (n - 1)
+
+        env = Environment()
+        cpu = ContentionProcessor(env, counting_phi, peak_search_limit=16)
+        base_calls = len(calls)
+        done = [cpu.execute(0.5) for _ in range(4)]
+        env.run(until=env.all_of(done))
+        # After the peak search, each concurrency level is evaluated once.
+        extra = calls[base_calls:]
+        assert len(set(extra)) == len(
+            [n for n in set(extra)]
+        )  # distinct levels only
+        assert max(extra) <= 4

@@ -1,0 +1,100 @@
+"""Tests for the static over-provisioning baseline."""
+
+import pytest
+
+from repro.broker import KafkaBroker, Producer
+from repro.cluster import Hypervisor
+from repro.control import AppAgent, StaticProvisioningController, VMAgent
+from repro.errors import ControlError
+from repro.model import ConcurrencyModel
+from repro.monitor import METRICS_TOPIC, MetricCollector, MonitorFleet
+from repro.ntier import HardwareConfig, NTierSystem, SoftResourceConfig
+from repro.sim import Environment, RandomStreams
+from repro.workload import RubbosGenerator, browse_only_catalog
+
+MODELS = {
+    "app": ConcurrencyModel(s0=2.84e-2, alpha=9.87e-3, beta=4.54e-5,
+                            gamma=11.03, tier="app"),
+    "db": ConcurrencyModel(s0=7.19e-3, alpha=5.04e-3, beta=1.65e-6,
+                           gamma=4.45, tier="db"),
+}
+
+
+def make_world(users=0, seed=31):
+    env = Environment()
+    system = NTierSystem(
+        env, RandomStreams(seed),
+        hardware=HardwareConfig(1, 1, 1),
+        soft=SoftResourceConfig.DEFAULT,
+        catalog=browse_only_catalog(demand_scale=8.0),
+    )
+    broker = KafkaBroker(env)
+    broker.create_topic(METRICS_TOPIC)
+    fleet = MonitorFleet(env, system, Producer(broker))
+    vm_agent = VMAgent(env, system, Hypervisor(env), fleet)
+    vm_agent.bootstrap()
+    collector = MetricCollector(broker)
+    if users:
+        RubbosGenerator(env, system, users=users, think_time=1.0)
+    return env, system, vm_agent, collector
+
+
+class TestStaticProvisioning:
+    def test_provisions_to_target_and_stays(self):
+        env, system, vm_agent, collector = make_world(users=50)
+        ctl = StaticProvisioningController(
+            env, system, collector, vm_agent, {"app": 3, "db": 2},
+        )
+        env.run(until=60.0)
+        assert ctl.provisioned
+        assert len(system.active_servers("app")) == 3
+        assert len(system.active_servers("db")) == 2
+        # Never scales afterwards, even when idle.
+        env.run(until=200.0)
+        assert len(system.active_servers("app")) == 3
+        kinds = {e.kind for e in ctl.events}
+        assert "scale_in_started" not in kinds
+        assert "scale_out_started" not in kinds
+
+    def test_boot_delays_respected(self):
+        env, system, vm_agent, collector = make_world()
+        ctl = StaticProvisioningController(
+            env, system, collector, vm_agent, {"app": 2, "db": 2},
+        )
+        env.run(until=10.0)
+        assert not ctl.provisioned  # app 15s, db 30s
+        env.run(until=31.0)
+        assert ctl.provisioned
+
+    def test_models_size_soft_resources(self):
+        env, system, vm_agent, collector = make_world()
+        ctl = StaticProvisioningController(
+            env, system, collector, vm_agent, {"app": 2, "db": 2},
+            app_agent=AppAgent(env, system), models=MODELS,
+        )
+        env.run(until=40.0)
+        # knee 36 * 2 db * 1.1 headroom over 2 tomcats = 40 each.
+        assert system.soft.db_connections == 40
+        for tomcat in system.tier_servers("app"):
+            assert tomcat.db_pool.size == 40
+
+    def test_validation(self):
+        env, system, vm_agent, collector = make_world()
+        with pytest.raises(ControlError):
+            StaticProvisioningController(
+                env, system, collector, vm_agent, {"web": 2},
+            )
+        with pytest.raises(ControlError):
+            StaticProvisioningController(
+                env, system, collector, vm_agent, {"app": 0},
+            )
+
+    def test_bills_for_full_fleet(self):
+        env, system, vm_agent, collector = make_world(users=20)
+        hyp = vm_agent.hypervisor
+        StaticProvisioningController(
+            env, system, collector, vm_agent, {"app": 3, "db": 3},
+        )
+        env.run(until=130.0)
+        # 3 bootstrap VMs from t=0 plus 4 extra from ~15-30s: ~> 6 VMs * 100s.
+        assert hyp.billing.vm_seconds() > 6 * 100.0

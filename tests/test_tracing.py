@@ -1,0 +1,99 @@
+"""Tests for fine-grained request tracing and latency breakdowns."""
+
+import pytest
+
+from repro.analysis.tracing import breakdown, sample_traced_requests
+from repro.errors import ConfigurationError
+from repro.ntier import HardwareConfig, NTierSystem, SoftResourceConfig
+from repro.sim import Environment, RandomStreams
+from repro.workload import JMeterGenerator, browse_only_catalog
+
+
+def make_system(env, soft=SoftResourceConfig.DEFAULT, hardware=HardwareConfig(1, 1, 1)):
+    return NTierSystem(
+        env,
+        RandomStreams(19),
+        hardware=hardware,
+        soft=soft,
+        catalog=browse_only_catalog(demand_distribution="deterministic"),
+    )
+
+
+class TestBreakdown:
+    def _traced(self, count=20, background_users=0, soft=SoftResourceConfig.DEFAULT):
+        env = Environment()
+        system = make_system(env, soft=soft)
+        if background_users:
+            JMeterGenerator(env, system, background_users).start()
+        proc = env.process(sample_traced_requests(system, env, count))
+        env.run(until=proc)
+        return proc.value
+
+    def test_covers_all_tiers(self):
+        requests = self._traced()
+        report = breakdown(requests)
+        assert report.requests == 20
+        names = {t.tier for t in report.tiers}
+        assert names == {"web", "app", "db"}
+
+    def test_visit_ratios_match_servlets(self):
+        requests = self._traced(count=40)
+        report = breakdown(requests)
+        assert report.tier("web").visits_per_request == pytest.approx(1.0)
+        assert report.tier("app").visits_per_request == pytest.approx(1.0)
+        expected_queries = sum(r.servlet.db_queries for r in requests) / len(requests)
+        assert report.tier("db").visits_per_request == pytest.approx(expected_queries)
+
+    def test_idle_system_has_no_queueing(self):
+        report = breakdown(self._traced())
+        for tier in report.tiers:
+            assert tier.mean_queue_time == pytest.approx(0.0, abs=1e-9)
+
+    def test_busy_system_shows_queueing_at_bottleneck(self):
+        # Tiny Tomcat pool + heavy background load: queue time appears at app.
+        report = breakdown(
+            self._traced(
+                count=20,
+                background_users=60,
+                soft=SoftResourceConfig(1000, 5, 80),
+            )
+        )
+        assert report.tier("app").mean_queue_time > 0
+        assert report.dominant_tier().tier in ("app", "db")
+
+    def test_residence_nesting(self):
+        """Each tier's residence contains its downstream tiers' time: the
+        Apache interaction wraps the Tomcat one, which wraps the queries."""
+        report = breakdown(self._traced())
+        web = report.tier("web").mean_total_per_request
+        app = report.tier("app").mean_total_per_request
+        db = report.tier("db").mean_total_per_request
+        assert web >= app * 0.99
+        assert app >= db * 0.99
+
+    def test_rows_share_of_rt(self):
+        report = breakdown(self._traced())
+        rows = report.rows()
+        shares = {row[0]: row[4] for row in rows}
+        # The web tier wraps everything: its share ~ 1.
+        assert shares["web"] == pytest.approx(1.0, rel=0.05)
+
+    def test_unknown_tier_lookup(self):
+        report = breakdown(self._traced())
+        with pytest.raises(ConfigurationError):
+            report.tier("cache")
+
+    def test_untraced_requests_rejected(self):
+        env = Environment()
+        system = make_system(env)
+        request, done = system.submit()
+        env.run(until=done)
+        with pytest.raises(ConfigurationError):
+            breakdown([request])
+
+    def test_sampler_validation(self):
+        env = Environment()
+        system = make_system(env)
+        with pytest.raises(ConfigurationError):
+            env.process(sample_traced_requests(system, env, 0))
+            env.run()
