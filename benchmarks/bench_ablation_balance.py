@@ -21,12 +21,12 @@ under (policy × pool sizing × persistent skew) and surfaces three effects:
 
 import pytest
 
-from benchmarks.common import emit, once
-from repro.analysis.experiments import measure_steady_state
+from benchmarks.common import emit, once, run_specs
 from repro.analysis.tables import render_table
-from repro.ntier import HardwareConfig, NTierSystem, SoftResourceConfig
-from repro.sim import Environment, RandomStreams
-from repro.workload import RubbosGenerator, browse_only_catalog
+from repro.ntier import SoftResourceConfig
+from repro.runner import SteadySpec
+
+pytestmark = pytest.mark.slow
 
 SKEWS = (0.0, 0.2, 0.5)
 USERS = 7200
@@ -36,31 +36,29 @@ CONFIGS = (
     ("round_robin, default (80/Tomcat)", "round_robin", 80),
 )
 
+GRID = [
+    (label, policy, conns, w)
+    for label, policy, conns in CONFIGS
+    for w in SKEWS
+]
 
-def _run(policy: str, conns: int, imbalance: float):
-    env = Environment()
-    system = NTierSystem(
-        env,
-        RandomStreams(13),
-        hardware=HardwareConfig.parse("1/3/2"),
+SPECS = [
+    SteadySpec(
+        hardware="1/3/2",
         soft=SoftResourceConfig(1000, 100, conns),
-        catalog=browse_only_catalog(),
-        balancer_policy=policy,
-        imbalance=imbalance,
+        users=USERS, workload="rubbos", think_time=3.0,
+        seed=13, warmup=6.0, duration=12.0,
+        imbalance=w, balancer_policy=policy,
     )
-    RubbosGenerator(env, system, users=USERS, think_time=3.0)
-    steady = measure_steady_state(env, system, warmup=6.0, duration=12.0)
-    db_concs = sorted(
-        s.cpu.busy_integral() / env.now for s in system.tier_servers("db")
-    )
-    return steady.throughput, db_concs
+    for _label, policy, conns, w in GRID
+]
 
 
 def run_sweep():
+    values = run_specs(SPECS)
     return {
-        (label, w): _run(policy, conns, w)
-        for label, policy, conns in CONFIGS
-        for w in SKEWS
+        (label, w): (res.steady.throughput, list(res.server_busy["db"]))
+        for (label, _policy, _conns, w), res in zip(GRID, values)
     }
 
 

@@ -12,30 +12,39 @@ the thrash region.
 
 import pytest
 
-from benchmarks.common import emit, once
-from repro.analysis.experiments import build_system, measure_steady_state
+from benchmarks.common import emit, once, run_specs
 from repro.analysis.tables import render_table
-from repro.ntier import HardwareConfig, SoftResourceConfig
-from repro.workload import RubbosGenerator
+from repro.ntier import SoftResourceConfig
+from repro.runner import SteadySpec
+
+pytestmark = pytest.mark.slow
 
 HEADROOMS = (0.06, 0.6, 0.8, 1.0, 1.1, 1.3, 2.2, 4.4)
 KNEE = 36
 USERS = 3600
 
 
+def _per_tomcat(h: float) -> int:
+    return max(1, round(h * KNEE / 2))
+
+
+SPECS = [
+    SteadySpec(
+        hardware="1/2/1",
+        soft=SoftResourceConfig(1000, 100, _per_tomcat(h)),
+        users=USERS, workload="rubbos", think_time=3.0,
+        seed=31, warmup=6.0, duration=15.0,
+    )
+    for h in HEADROOMS
+]
+
+
 def run_sweep():
-    results = {}
-    for h in HEADROOMS:
-        per_tomcat = max(1, round(h * KNEE / 2))
-        env, system = build_system(
-            hardware=HardwareConfig.parse("1/2/1"),
-            soft=SoftResourceConfig(1000, 100, per_tomcat),
-            seed=31,
-        )
-        RubbosGenerator(env, system, users=USERS, think_time=3.0)
-        steady = measure_steady_state(env, system, warmup=6.0, duration=15.0)
-        results[h] = (per_tomcat, steady)
-    return results
+    values = run_specs(SPECS)
+    return {
+        h: (_per_tomcat(h), res.steady)
+        for h, res in zip(HEADROOMS, values)
+    }
 
 
 @pytest.mark.benchmark(group="ablation")

@@ -10,27 +10,34 @@ the flash crowd, hurting tail latency.
 
 import pytest
 
-from benchmarks.common import emit, ground_truth_models, once
+from benchmarks.common import emit, ground_truth_models, once, run_specs
 from repro.analysis import stability_report
-from repro.analysis.experiments import run_autoscale_experiment
 from repro.analysis.tables import render_table
 from repro.control import ScalingPolicy
+from repro.runner import AutoscaleSpec
 from repro.workload import large_variation
+
+pytestmark = pytest.mark.slow
 
 SCALE = 4.0
 MAX_USERS = 1480
+
+VARIANTS = (("slow stop (paper, 3 periods)", 3), ("naive (1 period)", 1))
 
 
 def run_variants():
     models = ground_truth_models(SCALE)
     trace = large_variation()
-    out = {}
-    for label, lows in (("slow stop (paper, 3 periods)", 3), ("naive (1 period)", 1)):
-        run = run_autoscale_experiment(
-            "dcm", trace, MAX_USERS, seed=7, demand_scale=SCALE,
-            seeded_models=models,
+    specs = [
+        AutoscaleSpec(
+            controller="dcm", trace=trace, max_users=MAX_USERS, seed=7,
+            demand_scale=SCALE, models=models,
             policy=ScalingPolicy(consecutive_low_periods=lows),
         )
+        for _label, lows in VARIANTS
+    ]
+    out = {}
+    for (label, _lows), run in zip(VARIANTS, run_specs(specs)):
         report = stability_report(run.request_log, run.failed, run.duration,
                                   vm_seconds=run.vm_seconds)
         scale_events = sum(

@@ -11,13 +11,12 @@ carries the paper's headline effect.
 
 import pytest
 
-from benchmarks.common import emit, once
-from repro.analysis.experiments import measure_steady_state
+from benchmarks.common import emit, once, run_specs
 from repro.analysis.tables import render_table
-from repro.ntier import HardwareConfig, NTierSystem, SoftResourceConfig
 from repro.ntier.contention import MYSQL_CONTENTION, TOMCAT_CONTENTION, ContentionModel
-from repro.sim import Environment, RandomStreams
-from repro.workload import RubbosGenerator, browse_only_catalog
+from repro.runner import SteadySpec
+
+pytestmark = pytest.mark.slow
 
 USERS = 3600
 
@@ -26,33 +25,34 @@ def _quadratic(model: ContentionModel) -> ContentionModel:
     return ContentionModel(s0=model.s0, alpha=model.alpha, beta=model.beta)
 
 
+VARIANTS = ("with thrash", "quadratic only")
+HARDWARES = ("1/1/1", "1/2/1")
+
+
+def _spec(variant: str, hw: str) -> SteadySpec:
+    quad = variant == "quadratic only"
+    return SteadySpec(
+        hardware=hw, soft="1000/100/80", users=USERS, workload="rubbos",
+        think_time=3.0, seed=11, warmup=6.0, duration=15.0,
+        mysql_contention=_quadratic(MYSQL_CONTENTION) if quad else None,
+        tomcat_contention=_quadratic(TOMCAT_CONTENTION) if quad else None,
+    )
+
+
+GRID = [(variant, hw) for variant in VARIANTS for hw in HARDWARES]
+SPECS = [_spec(variant, hw) for variant, hw in GRID]
+
+
 def run_variants():
-    results = {}
-    for variant in ("with thrash", "quadratic only"):
-        mysql = MYSQL_CONTENTION if variant == "with thrash" else _quadratic(MYSQL_CONTENTION)
-        tomcat = TOMCAT_CONTENTION if variant == "with thrash" else _quadratic(TOMCAT_CONTENTION)
-        for hw in ("1/1/1", "1/2/1"):
-            env = Environment()
-            system = NTierSystem(
-                env,
-                RandomStreams(11),
-                hardware=HardwareConfig.parse(hw),
-                soft=SoftResourceConfig.DEFAULT,
-                catalog=browse_only_catalog(),
-                mysql_contention=mysql,
-                tomcat_contention=tomcat,
-            )
-            RubbosGenerator(env, system, users=USERS, think_time=3.0)
-            steady = measure_steady_state(env, system, warmup=6.0, duration=15.0)
-            results[(variant, hw)] = steady.throughput
-    return results
+    values = run_specs(SPECS)
+    return {key: res.steady.throughput for key, res in zip(GRID, values)}
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_thrash_term_carries_fig2b(benchmark):
     results = once(benchmark, run_variants)
     rows = []
-    for variant in ("with thrash", "quadratic only"):
+    for variant in VARIANTS:
         base = results[(variant, "1/1/1")]
         naive = results[(variant, "1/2/1")]
         rows.append([variant, base, naive, 100 * (naive / base - 1)])

@@ -8,19 +8,20 @@ between 20 to 80"), then a severe collapse by 600.
 
 import pytest
 
-from benchmarks.common import emit, once
-from repro.analysis.experiments import stress_tier_sweep
+from benchmarks.common import emit, once, run_spec
 from repro.analysis.tables import render_sparkline, render_table
+from repro.runner import StressSpec
+
+pytestmark = pytest.mark.slow
 
 LEVELS = (5, 10, 20, 30, 36, 40, 60, 80, 120, 160, 240, 400, 600)
+
+SPEC = StressSpec(tier="db", concurrencies=LEVELS, seed=1, duration=12.0)
 
 
 @pytest.mark.benchmark(group="fig2a")
 def test_fig2a_mysql_concurrency_curve(benchmark):
-    points = once(
-        benchmark,
-        lambda: stress_tier_sweep("db", LEVELS, seed=1, duration=12.0),
-    )
+    points = once(benchmark, lambda: run_spec(SPEC))
     by_level = {p.target_concurrency: p.throughput for p in points}
     peak_level = max(by_level, key=by_level.get)
     peak = by_level[peak_level]

@@ -8,11 +8,11 @@ total ~40 = MySQL's knee) makes the added Tomcat pay off.
 
 import pytest
 
-from benchmarks.common import emit, once
-from repro.analysis.experiments import build_system, measure_steady_state
+from benchmarks.common import emit, once, run_specs
 from repro.analysis.tables import render_table
-from repro.ntier import HardwareConfig, SoftResourceConfig
-from repro.workload import RubbosGenerator
+from repro.runner import SteadySpec
+
+pytestmark = pytest.mark.slow
 
 USERS = 3600
 CONFIGS = (
@@ -21,18 +21,21 @@ CONFIGS = (
     ("1/2/1 retuned (DCM)", "1/2/1", "1000/100/20"),
 )
 
+SPECS = [
+    SteadySpec(
+        hardware=hw, soft=soft, users=USERS, workload="rubbos",
+        think_time=3.0, seed=11, warmup=6.0, duration=20.0,
+    )
+    for _label, hw, soft in CONFIGS
+]
+
 
 def run_configs():
+    values = run_specs(SPECS)
     results = {}
-    for label, hw, soft in CONFIGS:
-        env, system = build_system(
-            hardware=HardwareConfig.parse(hw),
-            soft=SoftResourceConfig.parse(soft),
-            seed=11,
-        )
-        RubbosGenerator(env, system, users=USERS, think_time=3.0)
-        steady = measure_steady_state(env, system, warmup=6.0, duration=20.0)
-        results[label] = (steady, system.max_db_concurrency())
+    for (label, _hw, _soft), spec, res in zip(CONFIGS, SPECS, values):
+        max_conc = spec.soft.max_db_concurrency(spec.hardware.app)
+        results[label] = (res.steady, max_conc)
     return results
 
 

@@ -17,26 +17,29 @@ under-feeds the DB tier; oversized pools collapse progressively.
 
 import pytest
 
-from benchmarks.common import emit, once
-from repro.analysis.experiments import validation_curves
+from benchmarks.common import emit, once, run_spec
 from repro.analysis.tables import render_table
-from repro.ntier import HardwareConfig, SoftResourceConfig
+from repro.ntier import SoftResourceConfig
+from repro.runner import ValidationSpec
+
+pytestmark = pytest.mark.slow
 
 #: Allocations: raw knee, planner optimum, default, 2x default, 4x default.
 TOMCAT_THREADS = (20, 44, 100, 200, 400)
 USER_LEVELS = (2400, 3200, 4000)
 
+SPEC = ValidationSpec(
+    hardware="1/1/1",
+    soft_configs=tuple(SoftResourceConfig(1000, t, 80) for t in TOMCAT_THREADS),
+    user_levels=USER_LEVELS,
+    seed=0,
+    warmup=6.0,
+    duration=15.0,
+)
+
 
 def run_curves():
-    softs = [SoftResourceConfig(1000, t, 80) for t in TOMCAT_THREADS]
-    return validation_curves(
-        HardwareConfig.parse("1/1/1"),
-        softs,
-        USER_LEVELS,
-        seed=0,
-        warmup=6.0,
-        duration=15.0,
-    )
+    return run_spec(SPEC)
 
 
 @pytest.mark.benchmark(group="fig4")

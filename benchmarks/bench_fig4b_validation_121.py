@@ -9,26 +9,29 @@ into the single MySQL).
 
 import pytest
 
-from benchmarks.common import emit, once
-from repro.analysis.experiments import validation_curves
+from benchmarks.common import emit, once, run_spec
 from repro.analysis.tables import render_table
-from repro.ntier import HardwareConfig, SoftResourceConfig
+from repro.ntier import SoftResourceConfig
+from repro.runner import ValidationSpec
+
+pytestmark = pytest.mark.slow
 
 #: Per-Tomcat DB connection pools; 18 is the model's pick (36 / 2 Tomcats).
 DB_CONNECTIONS = (9, 18, 40, 80, 160)
 USER_LEVELS = (2400, 3200, 4000)
 
+SPEC = ValidationSpec(
+    hardware="1/2/1",
+    soft_configs=tuple(SoftResourceConfig(1000, 100, c) for c in DB_CONNECTIONS),
+    user_levels=USER_LEVELS,
+    seed=0,
+    warmup=6.0,
+    duration=15.0,
+)
+
 
 def run_curves():
-    softs = [SoftResourceConfig(1000, 100, c) for c in DB_CONNECTIONS]
-    return validation_curves(
-        HardwareConfig.parse("1/2/1"),
-        softs,
-        USER_LEVELS,
-        seed=0,
-        warmup=6.0,
-        duration=15.0,
-    )
+    return run_spec(SPEC)
 
 
 @pytest.mark.benchmark(group="fig4")

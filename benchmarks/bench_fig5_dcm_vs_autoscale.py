@@ -17,28 +17,33 @@ Runs at demand_scale=4 (quarter capacity & volume; knees unchanged).
 
 import pytest
 
-from benchmarks.common import emit, ground_truth_models, once
+from benchmarks.common import emit, ground_truth_models, once, run_specs
 from repro.analysis import stability_report
-from repro.analysis.experiments import run_autoscale_experiment
 from repro.analysis.tables import render_series, render_sparkline, render_table
 from repro.analysis.timeseries import metric_series, response_time_series, throughput_series
+from repro.runner import AutoscaleSpec
 from repro.workload import large_variation
+
+pytestmark = pytest.mark.slow
 
 SCALE = 4.0
 MAX_USERS = 1480
 SEED = 7
 
+CONTROLLERS = ("dcm", "ec2")
+
 
 def run_pair():
     models = ground_truth_models(SCALE)
     trace = large_variation()
-    return {
-        name: run_autoscale_experiment(
-            name, trace, MAX_USERS, seed=SEED, demand_scale=SCALE,
-            seeded_models=models,
+    specs = [
+        AutoscaleSpec(
+            controller=name, trace=trace, max_users=MAX_USERS, seed=SEED,
+            demand_scale=SCALE, models=models,
         )
-        for name in ("dcm", "ec2")
-    }
+        for name in CONTROLLERS
+    ]
+    return dict(zip(CONTROLLERS, run_specs(specs)))
 
 
 @pytest.mark.benchmark(group="fig5")

@@ -11,16 +11,19 @@ same service for the VM-seconds the trace actually needs.
 
 import pytest
 
-from benchmarks.common import emit, ground_truth_models, once
+from benchmarks.common import emit, ground_truth_models, once, run_spec
 from repro.analysis import stability_report
-from repro.analysis.experiments import build_system, run_autoscale_experiment
+from repro.analysis.experiments import build_system
 from repro.analysis.tables import render_table
 from repro.broker import KafkaBroker, Producer
 from repro.cluster import Hypervisor
 from repro.control import AppAgent, StaticProvisioningController, VMAgent
 from repro.monitor import METRICS_TOPIC, MetricCollector, MonitorFleet
 from repro.ntier import HardwareConfig, SoftResourceConfig
+from repro.runner import AutoscaleSpec
 from repro.workload import TraceDrivenGenerator, large_variation
+
+pytestmark = pytest.mark.slow
 
 SCALE = 4.0
 MAX_USERS = 1480
@@ -57,12 +60,10 @@ def run_static():
 
 
 def run_pair():
-    models = ground_truth_models(SCALE)
-    trace = large_variation()
-    dcm = run_autoscale_experiment(
-        "dcm", trace, MAX_USERS, seed=SEED, demand_scale=SCALE,
-        seeded_models=models,
-    )
+    dcm = run_spec(AutoscaleSpec(
+        controller="dcm", trace=large_variation(), max_users=MAX_USERS,
+        seed=SEED, demand_scale=SCALE, models=ground_truth_models(SCALE),
+    ))
     dcm_report = stability_report(
         dcm.request_log, dcm.failed, dcm.duration, vm_seconds=dcm.vm_seconds
     )

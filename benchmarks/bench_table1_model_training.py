@@ -8,40 +8,43 @@ convention and rescaled by the paper's gamma for side-by-side comparison
 (see DESIGN.md §2 on the gamma identifiability).
 
 Also estimates the multi-server scaling correction (the gamma(K)/K
-efficiency) from a 1/2/2 vs 1/2/1 capacity pair.
+efficiency) from a 1/2/2 vs 1/2/1 capacity pair.  All four experiments
+(two training sweeps, two capacity probes) run as one engine batch, so a
+worker pool drains the whole point set.
 """
 
 import pytest
 
-from benchmarks.common import PAPER_TABLE1, emit, once
-from repro.analysis.experiments import (
-    build_system,
-    measure_steady_state,
-    train_tier_model,
-)
+from benchmarks.common import PAPER_TABLE1, emit, once, run_specs
 from repro.analysis.tables import render_table
 from repro.model import estimate_scaling_correction
-from repro.ntier import HardwareConfig, SoftResourceConfig
-from repro.workload import RubbosGenerator
+from repro.runner import SteadySpec, TrainingSpec
+
+pytestmark = pytest.mark.slow
 
 
-def _tier_capacity(hardware: str, soft: str, users: int) -> float:
-    env, system = build_system(
-        hardware=HardwareConfig.parse(hardware),
-        soft=SoftResourceConfig.parse(soft),
-        seed=21,
+def _capacity_spec(hardware: str, soft: str, users: int) -> SteadySpec:
+    return SteadySpec(
+        hardware=hardware, soft=soft, users=users, workload="rubbos",
+        think_time=3.0, seed=21, warmup=6.0, duration=16.0,
     )
-    RubbosGenerator(env, system, users=users, think_time=3.0)
-    return measure_steady_state(env, system, warmup=6.0, duration=16.0).throughput
 
 
-def run_training():
-    outcomes = {tier: train_tier_model(tier, seed=0) for tier in ("app", "db")}
+SPECS = [
+    TrainingSpec(tier="app", seed=0),
+    TrainingSpec(tier="db", seed=0),
     # Scaling correction for the DB tier: optimal soft config, 1 vs 2 MySQL.
     # The app tier is over-provisioned (2-3 Tomcats) so MySQL stays the
     # bottleneck in both measurements.
-    x1 = _tier_capacity("1/2/1", "1000/100/18", users=3600)
-    x2 = _tier_capacity("1/3/2", "1000/100/24", users=7200)
+    _capacity_spec("1/2/1", "1000/100/18", users=3600),
+    _capacity_spec("1/3/2", "1000/100/24", users=7200),
+]
+
+
+def run_training():
+    app, db, cap1, cap2 = run_specs(SPECS)
+    outcomes = {"app": app, "db": db}
+    x1, x2 = cap1.steady.throughput, cap2.steady.throughput
     gamma_eff = estimate_scaling_correction(x1, x2, 2)
     return outcomes, (x1, x2, gamma_eff)
 

@@ -1,11 +1,26 @@
 """Shared plumbing for the benchmark harnesses.
 
-Every benchmark regenerates one of the paper's tables/figures: it runs the
-corresponding experiment from :mod:`repro.analysis.experiments`, renders the
-same rows/series the paper reports, *asserts the paper's qualitative shape*
-(who wins, where the knee falls, rough factors), and writes the rendered
-output to ``benchmarks/out/<name>.txt`` (also echoed to stdout) so
-EXPERIMENTS.md can quote it.
+Every benchmark regenerates one of the paper's tables/figures: it builds
+the corresponding :mod:`repro.runner` specs, executes them through the
+experiment engine (process-pool fan-out + on-disk result cache under
+``benchmarks/out/.cache/``), renders the same rows/series the paper
+reports, *asserts the paper's qualitative shape* (who wins, where the knee
+falls, rough factors), and writes the rendered output to
+``benchmarks/out/<name>.txt`` (also echoed to stdout) so EXPERIMENTS.md can
+quote it.
+
+Engine knobs (environment variables, so ``pytest benchmarks/`` stays the
+invocation):
+
+``REPRO_JOBS``
+    Worker processes per engine call (default 1).  Results are
+    bit-identical at any value.
+``REPRO_NO_CACHE``
+    Set (to anything) to disable the result cache.  A warm cache answers
+    every simulation point from disk, so re-renders are near-instant.
+
+Telemetry is printed to stdout only — never into the emitted artefact, so
+``out/<name>.txt`` stays byte-identical across jobs/cache settings.
 
 Speed knob: several experiments run at ``demand_scale > 1`` — all CPU
 demands multiplied, capacities divided, optimal concurrencies untouched
@@ -15,11 +30,20 @@ demands multiplied, capacities divided, optimal concurrencies untouched
 from __future__ import annotations
 
 import os
-from typing import Dict
+from typing import Dict, List, Sequence
 
 from repro.model import ConcurrencyModel
+from repro.runner import run_many
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+CACHE_DIR = os.path.join(OUT_DIR, ".cache")
+os.makedirs(OUT_DIR, exist_ok=True)
+
+#: Engine fan-out for every bench (REPRO_JOBS=8 pytest benchmarks/ ...).
+JOBS = max(1, int(os.environ.get("REPRO_JOBS", "1")))
+
+#: Cache switch; on by default so warm re-runs render from disk.
+CACHE = "REPRO_NO_CACHE" not in os.environ
 
 #: Paper's Table I values, used for side-by-side rendering and shape checks.
 PAPER_TABLE1 = {
@@ -30,10 +54,25 @@ PAPER_TABLE1 = {
 }
 
 
+def run_specs(specs: Sequence[object]) -> List[object]:
+    """Execute specs through the engine and return their values in order.
+
+    One shared worker pool and cache pass for the whole batch; telemetry
+    goes to stdout (not into any emitted artefact).
+    """
+    result = run_many(list(specs), jobs=JOBS, cache=CACHE, cache_dir=CACHE_DIR)
+    print(f"\n{result.telemetry.render()}\n")
+    return result.value
+
+
+def run_spec(spec: object) -> object:
+    """Execute one spec through the engine (see :func:`run_specs`)."""
+    return run_specs([spec])[0]
+
+
 def emit(name: str, text: str) -> None:
     """Print a benchmark's rendered output and persist it under out/."""
-    os.makedirs(OUT_DIR, exist_ok=True)
-    with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
+    with open(os.path.join(OUT_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
         fh.write(text + "\n")
     print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n")
 

@@ -1,0 +1,56 @@
+"""Driver for the full benchmark suite (tier 2).
+
+Runs every ``bench_*.py`` harness through pytest with the engine knobs set
+from the command line instead of raw environment variables::
+
+    python benchmarks/run_all.py --jobs 8            # parallel, warm cache
+    python benchmarks/run_all.py --jobs 8 --no-cache # force recompute
+    python benchmarks/run_all.py -k fig5             # one harness
+
+Engine settings travel to the benches via ``REPRO_JOBS`` /
+``REPRO_NO_CACHE`` (read by :mod:`benchmarks.common` at import), so plain
+``pytest benchmarks/`` with those variables exported behaves identically.
+Rendered artefacts land in ``benchmarks/out/`` and are byte-identical at
+any jobs/cache setting; the cache lives in ``benchmarks/out/.cache/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the paper-figure benchmark suite"
+    )
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes per engine call (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("-k", dest="keyword", default=None,
+                        help="pytest -k expression to select harnesses")
+    args = parser.parse_args(argv)
+
+    os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
+    else:
+        os.environ.pop("REPRO_NO_CACHE", None)
+
+    bench_dir = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(bench_dir)
+    sys.path.insert(0, os.path.join(repo_root, "src"))
+    sys.path.insert(0, repo_root)
+
+    import pytest
+
+    pytest_args = [bench_dir, "-m", "slow", "-p", "no:cacheprovider"]
+    if args.keyword:
+        pytest_args += ["-k", args.keyword]
+    return pytest.main(pytest_args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,8 @@ Subpackages
 ``repro.model``     the concurrency-aware model: laws, fitting, optimizer
 ``repro.control``   DCM and EC2-AutoScale controllers + actuators
 ``repro.analysis``  time series, SLA reports, experiment runners
+``repro.runner``    parallel experiment engine: frozen specs, process-pool
+                    fan-out, spec-keyed on-disk result caching
 """
 
 __version__ = "1.0.0"
@@ -29,6 +31,7 @@ from repro import (  # noqa: F401
     model,
     monitor,
     ntier,
+    runner,
     sim,
     workload,
 )
@@ -41,6 +44,7 @@ __all__ = [
     "model",
     "monitor",
     "ntier",
+    "runner",
     "sim",
     "workload",
     "__version__",

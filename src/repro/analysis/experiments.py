@@ -1,7 +1,20 @@
 """High-level experiment runners shared by benchmarks and examples.
 
 Each paper artefact (Fig 2a/2b, Table I, Fig 4a/4b, Fig 5) maps to one
-runner here; the ``benchmarks/`` harnesses parameterise and print them.
+experiment; since the engine redesign the canonical entry point is a
+frozen spec dataclass executed by :func:`repro.runner.run` (parallel
+fan-out + spec-keyed result caching; see DESIGN.md §3 "Experiment
+engine").  This module keeps
+
+* the building blocks (:func:`build_system`, :func:`measure_steady_state`)
+  and result dataclasses the engine's point functions and reducers use, and
+* thin **deprecated** wrappers with the historical signatures
+  (``stress_tier_sweep``, ``jmeter_sweep``, ``train_tier_model``,
+  ``validation_curves``, ``run_autoscale_experiment``) so existing scripts
+  keep working; they emit :class:`DeprecationWarning` and delegate to the
+  engine with ``jobs=1, cache=False`` — bit-identical to the old serial
+  behaviour.
+
 Runners are deterministic given a seed and support ``demand_scale`` — a
 speed knob that multiplies all CPU demands (capacities shrink by the same
 factor, optimal concurrencies are *unchanged* because they depend only on
@@ -10,8 +23,9 @@ the contention law; see DESIGN.md §2).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,28 +44,31 @@ from repro.model import (
     ConcurrencyModel,
     FitResult,
     OnlineModelEstimator,
-    bin_samples,
-    fit_concurrency_model,
 )
 from repro.monitor import METRICS_TOPIC, MetricCollector, MonitorFleet
 from repro.ntier import (
     HardwareConfig,
-    MySQLServer,
     NTierSystem,
     SoftResourceConfig,
-    TomcatServer,
 )
-from repro.ntier.balancer import Balancer
-from repro.ntier.request import DemandProfile, Request
+from repro.ntier.contention import ContentionModel
+from repro.runner.specs import DB_TRAINING_LEVELS, TRAINING_LEVELS  # noqa: F401
 from repro.sim import Environment, RandomStreams
 from repro.workload import (
-    JMeterGenerator,
-    RubbosGenerator,
     TraceDrivenGenerator,
     WorkloadTrace,
     browse_only_catalog,
 )
 from repro.workload.servlets import Servlet, ServletCatalog
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old}() is deprecated; build a spec and call {new} instead "
+        "(the engine adds --jobs parallelism and result caching)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -66,15 +83,36 @@ def build_system(
     demand_distribution: str = "exponential",
     imbalance: float = 0.05,
     catalog: Optional[ServletCatalog] = None,
+    balancer_policy: str = "least_conn",
+    mysql_contention: Optional[ContentionModel] = None,
+    tomcat_contention: Optional[ContentionModel] = None,
 ) -> Tuple[Environment, NTierSystem]:
-    """One-call construction of an environment + n-tier system."""
+    """One-call construction of an environment + n-tier system.
+
+    ``mysql_contention`` / ``tomcat_contention`` override the calibrated
+    ground-truth contention models when given (``None`` keeps the
+    defaults) — the thrash ablation runs the substrate with the quadratic
+    law only.
+    """
     env = Environment()
     streams = RandomStreams(seed)
     cat = catalog or browse_only_catalog(
         demand_distribution=demand_distribution, demand_scale=demand_scale
     )
+    overrides = {}
+    if mysql_contention is not None:
+        overrides["mysql_contention"] = mysql_contention
+    if tomcat_contention is not None:
+        overrides["tomcat_contention"] = tomcat_contention
     system = NTierSystem(
-        env, streams, hardware=hardware, soft=soft, catalog=cat, imbalance=imbalance
+        env,
+        streams,
+        hardware=hardware,
+        soft=soft,
+        catalog=cat,
+        balancer_policy=balancer_policy,
+        imbalance=imbalance,
+        **overrides,
     )
     return env, system
 
@@ -193,48 +231,23 @@ def stress_tier_sweep(
     """The paper's Section II-B experiment: stress one server type with a
     matched thread pool at each concurrency level (Fig 2(a)).
 
-    Builds a standalone server of ``tier`` and drives it with zero-think
-    closed loops whose population *is* the request-processing concurrency.
-    Throughput is normalised to HTTP-equivalents via the mix's visit ratio.
+    .. deprecated:: 1.0
+       Build a :class:`repro.runner.StressSpec` and call
+       :func:`repro.runner.run` instead.
     """
-    catalog = browse_only_catalog(
-        demand_distribution=demand_distribution, demand_scale=demand_scale
+    from repro.runner import StressSpec, run
+
+    spec = StressSpec(
+        tier=tier,
+        concurrencies=tuple(concurrencies),
+        seed=seed,
+        demand_scale=demand_scale,
+        warmup=warmup,
+        duration=duration,
+        demand_distribution=demand_distribution,
     )
-    servlet, visit_ratio = _stress_servlet(catalog, tier)
-    points: List[StressPoint] = []
-    for conc in concurrencies:
-        if conc < 1:
-            raise ConfigurationError(f"concurrency must be >= 1, got {conc}")
-        env = Environment()
-        streams = RandomStreams(seed + conc)
-        rng = streams.stream("stress.demand")
-        if tier == "db":
-            server = MySQLServer(env, "mysql-stress", max_connections=10 * conc + 50)
-        else:
-            dummy = Balancer("stress-db")
-            server = TomcatServer(
-                env, "tomcat-stress", db_balancer=dummy, threads=conc, db_connections=1
-            )
-
-        def loop(env=env, server=server, rng=rng):
-            while True:
-                demand = servlet.sample_demand(rng, demand_distribution)
-                request = Request(servlet=servlet, created=env.now, demand=demand)
-                if tier == "db":
-                    yield server.handle(request, demand=demand.db_queries[0])
-                else:
-                    yield server.handle(request)
-
-        for _ in range(conc):
-            env.process(loop())
-        env.run(until=warmup)
-        base_completions = server.completions
-        base_busy = server.cpu.busy_integral()
-        env.run(until=warmup + duration)
-        xput = (server.completions - base_completions) / duration / visit_ratio
-        measured = (server.cpu.busy_integral() - base_busy) / duration
-        points.append(StressPoint(conc, measured, xput))
-    return points
+    _warn_deprecated("stress_tier_sweep", "repro.runner.run(StressSpec(...))")
+    return run(spec, jobs=1, cache=False).value
 
 
 # ---------------------------------------------------------------------------
@@ -259,35 +272,27 @@ def jmeter_sweep(
     duration: float = 12.0,
     imbalance: float = 0.05,
 ) -> List[SweepPoint]:
-    """Run the full system at each fixed JMeter concurrency level."""
-    points: List[SweepPoint] = []
-    for users in users_levels:
-        env, system = build_system(
-            hardware=hardware,
-            soft=soft,
-            seed=seed + users,
-            demand_scale=demand_scale,
-            imbalance=imbalance,
-        )
-        JMeterGenerator(env, system, users).start()
-        points.append(
-            SweepPoint(users, measure_steady_state(env, system, warmup, duration))
-        )
-    return points
+    """Run the full system at each fixed JMeter concurrency level.
 
+    .. deprecated:: 1.0
+       Build a :class:`repro.runner.SweepSpec` and call
+       :func:`repro.runner.run` instead.
+    """
+    from repro.runner import SweepSpec, run
 
-#: Default JMeter levels for model training ("concurrency from 1 to 200").
-TRAINING_LEVELS: Tuple[int, ...] = (
-    1, 2, 3, 5, 8, 12, 16, 20, 25, 30, 36, 44, 55, 65, 80, 100, 130, 160, 200
-)
-
-#: DB-model training levels: swept within the default connection pools'
-#: normal operating region (the paper leaves the MySQL sweep range
-#: unspecified; past ~100 concurrent queries the server is already deep in
-#: its pathological regime and no sane training would dwell there).
-DB_TRAINING_LEVELS: Tuple[int, ...] = (
-    1, 2, 3, 5, 8, 12, 16, 20, 25, 30, 36, 44, 55, 65, 80, 90, 100, 110, 120
-)
+    spec = SweepSpec(
+        users_levels=tuple(users_levels),
+        hardware=hardware,
+        soft=soft,
+        workload="jmeter",
+        seed=seed,
+        demand_scale=demand_scale,
+        warmup=warmup,
+        duration=duration,
+        imbalance=imbalance,
+    )
+    _warn_deprecated("jmeter_sweep", "repro.runner.run(SweepSpec(...))")
+    return run(spec, jobs=1, cache=False).value
 
 
 @dataclass(frozen=True)
@@ -318,43 +323,24 @@ def train_tier_model(
     operative bottleneck.  MySQL: 1/2/1 so the DB tier saturates first.  At
     each JMeter level the *measured* bottleneck-tier concurrency and the
     system throughput form one training pair; Eq (7) is then least-squares
-    fitted.
+    fitted (see :meth:`repro.runner.TrainingSpec.reduce`).
+
+    .. deprecated:: 1.0
+       Build a :class:`repro.runner.TrainingSpec` and call
+       :func:`repro.runner.run` instead.
     """
-    if tier == "app":
-        hardware = HardwareConfig(1, 1, 1)
-        levels = TRAINING_LEVELS if levels is None else levels
-    elif tier == "db":
-        hardware = HardwareConfig(1, 2, 1)
-        levels = DB_TRAINING_LEVELS if levels is None else levels
-    else:
-        raise ConfigurationError(f"cannot train tier {tier!r}")
-    sweep = jmeter_sweep(
-        levels,
-        hardware=hardware,
-        soft=SoftResourceConfig.DEFAULT,
+    from repro.runner import TrainingSpec, run
+
+    spec = TrainingSpec(
+        tier=tier,
         seed=seed,
         demand_scale=demand_scale,
+        levels=None if levels is None else tuple(levels),
         warmup=warmup,
         duration=duration,
     )
-    # tier_concurrency is already a per-server mean; throughput is system-wide
-    # and must be divided by the tier's server count for single-server pairs.
-    # Both are conditioned on the tier's non-idle time so low-load pairs sit
-    # on the contention curve instead of being diluted by idle gaps.
-    samples = []
-    for p in sweep:
-        busy = p.steady.tier_busy_fraction.get(tier, 0.0)
-        if p.steady.throughput <= 0 or busy < 0.05:
-            continue
-        samples.append(
-            (
-                p.steady.tier_concurrency[tier] / busy,
-                p.steady.throughput / hardware_count(hardware, tier) / busy,
-            )
-        )
-    binned = bin_samples(samples, bin_width=1.0)
-    fit = fit_concurrency_model(binned, tier=tier)
-    return TrainingOutcome(tier=tier, fit=fit, samples=samples)
+    _warn_deprecated("train_tier_model", "repro.runner.run(TrainingSpec(...))")
+    return run(spec, jobs=1, cache=False).value
 
 
 def hardware_count(hardware: HardwareConfig, tier: str) -> int:
@@ -373,11 +359,17 @@ def trained_models(
     This is what DCM seeds its online estimator with — the paper trains
     with JMeter before the autoscaling runs.
     """
+    from repro.runner import TrainingSpec, run
+
     key = (demand_scale, seed)
     if key not in _MODEL_CACHE:
         _MODEL_CACHE[key] = {
-            "app": train_tier_model("app", seed=seed, demand_scale=demand_scale).model,
-            "db": train_tier_model("db", seed=seed, demand_scale=demand_scale).model,
+            tier: run(
+                TrainingSpec(tier=tier, seed=seed, demand_scale=demand_scale),
+                jobs=1,
+                cache=False,
+            ).value.model
+            for tier in ("app", "db")
         }
     return _MODEL_CACHE[key]
 
@@ -414,32 +406,26 @@ def validation_curves(
 ) -> List[ValidationCurve]:
     """The Fig 4 experiment: same hardware, several soft allocations, a
     ramp of RUBBoS users (3 s think time); who sustains the most throughput?
+
+    .. deprecated:: 1.0
+       Build a :class:`repro.runner.ValidationSpec` and call
+       :func:`repro.runner.run` instead.
     """
-    curves: List[ValidationCurve] = []
-    for soft in soft_configs:
-        xs: List[float] = []
-        rts: List[float] = []
-        for users in user_levels:
-            env, system = build_system(
-                hardware=hardware,
-                soft=soft,
-                seed=seed + users,
-                demand_scale=demand_scale,
-                imbalance=imbalance,
-            )
-            RubbosGenerator(env, system, users=users, think_time=think_time)
-            steady = measure_steady_state(env, system, warmup, duration)
-            xs.append(steady.throughput)
-            rts.append(steady.mean_response_time)
-        curves.append(
-            ValidationCurve(
-                soft=soft,
-                users=tuple(user_levels),
-                throughput=tuple(xs),
-                mean_response_time=tuple(rts),
-            )
-        )
-    return curves
+    from repro.runner import ValidationSpec, run
+
+    spec = ValidationSpec(
+        hardware=hardware,
+        soft_configs=tuple(soft_configs),
+        user_levels=tuple(user_levels),
+        seed=seed,
+        demand_scale=demand_scale,
+        think_time=think_time,
+        warmup=warmup,
+        duration=duration,
+        imbalance=imbalance,
+    )
+    _warn_deprecated("validation_curves", "repro.runner.run(ValidationSpec(...))")
+    return run(spec, jobs=1, cache=False).value
 
 
 # ---------------------------------------------------------------------------
@@ -479,38 +465,24 @@ class AutoscaleRun:
         return sorted(rows, key=lambda r: r.timestamp)
 
 
-def run_autoscale_experiment(
-    controller: str,
-    trace: WorkloadTrace,
-    max_users: int,
-    seed: int = 0,
-    demand_scale: float = 1.0,
-    policy: Optional[ScalingPolicy] = None,
-    initial_soft: SoftResourceConfig = SoftResourceConfig.DEFAULT,
-    seeded_models: Optional[Dict[str, ConcurrencyModel]] = None,
-    imbalance: float = 0.05,
-    think_time: float = 3.0,
-    online_refit: bool = True,
-    preparation_periods: Optional[Dict[str, float]] = None,
-) -> AutoscaleRun:
-    """Run one controller against one trace — the Fig 5 harness.
+def _autoscale_core(spec) -> AutoscaleRun:
+    """Execute one :class:`repro.runner.AutoscaleSpec` (the engine's
+    in-process autoscale point).
 
-    ``controller`` is ``"dcm"``, ``"ec2"``, or ``"predictive"`` (the
-    trend-forecasting DCM extension).  All start from the same 1/1/1
-    hardware and ``initial_soft`` allocation; DCM variants immediately apply
-    their model-derived allocation (the paper starts DCM at 1000-200-40,
-    i.e. with the optimal DB connection total) and re-allocate after every
+    All controllers start from the same 1/1/1 hardware and
+    ``spec.initial_soft`` allocation; DCM variants immediately apply their
+    model-derived allocation (the paper starts DCM at 1000-200-40, i.e.
+    with the optimal DB connection total) and re-allocate after every
     scaling action.
     """
-    if controller not in ("dcm", "ec2", "predictive"):
-        raise ConfigurationError(f"unknown controller {controller!r}")
     env, system = build_system(
         hardware=HardwareConfig(1, 1, 1),
-        soft=initial_soft,
-        seed=seed,
-        demand_scale=demand_scale,
-        imbalance=imbalance,
+        soft=spec.initial_soft,
+        seed=spec.seed,
+        demand_scale=spec.demand_scale,
+        imbalance=spec.imbalance,
     )
+    trace = spec.trace
     duration = trace.duration
 
     broker = KafkaBroker(env)
@@ -518,17 +490,25 @@ def run_autoscale_experiment(
     producer = Producer(broker, client_id="monitor")
     fleet = MonitorFleet(env, system, producer)
     hypervisor = Hypervisor(env)
+    preparation_periods = (
+        None if spec.preparation_periods is None else dict(spec.preparation_periods)
+    )
     vm_agent = VMAgent(
         env, system, hypervisor, fleet, preparation_periods=preparation_periods
     )
     vm_agent.bootstrap()
     collector = MetricCollector(broker, history=int(duration) + 120)
-    policy = policy or ScalingPolicy()
+    policy = spec.policy or ScalingPolicy()
+    controller = spec.controller
 
     app_agent: Optional[AppAgent] = None
     if controller in ("dcm", "predictive"):
         app_agent = AppAgent(env, system)
-        models = seeded_models or trained_models(demand_scale, seed)
+        models = (
+            dict(spec.models)
+            if spec.models is not None
+            else trained_models(spec.demand_scale, spec.seed)
+        )
         estimator = OnlineModelEstimator(
             collector,
             visit_ratios={"web": 1.0, "app": 1.0, "db": system.catalog.visit_ratios()["db"]},
@@ -544,13 +524,13 @@ def run_autoscale_experiment(
             app_agent,
             estimator,
             policy=policy,
-            refit_every_periods=4 if online_refit else 10**9,
+            refit_every_periods=4 if spec.online_refit else 10**9,
         )
     else:
         ctl = EC2AutoScaleController(env, system, collector, vm_agent, policy=policy)
 
     trace_gen = TraceDrivenGenerator(
-        env, system, trace, max_users=max_users, think_time=think_time
+        env, system, trace, max_users=spec.max_users, think_time=spec.think_time
     )
     trace_gen.start()
     env.run(until=duration)
@@ -571,3 +551,46 @@ def run_autoscale_experiment(
         request_log=list(system.request_log),
         failed=len(system.failure_log),
     )
+
+
+def run_autoscale_experiment(
+    controller: str,
+    trace: WorkloadTrace,
+    max_users: int,
+    seed: int = 0,
+    demand_scale: float = 1.0,
+    policy: Optional[ScalingPolicy] = None,
+    initial_soft: SoftResourceConfig = SoftResourceConfig.DEFAULT,
+    seeded_models: Optional[Dict[str, ConcurrencyModel]] = None,
+    imbalance: float = 0.05,
+    think_time: float = 3.0,
+    online_refit: bool = True,
+    preparation_periods: Optional[Dict[str, float]] = None,
+) -> AutoscaleRun:
+    """Run one controller against one trace — the Fig 5 harness.
+
+    ``controller`` is ``"dcm"``, ``"ec2"``, or ``"predictive"`` (the
+    trend-forecasting DCM extension).
+
+    .. deprecated:: 1.0
+       Build a :class:`repro.runner.AutoscaleSpec` and call
+       :func:`repro.runner.run` instead.
+    """
+    from repro.runner import AutoscaleSpec, run
+
+    spec = AutoscaleSpec(
+        controller=controller,
+        trace=trace,
+        max_users=max_users,
+        seed=seed,
+        demand_scale=demand_scale,
+        policy=policy,
+        initial_soft=initial_soft,
+        models=seeded_models,
+        imbalance=imbalance,
+        think_time=think_time,
+        online_refit=online_refit,
+        preparation_periods=preparation_periods,
+    )
+    _warn_deprecated("run_autoscale_experiment", "repro.runner.run(AutoscaleSpec(...))")
+    return run(spec, jobs=1, cache=False).value

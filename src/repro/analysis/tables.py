@@ -70,6 +70,35 @@ def render_series(
     return f"{label}: {body}"
 
 
+def render_run_telemetry(telemetry) -> str:
+    """Render one engine invocation's timing/cache telemetry.
+
+    ``telemetry`` is duck-typed (any object with the
+    :class:`repro.runner.RunTelemetry` attributes), keeping this module
+    free of engine imports.
+    """
+    point_seconds = [s for s in telemetry.point_seconds if s > 0]
+    rows = [
+        ["points", float(telemetry.points)],
+        ["cache hits", float(telemetry.cache_hits)],
+        ["cache misses", float(telemetry.cache_misses)],
+        ["workers", float(telemetry.jobs)],
+        ["wall-clock (s)", telemetry.wall_seconds],
+        ["compute (s)", telemetry.busy_seconds],
+        ["mean point (s)", float(sum(point_seconds) / len(point_seconds))
+         if point_seconds else 0.0],
+        ["max point (s)", max(point_seconds) if point_seconds else 0.0],
+        ["worker utilization", telemetry.worker_utilization],
+    ]
+    cache_note = (
+        f"cache: {telemetry.cache_dir}" if telemetry.cache_enabled
+        else "cache: disabled"
+    )
+    return render_table(
+        ["telemetry", "value"], rows, title="engine telemetry"
+    ) + f"\n{cache_note}"
+
+
 def render_sparkline(values: Sequence[float], width: int = 60) -> str:
     """A unicode sparkline for quick visual shape checks in terminals."""
     if not values:

@@ -14,11 +14,18 @@ Gives operators the library's main entry points without writing Python:
 ``autoscale``
     Replay a trace against a controller ("dcm" / "ec2" / "predictive") and
     print the stability report; optionally save the full artefact JSON.
+``sweep``
+    Run an arbitrary population sweep from flags or a spec JSON file
+    (``--spec``), printing the per-point table and engine telemetry.
 ``trace``
     Export a built-in workload trace to CSV (or describe it).
 
-Every command accepts ``--seed`` and honours determinism; heavy commands
-accept ``--demand-scale`` (see DESIGN.md §2).
+Every simulation command routes through the experiment engine
+(:mod:`repro.runner`): ``--jobs N`` fans points out over N worker
+processes and ``--no-cache`` disables the on-disk result cache — results
+are bit-identical either way.  Every command accepts ``--seed`` and
+honours determinism; heavy commands accept ``--demand-scale`` (see
+DESIGN.md §2).
 """
 
 from __future__ import annotations
@@ -28,24 +35,22 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis import stability_report
-from repro.analysis.experiments import (
-    build_system,
-    measure_steady_state,
-    run_autoscale_experiment,
-    stress_tier_sweep,
-    train_tier_model,
-    trained_models,
-)
+from repro.analysis.experiments import build_system, trained_models
 from repro.analysis.persistence import save_curve, save_run
 from repro.analysis.tables import render_sparkline, render_table
 from repro.model import predict_curve, specs_from_system
 from repro.ntier import HardwareConfig, SoftResourceConfig
-from repro.workload import (
-    RubbosGenerator,
-    large_variation,
-    sine_trace,
-    spike_trace,
+from repro.runner import (
+    AutoscaleSpec,
+    SteadySpec,
+    StressSpec,
+    SweepSpec,
+    TrainingSpec,
+    run,
+    run_many,
+    spec_from_json,
 )
+from repro.workload import large_variation, sine_trace, spike_trace
 
 #: Built-in traces addressable from the CLI.
 TRACES = {
@@ -62,6 +67,10 @@ def _int_list(text: str) -> List[int]:
         raise argparse.ArgumentTypeError(f"expected comma-separated ints: {err}")
 
 
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    return {"jobs": args.jobs, "cache": not args.no_cache}
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -70,12 +79,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def engine(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for simulation points (default 1)",
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the on-disk result cache",
+        )
+
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--seed", type=int, default=0, help="root RNG seed")
         p.add_argument(
             "--demand-scale", type=float, default=1.0,
             help="multiply CPU demands (speed knob; knees invariant)",
         )
+        engine(p)
 
     p = sub.add_parser("steady", help="steady-state run of a fixed topology")
     common(p)
@@ -115,7 +135,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="population at trace level 1.0 (default 5920/scale)")
     p.add_argument("--out", help="write the run artefact JSON here")
 
+    p = sub.add_parser(
+        "sweep", help="population sweep from flags or a spec JSON file"
+    )
+    common(p)
+    p.add_argument("--spec", metavar="FILE",
+                   help="spec JSON file (overrides the sweep flags)")
+    p.add_argument("--users", type=_int_list, default=[100, 400, 1600],
+                   help="comma-separated user levels")
+    p.add_argument("--workload", choices=("jmeter", "rubbos"), default="jmeter")
+    p.add_argument("--hardware", default="1/1/1", help="#W/#A/#D")
+    p.add_argument("--soft", default="1000/100/80", help="#W_T/#A_T/#A_C")
+    p.add_argument("--think-time", type=float, default=3.0)
+    p.add_argument("--warmup", type=float, default=4.0)
+    p.add_argument("--duration", type=float, default=12.0)
+    p.add_argument("--imbalance", type=float, default=0.05)
+
     p = sub.add_parser("trace", help="export or describe a built-in trace")
+    engine(p)
     p.add_argument("--name", choices=sorted(TRACES), default="large_variation")
     p.add_argument("--csv", help="write the trace to this CSV path")
 
@@ -126,15 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
 # Command implementations
 # ---------------------------------------------------------------------------
 
-def cmd_steady(args: argparse.Namespace) -> int:
-    env, system = build_system(
-        hardware=HardwareConfig.parse(args.hardware),
-        soft=SoftResourceConfig.parse(args.soft),
-        seed=args.seed,
-        demand_scale=args.demand_scale,
-    )
-    RubbosGenerator(env, system, users=args.users, think_time=args.think_time)
-    steady = measure_steady_state(env, system, args.warmup, args.duration)
+def _steady_rows(steady) -> List[List[object]]:
     rows = [
         ["throughput (req/s)", steady.throughput],
         ["mean RT (s)", steady.mean_response_time],
@@ -144,17 +173,39 @@ def cmd_steady(args: argparse.Namespace) -> int:
     for tier in ("web", "app", "db"):
         rows.append([f"{tier} concurrency", steady.tier_concurrency[tier]])
         rows.append([f"{tier} cpu util", steady.tier_utilization[tier]])
-    print(render_table(["metric", "value"], rows,
+    return rows
+
+
+def cmd_steady(args: argparse.Namespace) -> int:
+    spec = SteadySpec(
+        hardware=args.hardware,
+        soft=args.soft,
+        users=args.users,
+        workload="rubbos",
+        think_time=args.think_time,
+        seed=args.seed,
+        demand_scale=args.demand_scale,
+        warmup=args.warmup,
+        duration=args.duration,
+    )
+    res = run(spec, **_engine_kwargs(args))
+    print(render_table(["metric", "value"], _steady_rows(res.value.steady),
                        title=f"steady state: {args.hardware} @ {args.soft}, "
                              f"{args.users} users"))
+    print(res.telemetry.render())
     return 0
 
 
 def cmd_knee(args: argparse.Namespace) -> int:
-    points = stress_tier_sweep(
-        args.tier, args.levels, seed=args.seed,
-        demand_scale=args.demand_scale, duration=args.duration,
+    spec = StressSpec(
+        tier=args.tier,
+        concurrencies=tuple(args.levels),
+        seed=args.seed,
+        demand_scale=args.demand_scale,
+        duration=args.duration,
     )
+    res = run(spec, **_engine_kwargs(args))
+    points = res.value
     rows = [[p.target_concurrency, p.measured_concurrency, p.throughput]
             for p in points]
     print(render_table(
@@ -164,6 +215,7 @@ def cmd_knee(args: argparse.Namespace) -> int:
     print("shape:", render_sparkline([p.throughput for p in points]))
     best = max(points, key=lambda p: p.throughput)
     print(f"knee ~ {best.target_concurrency} at {best.throughput:.0f} req/s")
+    print(res.telemetry.render())
     if args.csv:
         save_curve(args.csv, "concurrency",
                    [(p.target_concurrency, p.throughput) for p in points],
@@ -174,11 +226,14 @@ def cmd_knee(args: argparse.Namespace) -> int:
 
 def cmd_train(args: argparse.Namespace) -> int:
     tiers = ("app", "db") if args.tier == "both" else (args.tier,)
-    for tier in tiers:
-        outcome = train_tier_model(
-            tier, seed=args.seed, demand_scale=args.demand_scale
-        )
+    specs = [
+        TrainingSpec(tier=tier, seed=args.seed, demand_scale=args.demand_scale)
+        for tier in tiers
+    ]
+    res = run_many(specs, **_engine_kwargs(args))
+    for outcome in res.value:
         print(outcome.fit.summary())
+    print(res.telemetry.render())
     return 0
 
 
@@ -206,24 +261,72 @@ def cmd_predict(args: argparse.Namespace) -> int:
 def cmd_autoscale(args: argparse.Namespace) -> int:
     trace = TRACES[args.trace]()
     max_users = args.max_users or max(1, int(5920 / args.demand_scale))
-    print(f"training offline models (once per scale) ...", file=sys.stderr)
+    print("training offline models (once per scale) ...", file=sys.stderr)
     models = trained_models(args.demand_scale, args.seed)
-    run = run_autoscale_experiment(
-        args.controller, trace, max_users=max_users, seed=args.seed,
-        demand_scale=args.demand_scale, seeded_models=models,
+    spec = AutoscaleSpec(
+        controller=args.controller,
+        trace=trace,
+        max_users=max_users,
+        seed=args.seed,
+        demand_scale=args.demand_scale,
+        models=models,
     )
+    res = run(spec, **_engine_kwargs(args))
+    the_run = res.value
     report = stability_report(
-        run.request_log, run.failed, run.duration, vm_seconds=run.vm_seconds
+        the_run.request_log, the_run.failed, the_run.duration,
+        vm_seconds=the_run.vm_seconds,
     )
     print(render_table(
         ["metric", "value"], report.rows(),
         title=f"{args.controller} on {args.trace} ({max_users} peak users)",
     ))
     for tier in ("app", "db"):
-        print(f"{tier} VMs: {run.tier_vm_timeline(tier)}")
+        print(f"{tier} VMs: {the_run.tier_vm_timeline(tier)}")
+    print(res.telemetry.render())
     if args.out:
-        save_run(run, args.out)
+        save_run(the_run, args.out)
         print(f"artefact written to {args.out}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as fh:
+            spec = spec_from_json(fh.read())
+        title = f"spec sweep ({spec.kind}) from {args.spec}"
+    else:
+        spec = SweepSpec(
+            users_levels=tuple(args.users),
+            hardware=args.hardware,
+            soft=args.soft,
+            workload=args.workload,
+            think_time=args.think_time,
+            seed=args.seed,
+            demand_scale=args.demand_scale,
+            warmup=args.warmup,
+            duration=args.duration,
+            imbalance=args.imbalance,
+        )
+        title = (f"{args.workload} sweep: {args.hardware} @ {args.soft}, "
+                 f"seed {args.seed}")
+    res = run(spec, **_engine_kwargs(args))
+    value = res.value
+    if isinstance(spec, SweepSpec):
+        rows = [
+            [p.users, p.steady.throughput, p.steady.mean_response_time,
+             p.steady.tier_concurrency["app"], p.steady.tier_concurrency["db"]]
+            for p in value
+        ]
+        print(render_table(
+            ["users", "throughput", "RT (s)", "app conc", "db conc"], rows,
+            title=title,
+        ))
+    else:
+        # A --spec file can carry any spec kind; fall back to repr output.
+        print(title)
+        print(value)
+    print(res.telemetry.render())
     return 0
 
 
@@ -245,6 +348,7 @@ _COMMANDS = {
     "train": cmd_train,
     "predict": cmd_predict,
     "autoscale": cmd_autoscale,
+    "sweep": cmd_sweep,
     "trace": cmd_trace,
 }
 

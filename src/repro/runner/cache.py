@@ -1,0 +1,85 @@
+"""On-disk result cache, keyed by spec content + package version.
+
+Each cached point lives in one JSON file named by
+``sha256(canonical payload JSON + repro.__version__)``.  Because the
+version participates in the key, bumping ``repro.__version__`` invalidates
+every entry without any cleanup pass; stale files are simply never looked
+up again.  Entries store the payload alongside the result so the cache is
+self-describing and debuggable with a text editor.
+
+The default location is ``benchmarks/out/.cache/`` under the current
+working directory (the benchmark harnesses' output root, already
+gitignored); override with the ``REPRO_CACHE_DIR`` environment variable or
+the ``cache_dir`` argument of :func:`repro.runner.run`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+
+def default_cache_dir() -> str:
+    """Resolve the cache root: ``$REPRO_CACHE_DIR`` or
+    ``./benchmarks/out/.cache``."""
+    return os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+        os.getcwd(), "benchmarks", "out", ".cache"
+    )
+
+
+def point_key(payload: Dict[str, Any]) -> str:
+    """``sha256(canonical payload JSON + repro.__version__)``."""
+    from repro import __version__
+
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    )
+    digest.update(b"\0")
+    digest.update(__version__.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """A directory of ``<key>.json`` files; corrupt entries read as misses."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._made = False
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored encoded result for ``key``, or ``None`` on a miss."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or "result" not in entry:
+            return None
+        return entry
+
+    def put(self, key: str, payload: Dict[str, Any], result: Any) -> None:
+        """Atomically persist one point result (write-to-temp + rename)."""
+        from repro import __version__
+
+        if not self._made:
+            os.makedirs(self.root, exist_ok=True)
+            self._made = True
+        entry = {"version": __version__, "payload": payload, "result": result}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

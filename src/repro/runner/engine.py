@@ -1,0 +1,173 @@
+"""The parallel experiment engine.
+
+``run(spec, jobs=..., cache=...)`` is the single entry point every
+benchmark, example, and CLI command routes through.  It
+
+1. expands the spec into independent *point payloads* (plain dicts),
+2. answers as many points as possible from the on-disk result cache,
+3. fans the remaining points out over a ``ProcessPoolExecutor`` (``fork``
+   start method; serial fallback when ``jobs == 1``, when only one point is
+   pending, or when the platform lacks ``fork``),
+4. gathers results in submission order (scheduling never affects output),
+5. reduces them into the spec's value and reports timing/cache telemetry.
+
+Determinism: each point's seed is a pure function of the spec (see
+:mod:`repro.runner.specs`) and both fresh and cached results pass through
+the same JSON encode/decode, so the reduced value is bit-identical at any
+worker count and across cold/warm cache runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runner.cache import ResultCache, default_cache_dir, point_key
+from repro.runner.points import decode_result, run_payload
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass
+class RunTelemetry:
+    """Timing and cache accounting for one engine invocation."""
+
+    jobs: int
+    cache_enabled: bool
+    cache_dir: Optional[str] = None
+    points: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+    busy_seconds: float = 0.0
+    point_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of the worker pool's wall-clock spent computing."""
+        if self.wall_seconds <= 0 or self.jobs <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.wall_seconds * self.jobs))
+
+    def render(self) -> str:
+        """ASCII telemetry table (see :func:`repro.analysis.tables.render_run_telemetry`)."""
+        from repro.analysis.tables import render_run_telemetry
+
+        return render_run_telemetry(self)
+
+
+@dataclass
+class EngineResult:
+    """What :func:`run` returns: the spec's value plus run telemetry."""
+
+    value: Any
+    telemetry: RunTelemetry
+
+
+def run(
+    spec: Any,
+    *,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> EngineResult:
+    """Execute one spec; see the module docstring for the pipeline."""
+    result = run_many([spec], jobs=jobs, cache=cache, cache_dir=cache_dir)
+    return EngineResult(value=result.value[0], telemetry=result.telemetry)
+
+
+def run_many(
+    specs: Sequence[Any],
+    *,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> EngineResult:
+    """Execute several specs as one shared point pool.
+
+    All shardable points from all specs go through one cache pass and one
+    worker pool, so a heterogeneous benchmark (e.g. two training sweeps
+    plus two capacity probes) saturates the workers; in-process specs
+    (autoscale runs) execute serially afterwards.  ``value`` is the list of
+    per-spec values in input order.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    start = time.perf_counter()
+    store = ResultCache(cache_dir or default_cache_dir()) if cache else None
+    telemetry = RunTelemetry(
+        jobs=jobs, cache_enabled=cache, cache_dir=store.root if store else None
+    )
+
+    # (spec index, entries) where each entry is [payload, key, result slot].
+    sharded: List[Any] = []
+    direct: List[int] = []
+    for si, spec in enumerate(specs):
+        payloads = spec.payloads()
+        if payloads is None:
+            direct.append(si)
+            sharded.append(None)
+            continue
+        sharded.append([[p, point_key(p), None] for p in payloads])
+        telemetry.points += len(payloads)
+
+    # Cache pass.
+    pending = []
+    for entries in sharded:
+        if entries is None:
+            continue
+        for entry in entries:
+            cached = store.get(entry[1]) if store else None
+            if cached is not None:
+                entry[2] = cached["result"]
+                telemetry.cache_hits += 1
+                telemetry.point_seconds.append(0.0)
+            else:
+                pending.append(entry)
+
+    # Compute misses — in parallel when it pays, serially otherwise.
+    if pending:
+        payloads = [entry[0] for entry in pending]
+        workers = min(jobs, len(payloads))
+        if workers > 1 and _fork_available():
+            ctx = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+                outputs = list(pool.map(run_payload, payloads))
+        else:
+            outputs = [run_payload(p) for p in payloads]
+        for entry, (encoded, seconds) in zip(pending, outputs):
+            entry[2] = encoded
+            telemetry.cache_misses += 1
+            telemetry.busy_seconds += seconds
+            telemetry.point_seconds.append(seconds)
+            if store is not None:
+                store.put(entry[1], entry[0], encoded)
+
+    # Reduce per spec; run in-process specs serially.
+    values: List[Any] = [None] * len(specs)
+    for si, spec in enumerate(specs):
+        entries = sharded[si]
+        if entries is None:
+            t0 = time.perf_counter()
+            outcome = spec.execute()
+            seconds = time.perf_counter() - t0
+            telemetry.points += 1
+            telemetry.cache_misses += 1
+            telemetry.busy_seconds += seconds
+            telemetry.point_seconds.append(seconds)
+            values[si] = spec.reduce([outcome])
+        else:
+            decoded = [
+                decode_result(payload["kind"], encoded)
+                for payload, _key, encoded in entries
+            ]
+            values[si] = spec.reduce(decoded)
+
+    telemetry.wall_seconds = time.perf_counter() - start
+    return EngineResult(value=values, telemetry=telemetry)

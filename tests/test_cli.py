@@ -58,6 +58,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["autoscale", "--controller", "magic"])
 
+    def test_engine_flags_on_every_command(self):
+        for command in ("steady", "knee", "train", "predict", "autoscale",
+                        "sweep", "trace"):
+            args = build_parser().parse_args([command, "--jobs", "3", "--no-cache"])
+            assert args.jobs == 3
+            assert args.no_cache is True
+
+    def test_engine_flag_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1
+        assert args.no_cache is False
+        assert args.warmup == 4.0
+        assert args.duration == 12.0
+
 
 class TestCommands:
     def test_steady(self, capsys):
@@ -93,6 +107,51 @@ class TestCommands:
         assert code == 0
         assert "bottleneck" in out
         assert "yes" in out  # 5000 users saturate
+
+    def test_sweep_from_flags(self, capsys):
+        code = main([
+            "sweep", "--users", "10,25", "--demand-scale", "8",
+            "--warmup", "1", "--duration", "3", "--jobs", "2", "--no-cache",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "jmeter sweep" in out
+        assert "engine telemetry" in out
+        assert "cache: disabled" in out
+
+    def test_sweep_from_spec_file(self, capsys, tmp_path):
+        from repro.runner import SweepSpec
+
+        spec = SweepSpec(
+            users_levels=(10, 25), seed=2, demand_scale=8.0,
+            warmup=1.0, duration=3.0,
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        code = main(["sweep", "--spec", str(path), "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spec sweep (sweep)" in out
+        assert "engine telemetry" in out
+
+    def test_steady_uses_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        argv = ["steady", "--users", "80", "--demand-scale", "8",
+                "--warmup", "2", "--duration", "4"]
+        def telemetry_row(out, label):
+            line = next(l for l in out.splitlines() if label in l)
+            return float(line.split("|")[1])
+
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert telemetry_row(cold, "cache misses") == 1
+        assert telemetry_row(warm, "cache hits") == 1
+        # The rendered steady-state table is identical cold vs warm.
+        cold_table = cold.split("engine telemetry")[0]
+        warm_table = warm.split("engine telemetry")[0]
+        assert cold_table == warm_table
 
     def test_trace_export(self, capsys, tmp_path):
         path = str(tmp_path / "trace.csv")
