@@ -19,6 +19,8 @@ Subpackages
 ``repro.analysis``  time series, SLA reports, experiment runners
 ``repro.runner``    parallel experiment engine: frozen specs, process-pool
                     fan-out, spec-keyed on-disk result caching
+``repro.check``     determinism lint (DCM001-DCM008) + runtime invariant
+                    sanitizer (REPRO_CHECK=1)
 """
 
 __version__ = "1.0.0"
@@ -26,6 +28,7 @@ __version__ = "1.0.0"
 from repro import (  # noqa: F401
     analysis,
     broker,
+    check,
     cluster,
     control,
     model,
@@ -39,6 +42,7 @@ from repro import (  # noqa: F401
 __all__ = [
     "analysis",
     "broker",
+    "check",
     "cluster",
     "control",
     "model",

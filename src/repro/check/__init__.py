@@ -1,0 +1,60 @@
+"""repro.check — determinism lint + runtime invariant sanitizer.
+
+Two halves guard the invariants the whole reproduction rests on:
+
+* :mod:`repro.check.lint` — an AST pass (rules ``DCM001``–``DCM008``) that
+  statically rejects wall-clock reads, RNG outside
+  :class:`repro.sim.rng.RandomStreams`, unordered set iteration, float
+  time-equality, mutable defaults, stray ``os.environ`` reads, unsorted
+  filesystem listings, and salted ``hash()`` — everything that silently
+  breaks bit-determinism and poisons the result cache.  CLI: ``repro lint``.
+* :mod:`repro.check.sanitizer` + :mod:`repro.check.config` — cheap runtime
+  assertions wired into the kernel, pools, servers, cluster, and cache,
+  armed by ``REPRO_CHECK=1`` (or :func:`repro.check.config.enable`), raising
+  structured :class:`repro.errors.InvariantViolation`.  CLI: ``repro check``
+  runs sanitized determinism/lifecycle smoke tests.
+
+See DESIGN.md §4 for the rule table and invariant catalogue.
+"""
+
+from repro.check import config
+from repro.check.config import ReproCheckConfig
+from repro.check.lint import (
+    Diagnostic,
+    RULES,
+    RULES_BY_CODE,
+    Rule,
+    lint_file,
+    lint_paths,
+    lint_source,
+    render_diagnostics,
+)
+from repro.check.sanitizer import (
+    audit_billing,
+    audit_resource,
+    audit_server,
+    audit_vm,
+    verify_payload_roundtrip,
+)
+from repro.check.smoke import SmokeOutcome, result_digest, run_smoke
+
+__all__ = [
+    "Diagnostic",
+    "RULES",
+    "RULES_BY_CODE",
+    "ReproCheckConfig",
+    "Rule",
+    "SmokeOutcome",
+    "audit_billing",
+    "audit_resource",
+    "audit_server",
+    "audit_vm",
+    "config",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_diagnostics",
+    "result_digest",
+    "run_smoke",
+    "verify_payload_roundtrip",
+]

@@ -1,0 +1,119 @@
+"""Runtime-check switchboard for the ``repro.check`` sanitizer.
+
+The invariant sanitizer (see :mod:`repro.check.sanitizer` and the inline
+hooks in ``sim``, ``ntier``, ``cluster``, and ``runner``) is off by default
+so production sweeps pay nothing for it.  It is armed
+
+* process-wide by the ``REPRO_CHECK=1`` environment variable (read once at
+  import),
+* programmatically via :func:`enable` / :func:`disable`, or
+* lexically via the :func:`override` context manager (what the test-suite
+  fixture uses).
+
+Hot paths guard each check with ``config.active("<domain>")`` so a disabled
+sanitizer costs one ``None`` test per hook.  Checks are grouped into
+domains (:class:`ReproCheckConfig` fields) so a caller can, say, keep pool
+accounting armed while skipping the billing audit.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+#: Environment values that mean "off" for ``REPRO_CHECK``.
+_FALSEY = ("", "0", "false", "off", "no")
+
+
+@dataclass(frozen=True)
+class ReproCheckConfig:
+    """Which sanitizer domains are armed.
+
+    Attributes
+    ----------
+    clock:
+        Event-heap monotonicity in :class:`repro.sim.core.Environment`.
+    pools:
+        Slot accounting of :class:`repro.sim.resources.Resource` and the
+        thread/connection pools built on it (occupancy bounds,
+        acquire/release pairing, foreign-handle releases).
+    conservation:
+        Per-server request conservation in :class:`repro.ntier.server.TierServer`
+        (arrived == completed + dropped + in-flight).
+    lifecycle:
+        VM state-machine/timestamp consistency and the billing meter's
+        VM-seconds == integral-of-RUNNING-time audit.
+    cache:
+        Engine cache-key payloads must round-trip through canonical JSON.
+    """
+
+    clock: bool = True
+    pools: bool = True
+    conservation: bool = True
+    lifecycle: bool = True
+    cache: bool = True
+
+
+def _from_env() -> Optional[ReproCheckConfig]:
+    # Process-level feature toggle: it decides whether checks run, never what
+    # the simulation computes, so it is exempt from the environ-read lint.
+    raw = os.environ.get("REPRO_CHECK", "")  # repro: noqa[DCM006]
+    if raw.strip().lower() in _FALSEY:
+        return None
+    return ReproCheckConfig()
+
+
+_config: Optional[ReproCheckConfig] = _from_env()
+
+
+def current() -> Optional[ReproCheckConfig]:
+    """The active configuration, or ``None`` when the sanitizer is off."""
+    return _config
+
+
+def enabled() -> bool:
+    """Whether any runtime checks are armed."""
+    return _config is not None
+
+
+def active(domain: str) -> bool:
+    """Whether the named check domain is armed (the hot-path guard)."""
+    return _config is not None and getattr(_config, domain)
+
+
+def enable(config: Optional[ReproCheckConfig] = None) -> ReproCheckConfig:
+    """Arm the sanitizer process-wide (all domains unless ``config`` given)."""
+    global _config
+    _config = config if config is not None else ReproCheckConfig()
+    return _config
+
+
+def disable() -> None:
+    """Disarm the sanitizer process-wide."""
+    global _config
+    _config = None
+
+
+@contextmanager
+def override(
+    config: Union[ReproCheckConfig, bool, None] = True,
+) -> Iterator[Optional[ReproCheckConfig]]:
+    """Temporarily set the sanitizer state; restores the previous one.
+
+    ``True`` arms every domain, ``False``/``None`` disarms, and a
+    :class:`ReproCheckConfig` selects domains explicitly.
+    """
+    global _config
+    previous = _config
+    if config is True:
+        _config = ReproCheckConfig()
+    elif config is False or config is None:
+        _config = None
+    else:
+        _config = config
+    try:
+        yield _config
+    finally:
+        _config = previous

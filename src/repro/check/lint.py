@@ -1,0 +1,526 @@
+"""Static determinism lint for simulation code.
+
+The whole reproduction argument — and the engine's spec-keyed result cache —
+rests on simulations being bit-deterministic from a single seed.  This
+module is an AST pass that mechanically rejects the constructs that silently
+break that promise.  Each rule has a stable code:
+
+========  ======================  =====================================================
+Code      Name                    Catches
+========  ======================  =====================================================
+DCM001    wall-clock              ``time.time()``/``perf_counter()``/``datetime.now()``
+DCM002    stray-rng               ``random.*``, module-level ``np.random.*`` draws,
+                                  unseeded or literal-seeded ``np.random.default_rng``
+DCM003    unordered-iteration     ``for``/comprehension over a ``set`` expression
+DCM004    float-time-equality     ``==``/``!=`` against a simulated-clock value
+DCM005    mutable-default         ``def f(x=[])`` — state leaks across calls
+DCM006    environ-read            ``os.environ``/``os.getenv`` outside runner/benchmarks
+DCM007    unsorted-listing        ``os.listdir``/``glob.glob``/``Path.iterdir`` unsorted
+DCM008    builtin-hash            ``hash()`` — salted per process by PYTHONHASHSEED
+========  ======================  =====================================================
+
+A diagnostic may be suppressed for its line with an inline comment::
+
+    t0 = time.perf_counter()  # repro: noqa[DCM001] -- telemetry only
+
+``# repro: noqa`` with no bracket suppresses every rule on that line.  Use
+suppression only with a justifying comment; the lint is the contract.
+
+Entry points: :func:`lint_source` (one buffer), :func:`lint_file`,
+:func:`lint_paths` (files and directory trees, ``.py`` only, sorted order),
+all returning :class:`Diagnostic` lists.  The CLI wrapper is
+``repro lint`` (see :mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Diagnostic",
+    "Rule",
+    "RULES",
+    "RULES_BY_CODE",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "render_diagnostics",
+]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: stable code, short name, one-line rationale."""
+
+    code: str
+    name: str
+    summary: str
+
+
+RULES: Tuple[Rule, ...] = (
+    Rule("DCM001", "wall-clock",
+         "wall-clock read; simulated time must come from env.now"),
+    Rule("DCM002", "stray-rng",
+         "randomness outside RandomStreams; derive generators from the root seed"),
+    Rule("DCM003", "unordered-iteration",
+         "iteration over a set has no defined order; sort before iterating"),
+    Rule("DCM004", "float-time-equality",
+         "exact ==/!= on simulated time; compare with tolerance or ordering"),
+    Rule("DCM005", "mutable-default",
+         "mutable default argument persists across calls"),
+    Rule("DCM006", "environ-read",
+         "os.environ read outside runner/ and benchmarks/"),
+    Rule("DCM007", "unsorted-listing",
+         "filesystem enumeration order is arbitrary; wrap in sorted()"),
+    Rule("DCM008", "builtin-hash",
+         "builtin hash() is salted per process; use hashlib for stable digests"),
+)
+
+RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in RULES}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where, which rule, and the specific message."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` (editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def render_diagnostics(diagnostics: Sequence[Diagnostic]) -> str:
+    """All diagnostics, one per line."""
+    return "\n".join(d.render() for d in diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments
+# ---------------------------------------------------------------------------
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\[(?P<codes>[A-Za-z0-9,\s]*)\])?", re.IGNORECASE
+)
+
+
+def _noqa_map(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Map line number -> suppressed codes (``None`` = all rules)."""
+    suppressed: Dict[int, Optional[FrozenSet[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(tok.string)
+            if match is None:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                suppressed[tok.start[0]] = None
+            else:
+                suppressed[tok.start[0]] = frozenset(
+                    c.strip().upper() for c in codes.split(",") if c.strip()
+                )
+    except tokenize.TokenError:
+        pass  # Syntactically broken file; ast.parse will report it anyway.
+    return suppressed
+
+
+# ---------------------------------------------------------------------------
+# Rule tables
+# ---------------------------------------------------------------------------
+
+#: Canonical dotted names whose *call* reads the wall clock (DCM001).
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: numpy.random module attributes that are *not* stateful draws (DCM002).
+_NP_RANDOM_ALLOWED = frozenset({
+    "SeedSequence", "Generator", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+    "default_rng",  # handled separately: seed argument decides legality
+})
+
+#: Canonical dotted names that enumerate the filesystem (DCM007).
+_FS_LISTING_CALLS = frozenset({
+    "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+})
+
+#: Attribute names that enumerate the filesystem on pathlib objects (DCM007).
+_FS_LISTING_ATTRS = frozenset({"iterdir", "rglob"})
+
+#: Set-returning methods whose results must not be iterated bare (DCM003).
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+
+#: Names/attributes that denote a simulated-clock value (DCM004).
+_CLOCK_NAMES = frozenset({"now", "sim_time"})
+
+
+def _path_parts(path: str) -> Set[str]:
+    return set(os.path.normpath(path).split(os.sep))
+
+
+# ---------------------------------------------------------------------------
+# The AST pass
+# ---------------------------------------------------------------------------
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.diagnostics: List[Diagnostic] = []
+        # Local alias -> canonical dotted prefix ("np" -> "numpy",
+        # "datetime" -> "datetime.datetime" after `from datetime import datetime`).
+        self._aliases: Dict[str, str] = {}
+        # Names shadowed by assignment/def/class — stop resolving them.
+        self._shadowed: Set[str] = set()
+        # id()s of expressions appearing directly inside sorted(...)/list(... sorted).
+        self._ordered: Set[int] = set()
+        parts = _path_parts(path)
+        self._environ_exempt = bool(parts & {"runner", "benchmarks"})
+
+    # -- helpers -----------------------------------------------------------
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        self.diagnostics.append(Diagnostic(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        ))
+
+    def _dotted(self, node: ast.AST) -> Optional[str]:
+        """Dotted source name of an attribute chain, canonicalised."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = node.id
+        if head in self._shadowed:
+            return None
+        parts.append(head)
+        parts.reverse()
+        canonical = self._aliases.get(parts[0])
+        if canonical is not None:
+            parts[0:1] = canonical.split(".")
+        return ".".join(parts)
+
+    # -- imports / shadowing ------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self._aliases[local] = target
+            self._shadowed.discard(local)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                self._aliases[local] = f"{node.module}.{alias.name}"
+                self._shadowed.discard(local)
+        self.generic_visit(node)
+
+    def _shadow_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self._shadowed.add(target.id)
+            self._aliases.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._shadow_target(elt)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._shadow_target(target)
+        self.generic_visit(node)
+
+    # -- DCM005: mutable defaults -------------------------------------------
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+                and default.func.id not in self._shadowed
+            )
+            if mutable:
+                self._report(
+                    default, "DCM005",
+                    f"mutable default argument in {node.name}(); "
+                    "use None and construct inside the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._shadowed.add(node.name)
+        self._aliases.pop(node.name, None)
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._shadowed.add(node.name)
+        self._aliases.pop(node.name, None)
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._shadowed.add(node.name)
+        self._aliases.pop(node.name, None)
+        self.generic_visit(node)
+
+    # -- DCM003: unordered iteration ----------------------------------------
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+            return True
+        if isinstance(node, ast.Call):
+            if (isinstance(node.func, ast.Name)
+                    and node.func.id in ("set", "frozenset")
+                    and node.func.id not in self._shadowed):
+                return True
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SET_METHODS):
+                return True
+        return False
+
+    def _check_iterable(self, node: ast.AST) -> None:
+        if id(node) in self._ordered:
+            return
+        if self._is_set_expr(node):
+            self._report(
+                node, "DCM003",
+                "iterating a set: the order is undefined and can reach the "
+                "event queue; iterate sorted(...) instead",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for comp in node.generators:
+            self._check_iterable(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    # -- DCM004: float time equality ----------------------------------------
+    def _is_clock_value(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Attribute):
+            return node.attr in _CLOCK_NAMES
+        if isinstance(node, ast.Name):
+            return node.id in _CLOCK_NAMES
+        return False
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side, other in ((left, right), (right, left)):
+                if self._is_clock_value(side) and not isinstance(
+                    other, ast.Constant
+                ) or (
+                    self._is_clock_value(side)
+                    and isinstance(other, ast.Constant)
+                    and isinstance(other.value, (int, float))
+                ):
+                    self._report(
+                        node, "DCM004",
+                        "exact equality on a simulated-time value; floats "
+                        "accumulate error — use <=/>= or an explicit tolerance",
+                    )
+                    break
+            else:
+                continue
+            break
+        self.generic_visit(node)
+
+    # -- DCM006: environ reads ----------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # Exactly the `os.environ` node: every access form (`os.environ[k]`,
+        # `.get(...)`, `k in os.environ`, iteration) contains it once, so this
+        # reports each access a single time.  `os.getenv` (no attribute on
+        # environ) is caught in visit_Call.
+        if not self._environ_exempt and self._dotted(node) == "os.environ":
+            self._report(
+                node, "DCM006",
+                "os.environ access outside runner/ and benchmarks/; thread "
+                "configuration through specs instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        # `from os import environ` binds a bare name to os.environ.
+        if (not self._environ_exempt
+                and isinstance(node.ctx, ast.Load)
+                and self._dotted(node) == "os.environ"):
+            self._report(
+                node, "DCM006",
+                "os.environ access outside runner/ and benchmarks/; thread "
+                "configuration through specs instead",
+            )
+
+    # -- calls: DCM001 / DCM002 / DCM007 / DCM008 ----------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        # Anything directly inside sorted(...) is ordered downstream.
+        if (isinstance(node.func, ast.Name) and node.func.id == "sorted"
+                and node.func.id not in self._shadowed):
+            for arg in node.args:
+                self._ordered.add(id(arg))
+
+        dotted = self._dotted(node.func)
+
+        if dotted is not None:
+            if dotted in _WALL_CLOCK_CALLS:
+                self._report(
+                    node, "DCM001",
+                    f"{dotted}() reads the wall clock; simulation code must "
+                    "use env.now",
+                )
+            elif dotted == "random" or dotted.startswith("random."):
+                self._report(
+                    node, "DCM002",
+                    f"{dotted}() uses the process-global stdlib RNG; draw "
+                    "from a named RandomStreams stream",
+                )
+            elif dotted == "numpy.random.default_rng":
+                if not node.args and not node.keywords:
+                    self._report(
+                        node, "DCM002",
+                        "np.random.default_rng() without a seed is "
+                        "nondeterministic; seed it via RandomStreams",
+                    )
+                elif node.args and isinstance(node.args[0], ast.Constant):
+                    self._report(
+                        node, "DCM002",
+                        "np.random.default_rng(<literal>) hardcodes a seed "
+                        "outside the experiment's root seed; derive the "
+                        "generator from RandomStreams",
+                    )
+            elif (dotted.startswith("numpy.random.")
+                  and dotted.rsplit(".", 1)[1] not in _NP_RANDOM_ALLOWED):
+                self._report(
+                    node, "DCM002",
+                    f"{dotted}() draws from numpy's global RNG; draw from a "
+                    "named RandomStreams stream",
+                )
+            elif dotted == "os.getenv" and not self._environ_exempt:
+                self._report(
+                    node, "DCM006",
+                    "os.getenv outside runner/ and benchmarks/; thread "
+                    "configuration through specs instead",
+                )
+            elif dotted in _FS_LISTING_CALLS and id(node) not in self._ordered:
+                self._report(
+                    node, "DCM007",
+                    f"{dotted}() order depends on the filesystem; wrap the "
+                    "call in sorted()",
+                )
+            elif dotted == "hash":
+                self._report(
+                    node, "DCM008",
+                    "builtin hash() is salted per process (PYTHONHASHSEED); "
+                    "use hashlib for stable digests",
+                )
+
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _FS_LISTING_ATTRS
+                and id(node) not in self._ordered):
+            self._report(
+                node, "DCM007",
+                f".{node.func.attr}() order depends on the filesystem; wrap "
+                "the call in sorted()",
+            )
+
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Lint one source buffer; returns surviving diagnostics sorted by
+    position.  ``select`` restricts to the given rule codes."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        return [Diagnostic(
+            path=path, line=err.lineno or 1, col=(err.offset or 1) - 1,
+            code="DCM000", message=f"syntax error: {err.msg}",
+        )]
+    linter = _Linter(path)
+    linter.visit(tree)
+    suppressed = _noqa_map(source)
+    wanted = None if select is None else {c.upper() for c in select}
+    out: List[Diagnostic] = []
+    for diag in sorted(linter.diagnostics, key=lambda d: (d.line, d.col, d.code)):
+        if wanted is not None and diag.code not in wanted:
+            continue
+        codes = suppressed.get(diag.line, False)
+        if codes is None or (codes is not False and diag.code in codes):
+            continue
+        out.append(diag)
+    return out
+
+
+def lint_file(path: str, select: Optional[Sequence[str]] = None) -> List[Diagnostic]:
+    """Lint one ``.py`` file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return lint_source(fh.read(), path=path, select=select)
+
+
+def lint_paths(
+    paths: Sequence[str], select: Optional[Sequence[str]] = None
+) -> List[Diagnostic]:
+    """Lint files and directory trees (recursively, ``.py`` only).
+
+    Files are visited in sorted order so output — and therefore CI diffs —
+    is stable regardless of filesystem enumeration order.
+    """
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                files.extend(
+                    os.path.join(root, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".py")
+                )
+        else:
+            files.append(path)
+    diagnostics: List[Diagnostic] = []
+    for file_path in files:
+        diagnostics.extend(lint_file(file_path, select=select))
+    return diagnostics

@@ -1,0 +1,118 @@
+"""Sanitized smoke checks behind the ``repro check`` CLI command.
+
+Three fast end-to-end probes, all run with every sanitizer domain armed:
+
+``determinism``
+    Execute the same small steady-state point twice from one seed and
+    compare sha256 digests of the canonical JSON results.  Any wall-clock
+    read, stray RNG, or order-dependent iteration that reaches the event
+    queue shows up here as a digest mismatch.
+``invariants``
+    The steady-state runs above already exercise the inline sanitizer
+    hooks (clock monotonicity, pool accounting, request conservation);
+    this check reports that they ran violation-free.
+``lifecycle``
+    A miniature cluster scenario — provision, boot, serve, drain,
+    terminate — followed by the VM-lifecycle and billing audits.
+
+All imports of the heavyweight packages happen inside the functions so
+``repro.check`` stays importable before (and by) ``sim``/``ntier``/``runner``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.check import config as check_config
+from repro.check.sanitizer import audit_billing
+from repro.errors import InvariantViolation
+
+__all__ = ["SmokeOutcome", "result_digest", "run_smoke"]
+
+
+@dataclass(frozen=True)
+class SmokeOutcome:
+    """One smoke check's verdict."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def result_digest(encoded: Any) -> str:
+    """sha256 of the canonical JSON encoding of a point result."""
+    text = json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _steady_payload(seed: int, demand_scale: float) -> Dict[str, Any]:
+    from repro.runner import SteadySpec
+
+    return SteadySpec(
+        users=40,
+        workload="rubbos",
+        seed=seed,
+        demand_scale=demand_scale,
+        warmup=2.0,
+        duration=6.0,
+    ).payloads()[0]
+
+
+def _determinism_check(seed: int, demand_scale: float) -> List[SmokeOutcome]:
+    from repro.runner.points import run_payload
+
+    payload = _steady_payload(seed, demand_scale)
+    first, _ = run_payload(payload)
+    second, _ = run_payload(payload)
+    digests = (result_digest(first), result_digest(second))
+    if digests[0] != digests[1]:
+        return [SmokeOutcome(
+            "determinism", False,
+            f"same seed, different results: {digests[0][:12]} vs {digests[1][:12]}",
+        )]
+    return [
+        SmokeOutcome("determinism", True,
+                     f"two runs @ seed {seed} -> {digests[0][:12]}"),
+        SmokeOutcome("invariants", True,
+                     "sanitizer hooks ran violation-free during both runs"),
+    ]
+
+
+def _lifecycle_check() -> SmokeOutcome:
+    from repro.cluster import Hypervisor
+    from repro.sim import Environment
+
+    env = Environment()
+    hypervisor = Hypervisor(env, preparation_period=15.0)
+    vm, ready = hypervisor.provision("vm-smoke")
+    env.run(until=ready)
+    env.run(until=env.now + 30.0)
+    hypervisor.terminate(vm)
+    killed_mid_boot, _ = hypervisor.provision("vm-smoke-aborted")
+    env.run(until=env.now + 5.0)
+    hypervisor.terminate(killed_mid_boot)
+    env.run(until=env.now + 20.0)
+    audit_billing(hypervisor)
+    return SmokeOutcome(
+        "lifecycle", True,
+        f"billing matches RUNNING integral "
+        f"({hypervisor.billing.vm_seconds():.1f} VM-seconds)",
+    )
+
+
+def run_smoke(seed: int = 0, demand_scale: float = 1.0) -> List[SmokeOutcome]:
+    """Run every smoke check with all sanitizer domains armed."""
+    outcomes: List[SmokeOutcome] = []
+    with check_config.override(True):
+        try:
+            outcomes.extend(_determinism_check(seed, demand_scale))
+        except InvariantViolation as err:
+            outcomes.append(SmokeOutcome("invariants", False, str(err)))
+        try:
+            outcomes.append(_lifecycle_check())
+        except InvariantViolation as err:
+            outcomes.append(SmokeOutcome("lifecycle", False, str(err)))
+    return outcomes

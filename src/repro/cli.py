@@ -19,6 +19,12 @@ Gives operators the library's main entry points without writing Python:
     (``--spec``), printing the per-point table and engine telemetry.
 ``trace``
     Export a built-in workload trace to CSV (or describe it).
+``lint``
+    Static determinism lint (rules DCM001–DCM008) over source trees;
+    defaults to the installed ``repro`` package.  Exits 1 on findings.
+``check``
+    Sanitized smoke checks: two-run determinism digest, runtime invariant
+    sanitizer, and a VM lifecycle/billing audit.  Exits 1 on failure.
 
 Every simulation command routes through the experiment engine
 (:mod:`repro.runner`): ``--jobs N`` fans points out over N worker
@@ -31,9 +37,11 @@ DESIGN.md §2).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
+import repro
 from repro.analysis import stability_report
 from repro.analysis.experiments import build_system, trained_models
 from repro.analysis.persistence import save_curve, save_run
@@ -155,6 +163,32 @@ def build_parser() -> argparse.ArgumentParser:
     engine(p)
     p.add_argument("--name", choices=sorted(TRACES), default="large_variation")
     p.add_argument("--csv", help="write the trace to this CSV path")
+
+    p = sub.add_parser(
+        "lint", help="static determinism lint (DCM001-DCM008)"
+    )
+    p.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the repro package)",
+    )
+    p.add_argument(
+        "--select", type=lambda s: [c for c in s.split(",") if c],
+        default=None, metavar="CODES",
+        help="comma-separated rule codes to enable (default: all)",
+    )
+    p.add_argument(
+        "--rules", action="store_true",
+        help="print the rule table and exit",
+    )
+
+    p = sub.add_parser(
+        "check", help="sanitized determinism + invariant smoke checks"
+    )
+    p.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    p.add_argument(
+        "--demand-scale", type=float, default=1.0,
+        help="multiply CPU demands (speed knob; knees invariant)",
+    )
 
     return parser
 
@@ -342,6 +376,36 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.check import RULES, lint_paths, render_diagnostics
+
+    if args.rules:
+        rows = [[r.code, r.name, r.summary] for r in RULES]
+        print(render_table(["code", "name", "catches"], rows,
+                           title="determinism lint rules"))
+        return 0
+    paths = args.paths or [os.path.dirname(os.path.abspath(repro.__file__))]
+    diagnostics = lint_paths(paths, select=args.select)
+    if diagnostics:
+        print(render_diagnostics(diagnostics))
+        print(f"{len(diagnostics)} finding(s); "
+              "suppress a line with '# repro: noqa[DCM00x]' plus a reason")
+        return 1
+    print("determinism lint: clean")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import run_smoke
+
+    outcomes = run_smoke(seed=args.seed, demand_scale=args.demand_scale)
+    rows = [[o.name, "PASS" if o.passed else "FAIL", o.detail]
+            for o in outcomes]
+    print(render_table(["check", "verdict", "detail"], rows,
+                       title=f"sanitized smoke checks (seed {args.seed})"))
+    return 0 if all(o.passed for o in outcomes) else 1
+
+
 _COMMANDS = {
     "steady": cmd_steady,
     "knee": cmd_knee,
@@ -350,6 +414,8 @@ _COMMANDS = {
     "autoscale": cmd_autoscale,
     "sweep": cmd_sweep,
     "trace": cmd_trace,
+    "lint": cmd_lint,
+    "check": cmd_check,
 }
 
 

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.check import config as _checks
 from repro.cluster.vm import VirtualMachine
+from repro.errors import InvariantViolation
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Environment
@@ -27,6 +29,17 @@ class BillingMeter:
     # -- lifecycle hooks (called by the hypervisor) ----------------------------------
     def vm_started(self, vm: VirtualMachine) -> None:
         """Begin metering ``vm`` (it just entered RUNNING)."""
+        if _checks.active("lifecycle"):
+            if vm.vm_id in self._started:
+                raise InvariantViolation(
+                    "cluster.billing", "vm-seconds-integral", self.env.now,
+                    f"{vm.name} metered twice without an intervening stop",
+                )
+            if not vm.is_running:
+                raise InvariantViolation(
+                    "cluster.billing", "vm-lifecycle", self.env.now,
+                    f"metering started while {vm.name} is {vm.state.value}",
+                )
         self._started[vm.vm_id] = (vm, self.env.now)
 
     def vm_stopped(self, vm: VirtualMachine) -> None:
@@ -34,6 +47,12 @@ class BillingMeter:
         a VM killed before ever running was never billed."""
         entry = self._started.pop(vm.vm_id, None)
         if entry is not None:
+            if _checks.active("lifecycle") and self.env.now < entry[1]:
+                raise InvariantViolation(
+                    "cluster.billing", "vm-seconds-integral", self.env.now,
+                    f"{vm.name} interval would close before it opened "
+                    f"(start={entry[1]})",
+                )
             self._closed.append((vm, entry[1], self.env.now))
 
     # -- queries -------------------------------------------------------------------

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional
 
+from repro.check import config as _checks
+from repro.check.sanitizer import audit_billing, audit_vm
 from repro.cluster.billing import BillingMeter
 from repro.cluster.host import PhysicalHost
 from repro.cluster.vm import SMALL, VirtualMachine, VMProfile, VMState
@@ -109,6 +111,9 @@ class Hypervisor:
         self.billing.vm_stopped(vm)
         if vm.host is not None:
             vm.host.unplace(vm)
+        if _checks.active("lifecycle"):
+            audit_vm(vm, self.env.now)
+            audit_billing(self)
 
     # -- capacity queries ------------------------------------------------------------
     def total_capacity(self) -> dict:

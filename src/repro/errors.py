@@ -1,41 +1,108 @@
 """Exception hierarchy for the DCM reproduction library.
 
 All library-specific errors derive from :class:`ReproError` so callers can
-catch a single base class.  Simulation-control exceptions (``Interrupt``,
-``StopProcess``) live in :mod:`repro.sim.events` because they are part of the
-kernel's control flow rather than error reporting.
+catch a single base class.  Every class carries a stable, machine-readable
+``code`` (``DCM-*``) so logs, CI annotations, and structured reports can
+classify failures without string-matching messages.  Simulation-control
+exceptions (``Interrupt``, ``StopProcess``) live in :mod:`repro.sim.events`
+because they are part of the kernel's control flow rather than error
+reporting.
+
+:class:`InvariantViolation` is the sanitizer's error (see
+:mod:`repro.check`): it is raised when a runtime invariant of the simulated
+system — clock monotonicity, request conservation, pool accounting, VM
+lifecycle/billing agreement, cache-key round-tripping — is broken, and it
+carries structured context (component, invariant name, simulated time)
+alongside the human-readable message.
 """
 
 from __future__ import annotations
+
+from typing import ClassVar, Optional
 
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
 
+    #: Stable machine-readable identifier for this error class.
+    code: ClassVar[str] = "DCM-ERR"
+
 
 class SimulationError(ReproError):
     """An invariant of the discrete-event kernel was violated."""
+
+    code = "DCM-SIM"
 
 
 class ConfigurationError(ReproError):
     """A component was built or reconfigured with invalid parameters."""
 
+    code = "DCM-CONFIG"
+
 
 class CapacityError(ReproError):
     """An operation exceeded the capacity of a host, pool, or broker."""
+
+    code = "DCM-CAPACITY"
 
 
 class TopologyError(ReproError):
     """An n-tier topology was wired or scaled inconsistently."""
 
+    code = "DCM-TOPOLOGY"
+
 
 class ModelError(ReproError):
     """The concurrency-aware model could not be fitted or applied."""
+
+    code = "DCM-MODEL"
 
 
 class BrokerError(ReproError):
     """A message-broker operation failed (unknown topic, bad offset...)."""
 
+    code = "DCM-BROKER"
+
 
 class ControlError(ReproError):
     """A controller or actuator was asked to perform an invalid action."""
+
+    code = "DCM-CONTROL"
+
+
+class InvariantViolation(ReproError):
+    """A runtime sanity check (the ``repro.check`` sanitizer) failed.
+
+    Parameters
+    ----------
+    component:
+        Which part of the system broke the invariant (e.g. ``"sim.core"``,
+        ``"pool:tomcat-1.threads"``, ``"cluster.billing"``).
+    invariant:
+        Short stable name of the violated invariant (e.g.
+        ``"monotonic-clock"``, ``"request-conservation"``).
+    sim_time:
+        Simulated time at which the violation was detected, when a clock
+        was in scope.
+    detail:
+        Free-form diagnostic context (observed vs. expected values).
+    """
+
+    code = "DCM-INVARIANT"
+
+    def __init__(
+        self,
+        component: str,
+        invariant: str,
+        sim_time: Optional[float] = None,
+        detail: str = "",
+    ) -> None:
+        self.component = component
+        self.invariant = invariant
+        self.sim_time = sim_time
+        self.detail = detail
+        at = "" if sim_time is None else f" at t={sim_time:.6f}"
+        message = f"[{self.code}] {component}: invariant {invariant!r} violated{at}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)

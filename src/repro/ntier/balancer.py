@@ -45,7 +45,11 @@ class Balancer:
         the first eligible backend — the knob behind the paper's γ < linear
         scaling.
     rng:
-        numpy Generator used for the imbalance/random draws.
+        numpy Generator used for the imbalance/random draws.  Required for
+        stochastic configurations (``policy="random"`` or ``imbalance > 0``)
+        and must come from the experiment's
+        :class:`~repro.sim.rng.RandomStreams` so draws are reproducible
+        from the root seed; deterministic policies may omit it.
     """
 
     def __init__(
@@ -59,10 +63,15 @@ class Balancer:
             raise ConfigurationError(f"unknown policy {policy!r}; pick from {POLICIES}")
         if not 0.0 <= imbalance <= 1.0:
             raise ConfigurationError(f"imbalance must be in [0, 1], got {imbalance}")
+        if rng is None and (policy == "random" or imbalance > 0.0):
+            raise ConfigurationError(
+                f"{name}: policy={policy!r} with imbalance={imbalance} draws "
+                "random numbers; pass a generator from RandomStreams"
+            )
         self.name = name
         self.policy = policy
         self.imbalance = imbalance
-        self._rng = rng or np.random.default_rng(0)
+        self._rng = rng
         self._backends: List["TierServer"] = []
         self._rr_index = 0
         self._dispatches = 0

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
 
-from repro.errors import TopologyError
+from repro.check import config as _checks
+from repro.errors import InvariantViolation, TopologyError
 from repro.ntier.contention import ContentionModel
 from repro.ntier.request import Request
 from repro.sim.events import Event
@@ -57,6 +58,11 @@ class TierServer:
         self.failures = 0
         self.residence_time_total = 0.0
         self.queue_time_total = 0.0
+        # Independent in-flight ledger: incremented on admission, decremented
+        # on completion/failure.  ``outstanding`` is *derived* from the
+        # cumulative counters, so the sanitizer can cross-check the two and
+        # catch double-counted or lost requests (request conservation).
+        self._inflight = 0
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name} outstanding={self.outstanding}>"
@@ -76,6 +82,11 @@ class TierServer:
     def outstanding(self) -> int:
         """Interactions currently in flight (queued or in service)."""
         return self.arrivals - self.completions - self.failures
+
+    @property
+    def inflight(self) -> int:
+        """Independently tracked in-flight count (sanitizer cross-check)."""
+        return self._inflight
 
     def set_accepting(self, value: bool) -> None:
         """Administratively enable/disable admission (VM lifecycle hook)."""
@@ -119,6 +130,7 @@ class TierServer:
         if not self.accepting:
             raise TopologyError(f"{self.name} is not accepting requests")
         self.arrivals += 1
+        self._inflight += 1
         arrived = self.env.now
         interaction = request.trace(self.name, self.tier, arrived)
         return self.env.process(self._handle(request, arrived, interaction, kwargs))
@@ -129,16 +141,32 @@ class TierServer:
             yield from self._process(request, started_holder, **kwargs)
         except Exception:
             self.failures += 1
+            self._inflight -= 1
+            self._check_conservation()
             self._maybe_finish_drain()
             raise
         now = self.env.now
         self.completions += 1
+        self._inflight -= 1
         self.residence_time_total += now - arrived
         self.queue_time_total += started_holder[0] - arrived
         if interaction is not None:
             interaction.started = started_holder[0]
             interaction.completed = now
+        self._check_conservation()
         self._maybe_finish_drain()
+
+    def _check_conservation(self) -> None:
+        """Sanitizer hook: arrived == completed + dropped + in-flight."""
+        if not _checks.active("conservation"):
+            return
+        if (self._inflight != self.outstanding or self._inflight < 0
+                or self.completions < 0 or self.failures < 0):
+            raise InvariantViolation(
+                self.name, "request-conservation", self.env.now,
+                f"arrived={self.arrivals} != completed={self.completions} "
+                f"+ dropped={self.failures} + in_flight={self._inflight}",
+            )
 
     def _process(
         self, request: Request, started_holder: list, **kwargs: Any

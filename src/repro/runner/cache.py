@@ -31,13 +31,22 @@ def default_cache_dir() -> str:
 
 
 def point_key(payload: Dict[str, Any]) -> str:
-    """``sha256(canonical payload JSON + repro.__version__)``."""
-    from repro import __version__
+    """``sha256(canonical payload JSON + repro.__version__)``.
 
+    With the ``cache`` check domain armed (see :mod:`repro.check`), the
+    canonical JSON is decoded back and compared against the payload — a
+    payload that changes shape through JSON (tuples, NaN, non-string keys)
+    would silently decouple the cache key from what actually runs.
+    """
+    from repro import __version__
+    from repro.check import config as _checks
+    from repro.check.sanitizer import verify_payload_roundtrip
+
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    if _checks.active("cache"):
+        verify_payload_roundtrip(payload, text)
     digest = hashlib.sha256()
-    digest.update(
-        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
-    )
+    digest.update(text.encode("utf-8"))
     digest.update(b"\0")
     digest.update(__version__.encode("utf-8"))
     return digest.hexdigest()

@@ -137,9 +137,9 @@ def run_payload(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
     fn = _EXECUTORS.get(payload.get("kind"))
     if fn is None:
         raise ConfigurationError(f"unknown point kind {payload.get('kind')!r}")
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: noqa[DCM001] -- wall-clock telemetry, never reaches results
     encoded = fn(payload)
-    return encoded, time.perf_counter() - start
+    return encoded, time.perf_counter() - start  # repro: noqa[DCM001] -- telemetry
 
 
 def decode_result(kind: str, encoded: Dict[str, Any]) -> Any:

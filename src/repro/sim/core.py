@@ -23,7 +23,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, Iterable, Optional
 
-from repro.errors import SimulationError
+from repro.check import config as _checks
+from repro.errors import InvariantViolation, SimulationError
 from repro.sim.events import (
     NORMAL,
     Condition,
@@ -110,6 +111,12 @@ class Environment:
         if not self._heap:
             raise SimulationError("step() on an empty event heap")
         when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self._now and _checks.active("clock"):
+            raise InvariantViolation(
+                "sim.core", "monotonic-clock", self._now,
+                f"event scheduled at t={when!r} popped after the clock "
+                f"reached {self._now!r}",
+            )
         self._now = when
         self._active_event = event
         callbacks = event._mark_processed()

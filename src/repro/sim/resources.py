@@ -13,7 +13,8 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Deque, Optional
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.check import config as _checks
+from repro.errors import ConfigurationError, InvariantViolation, SimulationError
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -69,15 +70,22 @@ class Resource:
         self._capacity = int(capacity)
         self._in_use = 0
         self._queue: Deque[Acquire] = deque()
+        # Lifetime grant/release ledger; the sanitizer cross-checks it
+        # against ``in_use`` (see repro.check.sanitizer.audit_resource).
+        self._grants_total = 0
+        self._releases_total = 0
         # Time-weighted occupancy accounting for monitoring.
         self._occupancy_integral = 0.0
         self._last_change = env.now
 
     def __repr__(self) -> str:
         return (
-            f"<Resource {self.name or id(self):#x} {self._in_use}/{self._capacity}"
+            f"<Resource {self._label()} {self._in_use}/{self._capacity}"
             f" queued={len(self._queue)}>"
         )
+
+    def _label(self) -> str:
+        return self.name or f"{id(self):#x}"
 
     # -- introspection ------------------------------------------------------
     @property
@@ -101,6 +109,16 @@ class Resource:
         """Number of acquisitions waiting in the FIFO queue."""
         return len(self._queue)
 
+    @property
+    def grants_total(self) -> int:
+        """Slots ever granted over the resource's lifetime."""
+        return self._grants_total
+
+    @property
+    def releases_total(self) -> int:
+        """Slots ever released over the resource's lifetime."""
+        return self._releases_total
+
     def occupancy_integral(self) -> float:
         """Integral of ``in_use`` over time (for time-averaged occupancy)."""
         return self._occupancy_integral + self._in_use * (self.env.now - self._last_change)
@@ -119,9 +137,26 @@ class Resource:
         """Return the slot held by ``req`` and admit the next waiter."""
         if not req.granted:
             raise SimulationError("release() of an acquisition that was never granted")
+        if req.resource is not self and _checks.active("pools"):
+            raise InvariantViolation(
+                f"resource:{self._label()}",
+                "foreign-handle-release", self.env.now,
+                f"handle was issued by {req.resource.name or 'another resource'!r}",
+            )
         req.granted = False
         self._account()
         self._in_use -= 1
+        self._releases_total += 1
+        if _checks.active("pools") and (
+            self._in_use < 0
+            or self._grants_total - self._releases_total != self._in_use
+        ):
+            raise InvariantViolation(
+                f"resource:{self._label()}",
+                "acquire-release-pairing", self.env.now,
+                f"grants={self._grants_total} releases={self._releases_total} "
+                f"but in_use={self._in_use}",
+            )
         self._admit()
 
     def resize(self, capacity: int) -> None:
@@ -145,6 +180,13 @@ class Resource:
     def _grant(self, req: Acquire) -> None:
         self._account()
         self._in_use += 1
+        self._grants_total += 1
+        if self._in_use > self._capacity and _checks.active("pools"):
+            raise InvariantViolation(
+                f"resource:{self._label()}",
+                "occupancy-within-capacity", self.env.now,
+                f"granted slot #{self._in_use} with capacity {self._capacity}",
+            )
         req.granted = True
         req.succeed(req)
 

@@ -1,0 +1,23 @@
+"""Shared test configuration.
+
+Every tier-1 test runs with the ``repro.check`` runtime sanitizer armed
+(the equivalent of ``REPRO_CHECK=1``), so a regression that breaks clock
+monotonicity, pool accounting, request conservation, VM lifecycle/billing
+agreement, or cache-key round-tripping fails loudly in whichever test
+first trips it — not silently in a paper figure.
+
+Session-scoped on purpose: the configuration is constant for the whole
+run, and a function-scoped autouse fixture would trip hypothesis's
+``function_scoped_fixture`` health check in the property tests.
+"""
+
+import pytest
+
+from repro.check import config as check_config
+
+
+@pytest.fixture(autouse=True, scope="session")
+def repro_runtime_checks():
+    """Arm every sanitizer domain for the entire test session."""
+    with check_config.override(True):
+        yield

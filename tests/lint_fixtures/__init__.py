@@ -1,0 +1,7 @@
+"""Tiny good/bad modules exercising each determinism-lint rule.
+
+``bad_dcm00x.py`` must trigger exactly rule DCM00x (at the lines the test
+table records); ``good_dcm00x.py`` is the deterministic way to write the
+same thing and must lint clean.  ``noqa_suppressed.py`` carries real
+violations silenced by inline ``# repro: noqa`` comments.
+"""

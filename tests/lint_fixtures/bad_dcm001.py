@@ -1,0 +1,10 @@
+"""Wall-clock reads in simulation code (DCM001)."""
+import time
+from datetime import datetime
+
+
+def sample_clock():
+    started = time.time()
+    stamp = datetime.now()
+    elapsed = time.perf_counter()
+    return started, stamp, elapsed

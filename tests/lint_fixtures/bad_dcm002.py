@@ -1,0 +1,12 @@
+"""Randomness outside RandomStreams (DCM002)."""
+import random
+
+import numpy as np
+
+
+def draw():
+    a = random.random()
+    b = np.random.default_rng()
+    c = np.random.default_rng(1234)
+    d = np.random.normal(0.0, 1.0)
+    return a, b, c, d

@@ -1,0 +1,11 @@
+"""Iteration over unordered sets (DCM003)."""
+
+
+def visit(items, extra):
+    order = []
+    for name in {"db", "app", "web"}:
+        order.append(name)
+    doubled = [value * 2 for value in set(items)]
+    for member in items.union(extra):
+        order.append(member)
+    return order, doubled

@@ -1,0 +1,9 @@
+"""Exact equality on simulated-time floats (DCM004)."""
+
+
+def at_deadline(env, deadline):
+    return env.now == deadline
+
+
+def never_started(now):
+    return now != 0.0

@@ -1,0 +1,11 @@
+"""Mutable default arguments (DCM005)."""
+
+
+def record(value, bucket=[]):
+    bucket.append(value)
+    return bucket
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts

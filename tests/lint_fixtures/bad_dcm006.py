@@ -1,0 +1,9 @@
+"""Environment reads outside runner/ and benchmarks/ (DCM006)."""
+import os
+
+
+def configured():
+    home = os.environ["HOME"]
+    debug = os.getenv("DEBUG")
+    armed = "REPRO_CHECK" in os.environ
+    return home, debug, armed

@@ -1,0 +1,10 @@
+"""Unsorted filesystem enumeration (DCM007)."""
+import glob
+import os
+
+
+def snapshots(root, path):
+    names = os.listdir(root)
+    matches = glob.glob("*.json")
+    entries = [p for p in path.iterdir()]
+    return names, matches, entries

@@ -1,0 +1,6 @@
+"""Simulated time comes from the environment clock (DCM001 clean)."""
+
+
+def sample_clock(env):
+    started = env.now
+    return started

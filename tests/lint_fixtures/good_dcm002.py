@@ -1,0 +1,9 @@
+"""All randomness derives from the experiment's root seed (DCM002 clean)."""
+import numpy as np
+
+
+def draw(streams):
+    gen = streams.stream("fixture.demand")
+    seq = np.random.SeedSequence(entropy=7, spawn_key=(1,))
+    rng = np.random.default_rng(seq)
+    return gen.exponential(1.0), rng.normal()

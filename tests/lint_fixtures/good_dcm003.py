@@ -1,0 +1,11 @@
+"""Sets are sorted before their order can matter (DCM003 clean)."""
+
+
+def visit(items, extra):
+    order = []
+    for name in sorted({"db", "app", "web"}):
+        order.append(name)
+    doubled = [value * 2 for value in sorted(set(items))]
+    for member in sorted(items.union(extra)):
+        order.append(member)
+    return order, doubled

@@ -1,0 +1,9 @@
+"""Simulated-time comparisons use ordering or tolerance (DCM004 clean)."""
+
+
+def at_deadline(env, deadline):
+    return env.now >= deadline
+
+
+def near_deadline(env, deadline):
+    return abs(env.now - deadline) < 1e-9

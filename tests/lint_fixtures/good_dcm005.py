@@ -1,0 +1,7 @@
+"""Defaults are None; containers are built per call (DCM005 clean)."""
+
+
+def record(value, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(value)
+    return bucket

@@ -1,0 +1,6 @@
+"""Configuration arrives through the spec, not the environment (DCM006
+clean)."""
+
+
+def configured(spec):
+    return spec.demand_scale, spec.seed

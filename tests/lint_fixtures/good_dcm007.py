@@ -1,0 +1,10 @@
+"""Filesystem listings are sorted before use (DCM007 clean)."""
+import glob
+import os
+
+
+def snapshots(root, path):
+    names = sorted(os.listdir(root))
+    matches = sorted(glob.glob("*.json"))
+    entries = sorted(path.iterdir())
+    return names, matches, entries

@@ -1,0 +1,11 @@
+"""Stable digests come from hashlib (DCM008 clean)."""
+import hashlib
+import zlib
+
+
+def bucket_for(name, buckets):
+    return zlib.crc32(name.encode("utf-8")) % buckets
+
+
+def digest_for(name):
+    return hashlib.sha256(name.encode("utf-8")).hexdigest()
