@@ -1,0 +1,54 @@
+"""Kernel microbenchmarks: event dispatch, timeouts, pools, conditions, Fig 5.
+
+Unlike the figure benches this one regenerates no paper artefact — it
+tracks the *speed of the simulator itself*, the denominator of every other
+experiment.  The scenarios live in :mod:`repro.perf.kernel`; this harness
+runs the quick suite once, emits the rendered table to ``out/``, and
+asserts the report invariants the CI perf gate relies on (schema tag,
+every scenario present armed and disarmed, identical same-seed digests).
+
+Run standalone for the full suite and a committed-baseline comparison::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py --baseline BENCH_kernel.json
+
+which is exactly ``repro perf`` (see DESIGN.md, "Kernel performance").
+"""
+
+import sys
+
+import pytest
+
+from benchmarks.common import emit, once
+from repro.perf import SCHEMA, autoscale_digest, run_fig5
+from repro.perf.suite import render_report, run_suite
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_kernel_suite(benchmark):
+    report = once(benchmark, lambda: run_suite(quick=True))
+    emit("kernel_microbenchmarks", render_report(report))
+
+    assert report["schema"] == SCHEMA
+    for label in ("disarmed", "armed"):
+        rows = report["suites"][label]
+        for name in ("event-dispatch", "timeout-churn", "acquire-release",
+                     "condition-fanin", "fig5-autoscale"):
+            assert rows[name]["ops_per_sec"] > 0
+    assert report["headline"]["event_throughput"] > 0
+    assert report["headline"]["normalized"] > 0
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_kernel_same_seed_digest(benchmark):
+    """Two same-seed Fig-5 runs must be bit-identical (digest equality)."""
+    first = autoscale_digest(once(benchmark, run_fig5))
+    second = autoscale_digest(run_fig5())
+    assert first == second
+
+
+if __name__ == "__main__":
+    from repro.perf.suite import main
+
+    sys.exit(main(sys.argv[1:]))

@@ -14,6 +14,13 @@ Hot paths guard each check with ``config.active("<domain>")`` so a disabled
 sanitizer costs one ``None`` test per hook.  Checks are grouped into
 domains (:class:`ReproCheckConfig` fields) so a caller can, say, keep pool
 accounting armed while skipping the billing audit.
+
+The kernel hot paths in :mod:`repro.sim` go one step further: they cache
+the result of ``active("<domain>")`` in a module-level boolean and register
+a :func:`subscribe` callback so the cached flag is re-resolved whenever the
+configuration changes (``enable``/``disable``/``override`` enter *and*
+exit).  A disarmed check then costs a single global load per event instead
+of a function call plus attribute lookups.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, Optional, Union
+from typing import Callable, Iterator, List, Optional, Union
 
 #: Environment values that mean "off" for ``REPRO_CHECK``.
 _FALSEY = ("", "0", "false", "off", "no")
@@ -67,6 +74,27 @@ def _from_env() -> Optional[ReproCheckConfig]:
 
 _config: Optional[ReproCheckConfig] = _from_env()
 
+#: Callbacks re-run on every configuration change (see :func:`subscribe`).
+_subscribers: List[Callable[[], None]] = []
+
+
+def subscribe(callback: Callable[[], None]) -> None:
+    """Invoke ``callback`` now and after every configuration change.
+
+    Hot-path modules use this to keep a cached ``active("<domain>")``
+    boolean current instead of calling :func:`active` per event.  The
+    callback takes no arguments and should re-read whatever it caches via
+    :func:`active`/:func:`current`.  Subscriptions are process-wide and
+    permanent (modules subscribe once at import).
+    """
+    _subscribers.append(callback)
+    callback()
+
+
+def _notify() -> None:
+    for callback in _subscribers:
+        callback()
+
 
 def current() -> Optional[ReproCheckConfig]:
     """The active configuration, or ``None`` when the sanitizer is off."""
@@ -87,6 +115,7 @@ def enable(config: Optional[ReproCheckConfig] = None) -> ReproCheckConfig:
     """Arm the sanitizer process-wide (all domains unless ``config`` given)."""
     global _config
     _config = config if config is not None else ReproCheckConfig()
+    _notify()
     return _config
 
 
@@ -94,6 +123,7 @@ def disable() -> None:
     """Disarm the sanitizer process-wide."""
     global _config
     _config = None
+    _notify()
 
 
 @contextmanager
@@ -113,7 +143,9 @@ def override(
         _config = None
     else:
         _config = config
+    _notify()
     try:
         yield _config
     finally:
         _config = previous
+        _notify()

@@ -25,6 +25,12 @@ Gives operators the library's main entry points without writing Python:
 ``check``
     Sanitized smoke checks: two-run determinism digest, runtime invariant
     sanitizer, and a VM lifecycle/billing audit.  Exits 1 on failure.
+``perf``
+    Kernel microbenchmarks (event dispatch, timeout churn, pool cycles,
+    condition fan-in, a Fig-5-shaped autoscale run), armed and disarmed,
+    written to ``BENCH_kernel.json``.  ``--baseline FILE`` compares the
+    machine-normalized event throughput against a committed report and
+    exits 1 on a regression beyond ``--tolerance`` (default 25%).
 
 Every simulation command routes through the experiment engine
 (:mod:`repro.runner`): ``--jobs N`` fans points out over N worker
@@ -188,6 +194,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--demand-scale", type=float, default=1.0,
         help="multiply CPU demands (speed knob; knees invariant)",
+    )
+
+    p = sub.add_parser(
+        "perf", help="kernel microbenchmarks -> BENCH_kernel.json"
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="smaller op counts / fewer repetitions (the CI setting)",
+    )
+    p.add_argument(
+        "--out", default="BENCH_kernel.json", metavar="FILE",
+        help="report path (default BENCH_kernel.json)",
+    )
+    p.add_argument(
+        "--baseline", metavar="FILE",
+        help="compare against this committed report; exit 1 on regression",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="FRAC",
+        help="allowed fractional drop in normalized event throughput "
+             "(default 0.25)",
     )
 
     return parser
@@ -406,6 +433,27 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if all(o.passed for o in outcomes) else 1
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        compare_reports, load_report, render_report, run_suite, save_report,
+    )
+
+    report = run_suite(quick=args.quick)
+    print(render_report(report))
+    save_report(report, args.out)
+    print(f"report written to {args.out}")
+    if args.baseline:
+        problems = compare_reports(
+            report, load_report(args.baseline), tolerance=args.tolerance
+        )
+        if problems:
+            for problem in problems:
+                print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"within {args.tolerance:.0%} of baseline {args.baseline}")
+    return 0
+
+
 _COMMANDS = {
     "steady": cmd_steady,
     "knee": cmd_knee,
@@ -416,6 +464,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "lint": cmd_lint,
     "check": cmd_check,
+    "perf": cmd_perf,
 }
 
 

@@ -1,0 +1,38 @@
+"""Continuous kernel microbenchmarks (``repro perf``).
+
+:mod:`repro.perf.kernel` defines the scenarios (event dispatch, timeout
+churn, pool cycles, condition fan-in, a Fig-5-shaped autoscale run) plus
+the same-seed digest helpers the kernel regression test pins; :mod:`repro.perf.suite`
+runs them armed and disarmed and emits/compares the stable
+``BENCH_kernel.json`` report the CI perf gate tracks.
+"""
+
+from repro.perf.kernel import (
+    MICRO_BENCHES,
+    autoscale_digest,
+    digest_payload,
+    fig5_scenario,
+    run_fig5,
+)
+from repro.perf.suite import (
+    SCHEMA,
+    compare_reports,
+    load_report,
+    render_report,
+    run_suite,
+    save_report,
+)
+
+__all__ = [
+    "MICRO_BENCHES",
+    "SCHEMA",
+    "autoscale_digest",
+    "compare_reports",
+    "digest_payload",
+    "fig5_scenario",
+    "load_report",
+    "render_report",
+    "run_fig5",
+    "run_suite",
+    "save_report",
+]

@@ -1,0 +1,168 @@
+"""The ``repro perf`` suite runner and its ``BENCH_kernel.json`` schema.
+
+Running the suite executes every kernel scenario from
+:mod:`repro.perf.kernel` twice — once with the runtime sanitizer disarmed
+(production configuration) and once with every domain armed — plus a pure
+Python *calibration loop* that measures the host's interpreter speed.  The
+report it emits is a stable, machine-comparable JSON document:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench-kernel/1",
+      "quick": false,
+      "python": "3.11.7",
+      "platform": "Linux-...",
+      "calibration_mops": 24.1,
+      "suites": {
+        "disarmed": {"event-dispatch": {"ops": 200000, "seconds": 0.21,
+                                        "ops_per_sec": 952000.0}, ...},
+        "armed":    {...}
+      },
+      "headline": {"event_throughput": 952000.0, "normalized": 39.5}
+    }
+
+``headline.event_throughput`` is the disarmed ``event-dispatch`` rate —
+the kernel's raw dispatch speed.  ``headline.normalized`` divides it by
+the calibration rate, yielding a machine-independent figure CI can gate
+on: a slower runner lowers both numerator and denominator, so only a
+*kernel* regression moves the ratio.
+
+Wall-clock reads here are the measurement itself and never feed a
+simulation, hence the ``DCM001`` suppressions.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from time import perf_counter  # repro: noqa[DCM001] -- benchmark timing is the product here
+from typing import Any, Dict, List, Optional
+
+from repro.check import config as check_config
+from repro.errors import ConfigurationError
+from repro.perf import kernel
+
+#: Schema tag; bump when the report layout changes incompatibly.
+SCHEMA = "repro-bench-kernel/1"
+
+#: Best-of repetitions for the micro scenarios (full, quick).
+REPS = (5, 3)
+
+#: Calibration loop iterations (full, quick).
+CALIBRATION_OPS = (2_000_000, 500_000)
+
+
+def calibrate(ops: int) -> float:
+    """Millions of trivial interpreter loop iterations per second."""
+    start = perf_counter()  # repro: noqa[DCM001] -- benchmark timing
+    acc = 0
+    for i in range(ops):
+        acc += i
+    elapsed = perf_counter() - start  # repro: noqa[DCM001] -- benchmark timing
+    return ops / elapsed / 1e6
+
+
+def _best_of(fn, *args, reps: int) -> Dict[str, Any]:
+    ops, best = 0, float("inf")
+    for _ in range(reps):
+        ops, seconds = fn(*args)
+        if seconds < best:
+            best = seconds
+    return {"ops": ops, "seconds": best, "ops_per_sec": ops / best}
+
+
+def run_suite(quick: bool = False) -> Dict[str, Any]:
+    """Run every scenario armed and disarmed; return the report dict."""
+    idx = 1 if quick else 0
+    reps = REPS[idx]
+    suites: Dict[str, Dict[str, Any]] = {}
+    for label, armed in (("disarmed", False), ("armed", True)):
+        with check_config.override(armed):
+            rows: Dict[str, Any] = {}
+            for name, fn in kernel.MICRO_BENCHES.items():
+                rows[name] = _best_of(fn, kernel.SIZES[name][idx], reps=reps)
+            rows["fig5-autoscale"] = _best_of(kernel.bench_fig5, quick, reps=1)
+            suites[label] = rows
+    calibration = calibrate(CALIBRATION_OPS[idx])
+    throughput = suites["disarmed"]["event-dispatch"]["ops_per_sec"]
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "calibration_mops": round(calibration, 3),
+        "suites": suites,
+        "headline": {
+            "event_throughput": round(throughput, 1),
+            "normalized": round(throughput / (calibration * 1e6), 6),
+        },
+    }
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable table of a suite report."""
+    from repro.analysis.tables import render_table
+
+    rows: List[List[object]] = []
+    for label in ("disarmed", "armed"):
+        for name, row in report["suites"][label].items():
+            rows.append([label, name, f"{row['ops_per_sec']:,.0f}",
+                         f"{row['seconds']:.3f}", row["ops"]])
+    rows.append(["-", "calibration (Mops/s)",
+                 f"{report['calibration_mops']:,.3f}", "-", "-"])
+    rows.append(["-", "normalized throughput",
+                 f"{report['headline']['normalized']:.3f}", "-", "-"])
+    title = "kernel microbenchmarks" + (" [quick]" if report["quick"] else "")
+    return render_table(["checks", "scenario", "ops/sec", "best (s)", "ops"],
+                        rows, title=title)
+
+
+def save_report(report: Dict[str, Any], path: str) -> None:
+    """Write the report as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    if report.get("schema") != SCHEMA:
+        raise ConfigurationError(
+            f"{path}: unsupported bench schema {report.get('schema')!r} "
+            f"(expected {SCHEMA!r})"
+        )
+    return report
+
+
+def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
+                    tolerance: float = 0.25) -> List[str]:
+    """Regressions of ``current`` vs ``baseline``; empty when within bounds.
+
+    Gates on the *normalized* event throughput (dispatch rate divided by
+    the host's calibration rate) so a slower CI runner does not read as a
+    kernel regression; ``tolerance`` is the allowed fractional drop.
+    """
+    problems: List[str] = []
+    base = baseline["headline"]["normalized"]
+    cur = current["headline"]["normalized"]
+    floor = base * (1.0 - tolerance)
+    if cur < floor:
+        problems.append(
+            f"normalized event throughput regressed: {cur:.3f} < "
+            f"{floor:.3f} (baseline {base:.3f} - {tolerance:.0%})"
+        )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover - thin CLI shim
+    """Entry point used by ``benchmarks/bench_kernel.py``."""
+    from repro.cli import main as cli_main
+
+    return cli_main(["perf"] + list(argv or []))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

@@ -16,17 +16,39 @@ Example
 >>> env.run()
 >>> proc.value
 3.0
+
+Performance notes
+-----------------
+:meth:`Environment.run` is the kernel's innermost loop — every simulated
+event in every experiment passes through it — so it inlines the work of
+:meth:`step` (heap pop, clock advance, callback dispatch) with
+function-local bindings instead of calling ``self.step()`` per event, and
+splits into a guard-free fast loop when there is no ``until`` bound.
+:meth:`step` keeps the identical one-event semantics for callers that
+single-step.  The monotonic-clock sanitizer guard reads a module-level
+boolean (``_CLOCK_CHECK``) kept current by a :func:`repro.check.config.subscribe`
+callback rather than calling ``config.active("clock")`` per event; ``run``
+binds it to a loop-local once on entry, so (dis)arming the sanitizer takes
+effect at the next ``run``/``step`` call.
+
+A still-``PENDING`` event popped off the heap is, by construction, a
+:class:`Process` placeholder for its own first resume (see
+``Process.__init__``); the dispatch loops recognise it and call
+``Process._start`` directly.  Consequently only *triggered* events may be
+passed to :meth:`schedule`.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, Optional
 
 from repro.check import config as _checks
 from repro.errors import InvariantViolation, SimulationError
 from repro.sim.events import (
     NORMAL,
+    PENDING,
+    PROCESSED,
     Condition,
     Event,
     Process,
@@ -34,6 +56,26 @@ from repro.sim.events import (
     all_of,
     any_of,
 )
+
+#: Cached ``config.active("clock")``; re-resolved whenever the sanitizer
+#: configuration changes.
+_CLOCK_CHECK = False
+
+
+def _refresh_check_flags() -> None:
+    global _CLOCK_CHECK
+    _CLOCK_CHECK = _checks.active("clock")
+
+
+_checks.subscribe(_refresh_check_flags)
+
+
+def _clock_violation(now: float, when: float) -> InvariantViolation:
+    return InvariantViolation(
+        "sim.core", "monotonic-clock", now,
+        f"event scheduled at t={when!r} popped after the clock "
+        f"reached {now!r}",
+    )
 
 
 class Environment:
@@ -96,11 +138,11 @@ class Environment:
 
     # -- scheduling -----------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
-        """Place a triggered ``event`` on the heap ``delay`` seconds from now."""
+        """Place a *triggered* ``event`` on the heap ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        heappush(self._heap, (self._now + delay, priority, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
@@ -110,23 +152,26 @@ class Environment:
         """Process exactly one event, advancing the clock to its fire time."""
         if not self._heap:
             raise SimulationError("step() on an empty event heap")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
-        if when < self._now and _checks.active("clock"):
-            raise InvariantViolation(
-                "sim.core", "monotonic-clock", self._now,
-                f"event scheduled at t={when!r} popped after the clock "
-                f"reached {self._now!r}",
-            )
+        when, _prio, _seq, event = heappop(self._heap)
+        if when < self._now and _CLOCK_CHECK:
+            raise _clock_violation(self._now, when)
         self._now = when
-        self._active_event = event
-        callbacks = event._mark_processed()
-        for callback in callbacks:
-            callback(event)
-        self._active_event = None
-        if not event.ok and not callbacks and isinstance(event, Process):
+        if event._state == PENDING:
+            # A process's directly-scheduled first resume.
+            event._start()
+            return
+        event._state = PROCESSED
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            self._active_event = event
+            for callback in callbacks:
+                callback(event)
+            self._active_event = None
+        elif not event._ok and isinstance(event, Process):
             # A failed process nobody is waiting on: surface the error rather
             # than dropping it silently.
-            raise event.value
+            raise event._value
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.
@@ -147,20 +192,79 @@ class Environment:
                     f"run(until={stop_time}) is in the past (now={self._now})"
                 )
 
-        while self._heap:
-            if stop_event is not None and stop_event.processed:
+        # Hot loop: inlined step() with local bindings.  The unbounded case
+        # (no stop event, no stop time) runs a dedicated loop without the
+        # per-event stop checks.  Both loops are semantically identical to
+        # step(); event states are the literal PENDING=0 / PROCESSED=2.
+        heap = self._heap
+        pop = heappop
+        clock_check = _CLOCK_CHECK  # resolved once per run() entry
+        now = self._now
+        # The clock lives in the loop-local ``now``; ``self._now`` is only
+        # written at points where user code can observe it (process resume,
+        # callback dispatch, an escaping exception) and once when the loop
+        # ends.  Events with no observers never pay the attribute store.
+        if stop_event is None and stop_time == float("inf"):
+            while heap:
+                when, _prio, _seq, event = pop(heap)
+                if clock_check and when < now:
+                    self._now = now
+                    raise _clock_violation(now, when)
+                now = when
+                if event._state == 0:
+                    self._now = now
+                    event._start()
+                    continue
+                event._state = 2
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    self._now = now
+                    self._active_event = event
+                    for callback in callbacks:
+                        callback(event)
+                    self._active_event = None
+                elif not event._ok and isinstance(event, Process):
+                    self._now = now
+                    raise event._value
+            self._now = now
+            return None
+
+        while heap:
+            if stop_event is not None and stop_event._state == 2:
                 break
-            if self.peek() > stop_time:
+            if heap[0][0] > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            when, _prio, _seq, event = pop(heap)
+            if clock_check and when < now:
+                self._now = now
+                raise _clock_violation(now, when)
+            now = when
+            if event._state == 0:
+                self._now = now
+                event._start()
+                continue
+            event._state = 2
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                self._now = now
+                self._active_event = event
+                for callback in callbacks:
+                    callback(event)
+                self._active_event = None
+            elif not event._ok and isinstance(event, Process):
+                self._now = now
+                raise event._value
+        self._now = now
 
         if stop_event is not None:
-            if not stop_event.processed:
+            if stop_event._state != PROCESSED:
                 raise SimulationError("run() ended before its `until` event fired")
-            if not stop_event.ok:
-                raise stop_event.value
-            return stop_event.value
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
         if stop_time != float("inf") and self._now < stop_time:
             self._now = stop_time
         return None

@@ -15,10 +15,24 @@ Only :class:`Process`, :class:`Timeout`, :class:`Condition` and the resource
 request events from :mod:`repro.sim.resources` are usually instantiated
 directly by user code; everything else goes through the convenience methods
 on :class:`repro.sim.core.Environment`.
+
+Performance notes
+-----------------
+Everything in this module sits on the simulation hot path — every request,
+timeout, and pool grant in an experiment flows through it millions of
+times — so the implementations deliberately trade a little repetition for
+speed: triggering pushes onto the environment heap directly instead of
+going through :meth:`Environment.schedule`, :class:`Timeout` initialises
+its slots inline rather than chaining ``super().__init__``, and
+:meth:`Process._resume` reads the private ``_ok``/``_value`` slots instead
+of the public properties.  A new :class:`Process` consumes one heap entry
+(its own first resume, scheduled directly) and allocates **no**
+initialisation event.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -99,7 +113,9 @@ class Event:
         self._ok = True
         self._value = value
         self._state = TRIGGERED
-        self.env.schedule(self, delay=0.0, priority=priority)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (env._now, priority, seq, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -111,7 +127,9 @@ class Event:
         self._ok = False
         self._value = exception
         self._state = TRIGGERED
-        self.env.schedule(self, delay=0.0, priority=priority)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (env._now, priority, seq, self))
         return self
 
     # -- internal -----------------------------------------------------------
@@ -130,12 +148,32 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
-        self.delay = delay
+        # Inline Event.__init__ plus direct heap insertion: timeouts are the
+        # single most allocated event type, so they skip two method calls.
+        self.env = env
+        self.callbacks = []
         self._value = value
         self._ok = True
         self._state = TRIGGERED
-        env.schedule(self, delay=delay)
+        self.delay = delay
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (env._now + delay, NORMAL, seq, self))
+
+
+class _InitSentinel:
+    """Stand-in "event" a process's very first resume is driven with.
+
+    It only needs the two slots :meth:`Process._resume` reads; using one
+    shared immutable instance lets a new process go straight onto the heap
+    without allocating a per-process initialisation :class:`Event`.
+    """
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_INIT = _InitSentinel()
 
 
 class Process(Event):
@@ -144,9 +182,15 @@ class Process(Event):
     The process *is itself an event* that fires when the generator returns
     (with its return value) or raises (failing with the exception).  That
     allows processes to wait on each other simply by yielding a process.
+
+    A process's body must yield :class:`Event` instances only.  Yielding
+    anything else deterministically *fails the process* with a
+    :class:`SimulationError` (after throwing that error into the generator
+    so ``finally`` blocks run); the error then propagates to whoever waits
+    on the process, or out of :meth:`Environment.run` if nobody does.
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_defused")
 
     def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
         if not hasattr(generator, "send"):
@@ -154,12 +198,14 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
-        # Kick the process off via an already-triggered initialisation event.
-        init = Event(env)
-        init._ok = True
-        init._state = TRIGGERED
-        init.callbacks.append(self._resume)
-        env.schedule(init, delay=0.0, priority=URGENT)
+        self._defused = False
+        # Schedule the first resume directly: the still-PENDING process on
+        # the heap *is* the placeholder (Environment.step recognises it and
+        # calls _start).  No initialisation Event is allocated, and the
+        # sequence-number consumption matches the old init-event scheme
+        # exactly, so same-seed event ordering is unchanged.
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (env._now, URGENT, seq, self))
 
     @property
     def is_alive(self) -> bool:
@@ -178,40 +224,62 @@ class Process(Event):
         *not* cancelled; its eventual value is simply ignored by this
         process) and resumes with ``Interrupt(cause)`` raised at the yield
         statement.  Interrupting a finished process is an error.
+
+        Interrupting a process that has **not started yet** (spawned in the
+        same step) defuses its queued first resume: the body never runs and
+        the process fails with the :class:`Interrupt` — it is *not* started
+        and interrupted at the same timestamp.
         """
-        if not self.is_alive:
+        if self._state != PENDING:
             raise SimulationError(f"{self!r} has already terminated")
-        if self.env.active_process is self:
+        env = self.env
+        if env._active_proc is self:
             raise SimulationError("a process cannot interrupt itself")
-        wakeup = Event(self.env)
+        target = self._target
+        if target is not None:
+            # Defuse the old target: drop our callback so we do not resume
+            # twice.
+            if target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._target = None
+        else:
+            # Not yet started: defuse the queued first resume so the
+            # generator is not started *and* interrupted in one step.
+            self._defused = True
+        wakeup = Event(env)
         wakeup._ok = False
         wakeup._value = Interrupt(cause)
         wakeup._state = TRIGGERED
         wakeup.callbacks.append(self._resume)
-        # Defuse the old target: drop our callback so we do not resume twice.
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-        self._target = None
-        self.env.schedule(wakeup, delay=0.0, priority=URGENT)
+        env._seq = seq = env._seq + 1
+        heappush(env._heap, (env._now, URGENT, seq, wakeup))
 
     # -- internal -----------------------------------------------------------
+    def _start(self) -> None:
+        """First resume, invoked by the kernel's dispatch loop."""
+        if not self._defused:
+            self._resume(_INIT)
+
     def _resume(self, event: Event) -> None:
         """Advance the generator with the fired ``event`` (kernel use only)."""
+        if self._state != PENDING:
+            # Stale wakeup for a process that already finished (e.g. a second
+            # interrupt delivered after the first one killed it): ignore.
+            return
         env = self.env
         env._active_proc = self
+        gen = self._generator
+        ok = event._ok
+        value = event._value
         while True:
             try:
-                if event.ok:
-                    next_event = self._generator.send(event.value)
+                if ok:
+                    next_event = gen.send(value)
                 else:
-                    exc = event.value
-                    if isinstance(exc, Interrupt):
-                        next_event = self._generator.throw(exc)
-                    else:
-                        next_event = self._generator.throw(type(exc), exc, exc.__traceback__)
+                    next_event = gen.throw(value)
             except StopIteration as stop:
                 self._target = None
                 env._active_proc = None
@@ -226,19 +294,36 @@ class Process(Event):
                     return
                 raise
 
-            if not isinstance(next_event, Event):
+            if isinstance(next_event, Event):
+                callbacks = next_event.callbacks
+                if callbacks is None:
+                    # Already processed: resume immediately with its value.
+                    ok = next_event._ok
+                    value = next_event._value
+                    continue
+                callbacks.append(self._resume)
+                self._target = next_event
                 env._active_proc = None
-                self._generator.throw(
-                    SimulationError(f"process yielded a non-event: {next_event!r}")
-                )
                 return
-            if next_event.callbacks is None:
-                # Already processed: resume immediately with its value.
-                event = next_event
-                continue
-            next_event.callbacks.append(self._resume)
-            self._target = next_event
+
+            # Yielded a non-event: fail the process deterministically.  The
+            # error is thrown into the generator first so cleanup runs; the
+            # process fails with the SimulationError no matter whether the
+            # generator catches it, re-raises, or raises something else.
+            error = SimulationError(
+                f"process yielded a non-event: {next_event!r}"
+            )
+            self._target = None
             env._active_proc = None
+            try:
+                gen.throw(error)
+                # The generator swallowed the error and yielded again —
+                # shut it down for good.
+                gen.close()
+            except BaseException:
+                pass
+            if self._state == PENDING:
+                self.fail(error)
             return
 
 
@@ -249,9 +334,13 @@ class Condition(Event):
     fired (``AllOf``); with ``wait_all=False`` it fires as soon as *any*
     child fires (``AnyOf``).  The value is a dict mapping each fired child to
     its value.  A failing child fails the condition with the same exception.
+
+    An empty ``AllOf`` is vacuously true and fires immediately with ``{}``.
+    An empty ``AnyOf`` could never fire and raises :class:`SimulationError`
+    at construction instead of deadlocking.
     """
 
-    __slots__ = ("_events", "_wait_all")
+    __slots__ = ("_events", "_wait_all", "_unfired")
 
     def __init__(self, env: "Environment", events: Iterable[Event], wait_all: bool) -> None:
         super().__init__(env)
@@ -262,36 +351,52 @@ class Condition(Event):
                 raise TypeError(f"condition over non-event: {ev!r}")
             if ev.env is not env:
                 raise SimulationError("condition events belong to different environments")
+        if not self._events and not wait_all:
+            raise SimulationError(
+                "any_of() over an empty event list can never fire"
+            )
+        # Count-down instead of re-scanning every child on each firing:
+        # _check decrements once per fired child, so an AllOf completes when
+        # the counter hits zero and an AnyOf on the first decrement.
+        self._unfired = len(self._events)
         for ev in self._events:
             if ev.callbacks is None:  # already processed
                 self._check(ev)
             else:
                 ev.callbacks.append(self._check)
-        if self._state == PENDING and self._satisfied():
+        if self._state == PENDING and self._unfired == 0:
             self.succeed(self._collect())
 
-    def _satisfied(self) -> bool:
-        if self._wait_all:
-            return all(ev.processed and ev.ok for ev in self._events)
-        return any(ev.processed and ev.ok for ev in self._events)
-
     def _collect(self) -> dict[Event, Any]:
-        return {ev: ev.value for ev in self._events if ev.processed and ev.ok}
+        return {
+            ev: ev._value
+            for ev in self._events
+            if ev._state == PROCESSED and ev._ok
+        }
 
     def _check(self, event: Event) -> None:
         if self._state != PENDING:
             return
-        if not event.ok:
-            self.fail(event.value)
-        elif self._satisfied():
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._unfired -= 1
+        if not self._wait_all or self._unfired == 0:
             self.succeed(self._collect())
 
 
 def all_of(env: "Environment", events: Iterable[Event]) -> Condition:
-    """Return an event that fires when every event in ``events`` has fired."""
+    """Return an event that fires when every event in ``events`` has fired.
+
+    ``all_of([])`` is vacuously satisfied and fires immediately with ``{}``.
+    """
     return Condition(env, events, wait_all=True)
 
 
 def any_of(env: "Environment", events: Iterable[Event]) -> Condition:
-    """Return an event that fires when the first event in ``events`` fires."""
+    """Return an event that fires when the first event in ``events`` fires.
+
+    ``any_of([])`` raises :class:`SimulationError`: with no children, the
+    condition could never fire and would deadlock the waiting process.
+    """
     return Condition(env, events, wait_all=False)

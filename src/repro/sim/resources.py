@@ -20,6 +20,19 @@ from repro.sim.events import Event
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Environment
 
+#: Cached ``config.active("pools")``; re-resolved whenever the sanitizer
+#: configuration changes, so acquire/release pay one global load, not a
+#: function call, when the checks are disarmed.
+_POOL_CHECK = False
+
+
+def _refresh_check_flags() -> None:
+    global _POOL_CHECK
+    _POOL_CHECK = _checks.active("pools")
+
+
+_checks.subscribe(_refresh_check_flags)
+
 
 class Acquire(Event):
     """Pending acquisition of one resource slot.
@@ -32,7 +45,13 @@ class Acquire(Event):
     __slots__ = ("resource", "granted")
 
     def __init__(self, env: "Environment", resource: "Resource") -> None:
-        super().__init__(env)
+        # Inline Event.__init__: one of these is allocated per pool
+        # admission, i.e. per simulated request per tier.
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._state = 0  # PENDING
         self.resource = resource
         self.granted = False
 
@@ -137,27 +156,29 @@ class Resource:
         """Return the slot held by ``req`` and admit the next waiter."""
         if not req.granted:
             raise SimulationError("release() of an acquisition that was never granted")
-        if req.resource is not self and _checks.active("pools"):
+        if _POOL_CHECK and req.resource is not self:
             raise InvariantViolation(
                 f"resource:{self._label()}",
                 "foreign-handle-release", self.env.now,
                 f"handle was issued by {req.resource.name or 'another resource'!r}",
             )
         req.granted = False
-        self._account()
-        self._in_use -= 1
+        now = self.env._now
+        self._occupancy_integral += self._in_use * (now - self._last_change)
+        self._last_change = now
+        self._in_use = in_use = self._in_use - 1
         self._releases_total += 1
-        if _checks.active("pools") and (
-            self._in_use < 0
-            or self._grants_total - self._releases_total != self._in_use
+        if _POOL_CHECK and (
+            in_use < 0 or self._grants_total - self._releases_total != in_use
         ):
             raise InvariantViolation(
                 f"resource:{self._label()}",
                 "acquire-release-pairing", self.env.now,
                 f"grants={self._grants_total} releases={self._releases_total} "
-                f"but in_use={self._in_use}",
+                f"but in_use={in_use}",
             )
-        self._admit()
+        if self._queue and in_use < self._capacity:
+            self._admit()
 
     def resize(self, capacity: int) -> None:
         """Change capacity at runtime.
@@ -172,20 +193,17 @@ class Resource:
         self._admit()
 
     # -- internals ----------------------------------------------------------
-    def _account(self) -> None:
-        now = self.env.now
+    def _grant(self, req: Acquire) -> None:
+        now = self.env._now
         self._occupancy_integral += self._in_use * (now - self._last_change)
         self._last_change = now
-
-    def _grant(self, req: Acquire) -> None:
-        self._account()
-        self._in_use += 1
+        self._in_use = in_use = self._in_use + 1
         self._grants_total += 1
-        if self._in_use > self._capacity and _checks.active("pools"):
+        if _POOL_CHECK and in_use > self._capacity:
             raise InvariantViolation(
                 f"resource:{self._label()}",
                 "occupancy-within-capacity", self.env.now,
-                f"granted slot #{self._in_use} with capacity {self._capacity}",
+                f"granted slot #{in_use} with capacity {self._capacity}",
             )
         req.granted = True
         req.succeed(req)

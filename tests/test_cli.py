@@ -233,3 +233,67 @@ class TestPersistence:
         pairs = compare_runs([p1, p2])
         assert [name for name, _ in pairs] == ["dcm", "dcm"]
         assert pairs[0][1]["completed"] == pairs[1][1]["completed"]
+
+
+class TestPerfCommand:
+    @staticmethod
+    def _fake_report(normalized=1.0):
+        row = {"ops": 100, "seconds": 0.001, "ops_per_sec": 100_000.0}
+        scenarios = ("event-dispatch", "timeout-churn", "acquire-release",
+                     "condition-fanin", "fig5-autoscale")
+        return {
+            "schema": "repro-bench-kernel/1",
+            "quick": True,
+            "python": "0",
+            "platform": "test",
+            "calibration_mops": 1.0,
+            "suites": {label: {name: dict(row) for name in scenarios}
+                       for label in ("disarmed", "armed")},
+            "headline": {"event_throughput": 100_000.0,
+                         "normalized": normalized},
+        }
+
+    @pytest.fixture
+    def fake_suite(self, monkeypatch):
+        import repro.perf as perf
+        monkeypatch.setattr(
+            perf, "run_suite", lambda quick=False: self._fake_report(0.9)
+        )
+
+    def test_perf_writes_report(self, capsys, tmp_path, fake_suite):
+        out_path = str(tmp_path / "bench.json")
+        code = main(["perf", "--quick", "--out", out_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "kernel microbenchmarks" in out
+        data = json.loads(open(out_path).read())
+        assert data["schema"] == "repro-bench-kernel/1"
+
+    def test_perf_gate_passes_within_tolerance(self, capsys, tmp_path,
+                                               fake_suite):
+        from repro.perf import save_report
+        baseline = str(tmp_path / "base.json")
+        save_report(self._fake_report(1.0), baseline)
+        code = main(["perf", "--out", str(tmp_path / "bench.json"),
+                     "--baseline", baseline])
+        assert code == 0
+        assert "within 25%" in capsys.readouterr().out
+
+    def test_perf_gate_fails_on_regression(self, capsys, tmp_path,
+                                           fake_suite):
+        from repro.perf import save_report
+        baseline = str(tmp_path / "base.json")
+        save_report(self._fake_report(2.0), baseline)
+        code = main(["perf", "--out", str(tmp_path / "bench.json"),
+                     "--baseline", baseline])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "PERF REGRESSION" in captured.err
+
+    def test_perf_gate_tolerance_flag(self, capsys, tmp_path, fake_suite):
+        from repro.perf import save_report
+        baseline = str(tmp_path / "base.json")
+        save_report(self._fake_report(1.0), baseline)
+        code = main(["perf", "--out", str(tmp_path / "bench.json"),
+                     "--baseline", baseline, "--tolerance", "0.05"])
+        assert code == 1

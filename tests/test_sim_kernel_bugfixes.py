@@ -1,0 +1,195 @@
+"""Regression tests for three latent kernel bugs.
+
+Each of these failed (hung, leaked an exception with the process stuck
+PENDING, or deadlocked) on the pre-optimization kernel:
+
+1. A process yielding a non-event now *fails deterministically* with
+   ``SimulationError`` instead of dying silently (generator catches the
+   thrown error) or leaking the error past ``step()`` with the process
+   still PENDING (generator does not catch it).
+2. Interrupting a process in the same step it was spawned now defuses the
+   queued first resume instead of double-resuming the generator (start
+   *and* interrupt at one timestamp).
+3. ``any_of([])`` now raises ``SimulationError`` at construction instead
+   of returning a condition that can never fire (``all_of([])`` stays
+   vacuously true and fires immediately).
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Interrupt
+
+
+class TestNonEventYield:
+    def test_uncaught_error_fails_the_process(self):
+        """Path 1: the generator does not catch the thrown SimulationError.
+
+        Pre-PR the error escaped step() while the process stayed PENDING;
+        now the process itself fails with it."""
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1.0)
+            yield "not an event"
+
+        proc = env.process(bad(env))
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run()
+        assert not proc.is_alive
+        assert not proc.ok
+        assert isinstance(proc.value, SimulationError)
+
+    def test_catching_generator_still_fails_deterministically(self):
+        """Path 2: the generator catches the error and keeps yielding.
+
+        Pre-PR the throw()'s return value was discarded and the process
+        hung PENDING forever; now the generator is closed and the process
+        fails with the SimulationError."""
+        env = Environment()
+        cleanup = []
+
+        def stubborn(env):
+            try:
+                yield 42  # not an event
+            except SimulationError:
+                cleanup.append("caught")
+                yield env.timeout(1.0)  # swallowed the error, yields again
+            cleanup.append("unreachable")
+
+        proc = env.process(stubborn(env))
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run()
+        assert cleanup == ["caught"]
+        assert not proc.is_alive
+        assert isinstance(proc.value, SimulationError)
+
+    def test_waiter_observes_the_failure(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1.0)
+            yield object()
+
+        def supervisor(env, victim):
+            try:
+                yield victim
+            except SimulationError:
+                return ("failed at", env.now)
+
+        victim = env.process(bad(env))
+        sup = env.process(supervisor(env, victim))
+        assert env.run(until=sup) == ("failed at", 1.0)
+
+    def test_finally_blocks_run_before_the_process_fails(self):
+        env = Environment()
+        finalized = []
+
+        def bad(env):
+            try:
+                yield env.timeout(1.0)
+                yield "oops"
+            finally:
+                finalized.append(env.now)
+
+        def supervisor(env, victim):
+            try:
+                yield victim
+            except SimulationError:
+                pass
+
+        victim = env.process(bad(env))
+        env.process(supervisor(env, victim))
+        env.run()
+        assert finalized == [1.0]
+
+
+class TestInterruptAtSpawn:
+    def test_same_step_interrupt_defuses_first_resume(self):
+        """The regression scenario: spawn and interrupt inside one step."""
+        env = Environment()
+        ran = []
+
+        def victim(env):
+            ran.append("body")
+            yield env.timeout(10.0)
+
+        def spawner(env):
+            yield env.timeout(2.0)
+            proc = env.process(victim(env))
+            proc.interrupt("same step")
+            try:
+                yield proc
+            except Interrupt as intr:
+                return (intr.cause, env.now)
+
+        spawn = env.process(spawner(env))
+        assert env.run(until=spawn) == ("same step", 2.0)
+        assert ran == []  # the victim's generator never started
+
+    def test_unwaited_interrupted_spawn_surfaces_from_run(self):
+        env = Environment()
+
+        def victim(env):
+            yield env.timeout(10.0)
+
+        proc = env.process(victim(env))
+        proc.interrupt()
+        with pytest.raises(Interrupt):
+            env.run()
+        assert not proc.is_alive
+
+    def test_started_process_interrupt_unchanged(self):
+        """Interrupting after the first resume still lands at the yield."""
+        env = Environment()
+
+        def victim(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                return env.now
+
+        def interrupter(env, target):
+            yield env.timeout(3.0)
+            target.interrupt()
+
+        victim_proc = env.process(victim(env))
+        env.process(interrupter(env, victim_proc))
+        assert env.run(until=victim_proc) == 3.0
+
+
+class TestEmptyConditions:
+    def test_empty_any_of_raises_instead_of_deadlocking(self):
+        env = Environment()
+        with pytest.raises(SimulationError, match="empty"):
+            env.any_of([])
+
+    def test_empty_any_of_raises_inside_a_process(self):
+        env = Environment()
+
+        def waiter(env):
+            yield env.any_of([])  # pre-PR: waited forever
+
+        env.process(waiter(env))
+        with pytest.raises(SimulationError, match="empty"):
+            env.run()
+
+    def test_empty_all_of_fires_immediately_with_empty_dict(self):
+        env = Environment()
+
+        def waiter(env):
+            result = yield env.all_of([])
+            return (env.now, result)
+
+        proc = env.process(waiter(env))
+        assert env.run(until=proc) == (0.0, {})
+
+    def test_single_event_any_of_still_fires(self):
+        env = Environment()
+
+        def waiter(env):
+            cond = yield env.any_of([env.timeout(2.0, "v")])
+            return (env.now, list(cond.values()))
+
+        proc = env.process(waiter(env))
+        assert env.run(until=proc) == (2.0, ["v"])

@@ -117,20 +117,30 @@ class TestSchedulingPriorities:
 
 
 class TestInterruptEdgeCases:
-    def test_interrupt_before_first_yield_is_illegal_timing(self):
-        """Interrupting a process that has not started yet still works: it
-        receives the interrupt at its first yield."""
+    def test_interrupt_before_first_resume_never_starts_the_body(self):
+        """Interrupting a process spawned in the same step defuses its first
+        resume: the body never runs and the process fails with the
+        Interrupt (it is not started *and* interrupted at one timestamp)."""
         env = Environment()
+        ran = []
 
         def victim(env):
-            try:
-                yield env.timeout(100.0)
-            except Interrupt as intr:
-                return f"got {intr.cause}"
+            ran.append("started")
+            yield env.timeout(100.0)
 
         proc = env.process(victim(env))
         proc.interrupt("early")
-        assert env.run(until=proc) == "got early"
+
+        def supervisor(env):
+            try:
+                yield proc
+            except Interrupt as intr:
+                return f"killed by {intr.cause}"
+
+        sup = env.process(supervisor(env))
+        assert env.run(until=sup) == "killed by early"
+        assert ran == []  # the generator body never executed
+        assert not proc.is_alive
 
     def test_double_interrupt_delivers_both(self):
         env = Environment()
