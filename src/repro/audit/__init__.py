@@ -1,0 +1,40 @@
+"""Differential validation & scenario fuzzing for the DCM reproduction.
+
+The simulator is validated three ways:
+
+* **analytical oracles** — degenerate configurations with queueing-theory
+  closed forms (:mod:`repro.audit.oracles`);
+* **metamorphic properties** — relations between *pairs* of runs (seed
+  permutation, time scaling, server symmetry) and conservation laws that
+  need no ground truth at all (:mod:`repro.audit.properties`);
+* **scenario fuzzing** — a seeded generator draws random parameter
+  points for every property (:mod:`repro.audit.generator`) and a greedy
+  shrinker minimises failures to replayable JSON specs
+  (:mod:`repro.audit.shrinker`), committed under ``tests/audit_corpus/``.
+
+Drive it with ``repro audit [--budget N] [--seed S]`` or replay a single
+spec with ``repro audit replay <spec.json>``.
+"""
+
+from repro.audit.generator import generate_scenarios
+from repro.audit.oracles import check_mmc_oracle, run_mmc_station
+from repro.audit.properties import (
+    PROPERTIES,
+    AuditProperty,
+    PropertyResult,
+    Scenario,
+    run_scenario,
+)
+from repro.audit.shrinker import shrink
+
+__all__ = [
+    "AuditProperty",
+    "PROPERTIES",
+    "PropertyResult",
+    "Scenario",
+    "check_mmc_oracle",
+    "generate_scenarios",
+    "run_mmc_station",
+    "run_scenario",
+    "shrink",
+]

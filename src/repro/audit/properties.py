@@ -1,0 +1,527 @@
+"""Metamorphic and conservation properties over the simulator.
+
+Each property is a predicate that must hold for *every* point in its
+parameter space — no golden values, only relations the system must
+satisfy by construction:
+
+* ``mmc_oracle`` — with contention degenerated, a Tomcat station matches
+  the M/M/c closed forms (see :mod:`repro.audit.oracles`);
+* ``rr_fairness`` — the round-robin balancer starts at backend 0, never
+  double-picks, and splits work exactly evenly, including across
+  membership churn;
+* ``k_server_symmetry`` — K identical perfectly-balanced app servers end
+  a steady run with near-identical per-server busy concurrency;
+* ``service_time_scaling`` — scaling all demands by a power of two (and
+  the clock with them) reproduces the concurrency trace and rescaled
+  throughput to ulp-level precision;
+* ``seed_permutation`` — the experiment engine returns identical results
+  regardless of spec submission order;
+* ``store_conservation`` — broker stores neither lose nor duplicate
+  messages under consumers that abandon their polls.
+
+Properties are registered in :data:`PROPERTIES`; the fuzzer draws
+scenarios from each property's ``generate`` and the shrinker minimises
+failing ones toward each parameter's ``floors``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.audit.oracles import check_mmc_oracle
+from repro.errors import ConfigurationError
+
+#: Engine-level steady runs: allowed relative spread (max-min)/max of the
+#: per-server busy concurrency across K identical round-robin'd servers.
+#: Calibrated at ~2x the worst spread (0.089, K=4) seen over the
+#: generator envelope — short runs of exponential demands are noisy.
+SYMMETRY_SPREAD_TOL = 0.18
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One replayable audit scenario: a property plus its parameter point."""
+
+    property: str
+    params: Dict[str, Any]
+    seed: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "Scenario":
+        return cls(
+            property=str(obj["property"]),
+            params=dict(obj["params"]),
+            seed=int(obj["seed"]),
+        )
+
+    def save(self, path: Path) -> None:
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path: Path) -> "Scenario":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass
+class PropertyResult:
+    """Outcome of checking one scenario."""
+
+    passed: bool
+    failures: List[str] = field(default_factory=list)
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AuditProperty:
+    """A registered property: how to draw scenarios and how to check one.
+
+    ``floors`` gives the minimum value per shrinkable numeric parameter;
+    the shrinker never proposes below them.  ``weight`` biases the
+    fuzzer's property choice (cheap properties get fuzzed more).
+    """
+
+    name: str
+    generate: Callable[[np.random.Generator], Dict[str, Any]]
+    check: Callable[..., PropertyResult]
+    floors: Mapping[str, Any]
+    weight: float
+
+
+# ---------------------------------------------------------------------------
+# mmc_oracle
+# ---------------------------------------------------------------------------
+
+def _gen_mmc(rng: np.random.Generator) -> Dict[str, Any]:
+    return {
+        "servers": int(rng.integers(1, 7)),
+        "rho": round(float(rng.uniform(0.3, 0.8)), 3),
+        "arrivals": int(rng.integers(2000, 5001)),
+        "service_mean": round(float(rng.uniform(0.01, 0.05)), 4),
+    }
+
+
+def _check_mmc(params: Dict[str, Any], seed: int, **_: Any) -> PropertyResult:
+    failures, details = check_mmc_oracle(params, seed)
+    return PropertyResult(passed=not failures, failures=failures, details=details)
+
+
+# ---------------------------------------------------------------------------
+# rr_fairness
+# ---------------------------------------------------------------------------
+
+class _StubBackend:
+    """Minimal stand-in for a TierServer behind a Balancer."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.accepting = True
+        self.outstanding = 0
+
+
+def _gen_rr(rng: np.random.Generator) -> Dict[str, Any]:
+    backends = int(rng.integers(2, 7))
+    picks = int(rng.integers(backends, 61))
+    churn: List[List[int]] = []
+    for _ in range(int(rng.integers(0, 4))):
+        churn.append(
+            [int(rng.integers(1, picks)), int(rng.integers(0, backends))]
+        )
+    churn.sort()
+    return {"backends": backends, "picks": picks, "churn_events": churn}
+
+
+def _check_rr(params: Dict[str, Any], seed: int, **_: Any) -> PropertyResult:
+    from repro.ntier.balancer import Balancer
+
+    k = int(params["backends"])
+    picks = int(params["picks"])
+    churn = [(int(i), int(b)) for i, b in params.get("churn_events", [])]
+
+    backends = [_StubBackend(f"s{j}") for j in range(k)]
+    balancer = Balancer("audit-rr", policy="round_robin")
+    for b in backends:
+        balancer.add(b)
+
+    failures: List[str] = []
+    chosen: List[_StubBackend] = []
+    # Segments of stable membership: fairness is asserted per segment,
+    # against the eligible count the segment was picked under.
+    segment: List[int] = []
+    segment_eligible = k
+
+    def close_segment(eligible: int) -> None:
+        if len(segment) >= 2 * eligible > 0:
+            counts: Dict[int, int] = {}
+            for j in segment:
+                counts[j] = counts.get(j, 0) + 1
+            lo, hi = min(counts.values()), max(counts.values())
+            if len(counts) < eligible or hi - lo > 1:
+                failures.append(
+                    f"unfair stable segment of {len(segment)} picks over "
+                    f"{eligible} backends: counts={sorted(counts.items())}"
+                )
+        segment.clear()
+
+    for i in range(picks):
+        flipped = False
+        for when, idx in churn:
+            if when == i:
+                target = backends[idx]
+                # Never drain the last accepting backend.
+                if target.accepting and sum(b.accepting for b in backends) == 1:
+                    continue
+                target.accepting = not target.accepting
+                flipped = True
+        if flipped:
+            close_segment(segment_eligible)
+            segment_eligible = sum(1 for b in backends if b.accepting)
+        pick = balancer.pick()
+        chosen.append(pick)
+        segment.append(backends.index(pick))
+        if not pick.accepting:
+            failures.append(f"pick {i} chose drained backend {pick.name}")
+        if (
+            i > 0
+            and pick is chosen[i - 1]
+            and chosen[i - 1].accepting
+            and sum(b.accepting for b in backends) >= 2
+        ):
+            failures.append(f"pick {i} repeated {pick.name} with others eligible")
+    close_segment(segment_eligible)
+
+    if not churn:
+        if chosen[0] is not backends[0]:
+            failures.append(f"first pick was {chosen[0].name}, expected s0")
+        # Exact fairness with extras on the earliest backends.
+        counts = [sum(1 for c in chosen if c is b) for b in backends]
+        ceil_n, extras = -(-picks // k), picks % k
+        expected = [ceil_n] * extras + [ceil_n - (1 if extras else 0)] * (k - extras)
+        if extras == 0:
+            expected = [picks // k] * k
+        if counts != expected:
+            failures.append(
+                f"unfair rotation: counts={counts}, expected {expected}"
+            )
+
+    return PropertyResult(
+        passed=not failures,
+        failures=failures,
+        details={"picks": [c.name for c in chosen]},
+    )
+
+
+# ---------------------------------------------------------------------------
+# k_server_symmetry
+# ---------------------------------------------------------------------------
+
+def _gen_symmetry(rng: np.random.Generator) -> Dict[str, Any]:
+    return {
+        "app_servers": int(rng.integers(2, 5)),
+        "users": int(rng.integers(30, 91)),
+        "warmup": round(float(rng.uniform(2.0, 4.0)), 2),
+        "duration": round(float(rng.uniform(6.0, 10.0)), 2),
+    }
+
+
+def _check_symmetry(
+    params: Dict[str, Any], seed: int, *, jobs: int = 1, cache: bool = True
+) -> PropertyResult:
+    from repro.runner import SteadySpec, run
+
+    k = int(params["app_servers"])
+    spec = SteadySpec(
+        hardware=f"1/{k}/1",
+        users=int(params["users"]),
+        workload="jmeter",
+        seed=seed,
+        warmup=float(params["warmup"]),
+        duration=float(params["duration"]),
+        imbalance=0.0,
+        balancer_policy="round_robin",
+    )
+    result = run(spec, jobs=jobs, cache=cache).value
+    busy = result.server_busy["app"]
+    failures: List[str] = []
+    if result.steady.completed <= 0:
+        failures.append("steady run completed no requests")
+    spread = (max(busy) - min(busy)) / max(busy) if max(busy) > 0 else 0.0
+    if spread > SYMMETRY_SPREAD_TOL:
+        failures.append(
+            f"per-server busy concurrency spread {spread:.3f} > "
+            f"{SYMMETRY_SPREAD_TOL} across {k} identical servers: {busy}"
+        )
+    return PropertyResult(
+        passed=not failures,
+        failures=failures,
+        details={"server_busy": list(busy), "spread": spread},
+    )
+
+
+# ---------------------------------------------------------------------------
+# service_time_scaling
+# ---------------------------------------------------------------------------
+
+def _gen_scaling(rng: np.random.Generator) -> Dict[str, Any]:
+    return {
+        "tier": str(rng.choice(["app", "db"])),
+        "concurrency": int(rng.integers(2, 25)),
+        "factor_exp": int(rng.integers(1, 3)),  # scale by 2 or 4
+        "warmup": round(float(rng.uniform(1.0, 2.0)), 2),
+        "duration": round(float(rng.uniform(4.0, 8.0)), 2),
+    }
+
+
+def _check_scaling(
+    params: Dict[str, Any], seed: int, *, jobs: int = 1, cache: bool = True
+) -> PropertyResult:
+    from repro.runner import StressSpec, run_many
+
+    factor = float(2 ** int(params["factor_exp"]))
+    base = StressSpec(
+        tier=str(params["tier"]),
+        concurrencies=(int(params["concurrency"]),),
+        seed=seed,
+        demand_scale=1.0,
+        warmup=float(params["warmup"]),
+        duration=float(params["duration"]),
+    )
+    scaled = StressSpec(
+        tier=base.tier,
+        concurrencies=base.concurrencies,
+        seed=seed,
+        demand_scale=factor,
+        warmup=base.warmup * factor,
+        duration=base.duration * factor,
+    )
+    (points_a, points_b) = run_many([base, scaled], jobs=jobs, cache=cache).value
+    a, b = points_a[0], points_b[0]
+    failures: List[str] = []
+    # Power-of-two scaling commutes with IEEE rounding, so the runs would
+    # be bit-identical but for the kernel's completion-batching tolerance
+    # (an absolute floor, deliberately not scale-covariant); that leaves
+    # ulp-level residue, hence a 1e-6 band instead of exact equality.
+    rtol = 1e-6
+    if abs(a.measured_concurrency - b.measured_concurrency) > rtol * abs(
+        a.measured_concurrency
+    ):
+        failures.append(
+            "measured concurrency not invariant under power-of-two time "
+            f"scaling: {a.measured_concurrency!r} != {b.measured_concurrency!r}"
+        )
+    if abs(a.throughput - b.throughput * factor) > rtol * abs(a.throughput):
+        failures.append(
+            "throughput did not rescale: "
+            f"{a.throughput!r} != {b.throughput!r} * {factor}"
+        )
+    return PropertyResult(
+        passed=not failures,
+        failures=failures,
+        details={
+            "base_throughput": a.throughput,
+            "scaled_throughput": b.throughput,
+            "concurrency": a.measured_concurrency,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# seed_permutation
+# ---------------------------------------------------------------------------
+
+def _gen_permutation(rng: np.random.Generator) -> Dict[str, Any]:
+    return {
+        "points": int(rng.integers(2, 5)),
+        "users": int(rng.integers(20, 61)),
+        "warmup": 1.5,
+        "duration": round(float(rng.uniform(3.0, 5.0)), 2),
+    }
+
+
+def _check_permutation(
+    params: Dict[str, Any], seed: int, *, jobs: int = 1, cache: bool = True
+) -> PropertyResult:
+    from repro.runner import SteadySpec, run_many
+
+    specs = [
+        SteadySpec(
+            users=int(params["users"]),
+            workload="jmeter",
+            seed=seed + i,
+            warmup=float(params["warmup"]),
+            duration=float(params["duration"]),
+        )
+        for i in range(int(params["points"]))
+    ]
+    forward = run_many(specs, jobs=jobs, cache=cache).value
+    # The reversed pass runs uncached, so this also cross-checks fresh
+    # recomputation against whatever the first pass cached.
+    backward = run_many(list(reversed(specs)), jobs=jobs, cache=False).value
+    failures: List[str] = []
+    for i, (f, b) in enumerate(zip(forward, reversed(backward))):
+        if asdict(f.steady) != asdict(b.steady) or f.server_busy != b.server_busy:
+            failures.append(
+                f"spec {i} (seed {specs[i].seed}) result depends on "
+                "submission order"
+            )
+    return PropertyResult(
+        passed=not failures,
+        failures=failures,
+        details={"throughputs": [f.steady.throughput for f in forward]},
+    )
+
+
+# ---------------------------------------------------------------------------
+# store_conservation
+# ---------------------------------------------------------------------------
+
+def _gen_store(rng: np.random.Generator) -> Dict[str, Any]:
+    return {
+        "messages": int(rng.integers(1, 31)),
+        "gap_mean": round(float(rng.uniform(0.2, 3.0)), 3),
+        "poll_timeout": round(float(rng.uniform(0.1, 2.0)), 3),
+        "consumers": int(rng.integers(1, 4)),
+        "cancel": bool(rng.integers(0, 2)),
+    }
+
+
+def _check_store(params: Dict[str, Any], seed: int, **_: Any) -> PropertyResult:
+    from repro.sim import Environment, RandomStreams, Store
+
+    messages = int(params["messages"])
+    gap_mean = float(params["gap_mean"])
+    poll_timeout = float(params["poll_timeout"])
+    consumers = int(params["consumers"])
+    cancel = bool(params.get("cancel", False))
+
+    env = Environment()
+    rng = RandomStreams(seed).stream("audit.store.gaps")
+    store = Store(env, name="audit-store")
+    produced: List[int] = []
+    delivered: List[int] = []
+    horizon = messages * gap_mean + 30.0 * poll_timeout + 5.0
+
+    def producer():
+        for i in range(messages):
+            yield env.timeout(float(rng.exponential(gap_mean)))
+            produced.append(i)
+            store.put(i)
+
+    def consumer():
+        # Poll-with-timeout consumer: every timed-out poll abandons its
+        # getter, either explicitly (cancel) or by walking away — the
+        # store must not hand later messages to those dead getters.
+        while env.now < horizon:
+            ev = store.get()
+            result = yield env.any_of([ev, env.timeout(poll_timeout)])
+            if ev in result:
+                delivered.append(result[ev])
+            elif cancel:
+                ev.cancel()
+
+    env.process(producer())
+    for _ in range(consumers):
+        env.process(consumer())
+    env.run(until=horizon + poll_timeout + 1.0)
+
+    leftover: List[int] = []
+    while True:
+        item = store.try_get()
+        if item is None:
+            break
+        leftover.append(item)
+
+    failures: List[str] = []
+    if len(delivered) != len(set(delivered)):
+        failures.append(f"duplicate delivery: {sorted(delivered)}")
+    accounted = sorted(delivered + leftover)
+    if accounted != sorted(produced):
+        lost = sorted(set(produced) - set(accounted))
+        failures.append(
+            f"conservation violated: produced {len(produced)}, delivered "
+            f"{len(delivered)}, leftover {len(leftover)}"
+            + (f", lost {lost}" if lost else "")
+        )
+    return PropertyResult(
+        passed=not failures,
+        failures=failures,
+        details={"delivered": len(delivered), "leftover": len(leftover)},
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+PROPERTIES: Dict[str, AuditProperty] = {
+    p.name: p
+    for p in (
+        AuditProperty(
+            name="mmc_oracle",
+            generate=_gen_mmc,
+            check=_check_mmc,
+            floors={"servers": 1, "rho": 0.3, "arrivals": 500, "service_mean": 0.01},
+            weight=3.0,
+        ),
+        AuditProperty(
+            name="rr_fairness",
+            generate=_gen_rr,
+            check=_check_rr,
+            floors={"backends": 2, "picks": 2},
+            weight=4.0,
+        ),
+        AuditProperty(
+            name="k_server_symmetry",
+            generate=_gen_symmetry,
+            check=_check_symmetry,
+            floors={"app_servers": 2, "users": 10, "warmup": 1.0, "duration": 2.0},
+            weight=1.0,
+        ),
+        AuditProperty(
+            name="service_time_scaling",
+            generate=_gen_scaling,
+            check=_check_scaling,
+            floors={"concurrency": 1, "factor_exp": 1, "warmup": 0.5, "duration": 1.0},
+            weight=1.5,
+        ),
+        AuditProperty(
+            name="seed_permutation",
+            generate=_gen_permutation,
+            check=_check_permutation,
+            floors={"points": 2, "users": 5, "duration": 1.0},
+            weight=1.0,
+        ),
+        AuditProperty(
+            name="store_conservation",
+            generate=_gen_store,
+            check=_check_store,
+            floors={
+                "messages": 1,
+                "gap_mean": 0.1,
+                "poll_timeout": 0.05,
+                "consumers": 1,
+            },
+            weight=4.0,
+        ),
+    )
+}
+
+
+def run_scenario(
+    scenario: Scenario, *, jobs: int = 1, cache: bool = True
+) -> PropertyResult:
+    """Check one scenario against its property."""
+    prop = PROPERTIES.get(scenario.property)
+    if prop is None:
+        raise ConfigurationError(
+            f"unknown audit property {scenario.property!r}; "
+            f"pick from {sorted(PROPERTIES)}"
+        )
+    return prop.check(scenario.params, scenario.seed, jobs=jobs, cache=cache)

@@ -25,6 +25,14 @@ Gives operators the library's main entry points without writing Python:
 ``check``
     Sanitized smoke checks: two-run determinism digest, runtime invariant
     sanitizer, and a VM lifecycle/billing audit.  Exits 1 on failure.
+``audit``
+    Differential validation & scenario fuzzing (:mod:`repro.audit`):
+    ``repro audit --budget N --seed S`` draws N random scenarios across
+    the property catalogue (analytical M/M/c oracle, metamorphic and
+    conservation properties), shrinks any failure to a minimal JSON spec
+    under ``--save-failures``, and exits 1.  ``repro audit replay
+    SPEC`` re-checks a saved spec file or a directory of them (e.g. the
+    committed ``tests/audit_corpus/``).
 ``perf``
     Kernel microbenchmarks (event dispatch, timeout churn, pool cycles,
     condition fan-in, a Fig-5-shaped autoscale run), armed and disarmed,
@@ -45,6 +53,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 import repro
@@ -195,6 +204,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--demand-scale", type=float, default=1.0,
         help="multiply CPU demands (speed knob; knees invariant)",
     )
+
+    p = sub.add_parser(
+        "audit", help="differential validation & scenario fuzzing"
+    )
+    p.add_argument(
+        "action", nargs="?", default="run", choices=("run", "replay"),
+        help="'run' fuzzes fresh scenarios; 'replay' re-checks saved specs",
+    )
+    p.add_argument(
+        "spec", nargs="?", metavar="SPEC",
+        help="scenario JSON file or directory of them (replay only)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="fuzzer root seed")
+    p.add_argument(
+        "--budget", type=int, default=50, metavar="N",
+        help="number of scenarios to generate (default 50)",
+    )
+    p.add_argument(
+        "--save-failures", metavar="DIR", default="audit_failures",
+        help="write minimized failing specs here (default audit_failures/)",
+    )
+    p.add_argument(
+        "--max-shrink-runs", type=int, default=48, metavar="N",
+        help="re-check budget per failing scenario during shrinking",
+    )
+    engine(p)
 
     p = sub.add_parser(
         "perf", help="kernel microbenchmarks -> BENCH_kernel.json"
@@ -433,6 +468,74 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if all(o.passed for o in outcomes) else 1
 
 
+def _audit_spec_paths(spec: Optional[str]) -> List[Path]:
+    if spec is None:
+        raise SystemExit("repro audit replay: a spec file or directory is required")
+    path = Path(spec)
+    if path.is_dir():
+        found = sorted(path.glob("*.json"))
+        if not found:
+            raise SystemExit(f"repro audit replay: no *.json specs in {path}")
+        return found
+    if not path.exists():
+        raise SystemExit(f"repro audit replay: {path} does not exist")
+    return [path]
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.audit import Scenario, generate_scenarios, run_scenario, shrink
+
+    engine_kwargs = _engine_kwargs(args)
+
+    if args.action == "replay":
+        rows = []
+        failed = 0
+        for path in _audit_spec_paths(args.spec):
+            scenario = Scenario.load(path)
+            result = run_scenario(scenario, **engine_kwargs)
+            rows.append([path.name, scenario.property,
+                         "PASS" if result.passed else "FAIL"])
+            if not result.passed:
+                failed += 1
+                for failure in result.failures:
+                    print(f"{path.name}: {failure}", file=sys.stderr)
+        print(render_table(["spec", "property", "verdict"], rows,
+                           title="audit corpus replay"))
+        return 1 if failed else 0
+
+    scenarios = generate_scenarios(args.seed, args.budget)
+    rows = []
+    failing: List[Scenario] = []
+    for i, scenario in enumerate(scenarios):
+        result = run_scenario(scenario, **engine_kwargs)
+        rows.append([str(i), scenario.property,
+                     "PASS" if result.passed else "FAIL"])
+        if not result.passed:
+            failing.append(scenario)
+            for failure in result.failures:
+                print(f"scenario {i} ({scenario.property}): {failure}",
+                      file=sys.stderr)
+    print(render_table(["#", "property", "verdict"], rows,
+                       title=f"audit: seed {args.seed}, budget {args.budget}"))
+    if not failing:
+        print(f"audit: all {len(scenarios)} scenarios passed")
+        return 0
+
+    out_dir = Path(args.save_failures)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for scenario in failing:
+        small, runs = shrink(
+            scenario, max_runs=args.max_shrink_runs, **engine_kwargs
+        )
+        dest = out_dir / f"{small.property}-{small.seed}.json"
+        small.save(dest)
+        print(f"audit: shrunk {scenario.property} failure in {runs} runs "
+              f"-> {dest}", file=sys.stderr)
+    print(f"audit: {len(failing)}/{len(scenarios)} scenarios FAILED; "
+          f"minimized specs in {out_dir}/", file=sys.stderr)
+    return 1
+
+
 def cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf import (
         compare_reports, load_report, render_report, run_suite, save_report,
@@ -464,6 +567,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "lint": cmd_lint,
     "check": cmd_check,
+    "audit": cmd_audit,
     "perf": cmd_perf,
 }
 

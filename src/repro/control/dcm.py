@@ -106,7 +106,10 @@ class DCMController(BaseAutoScaleController):
         if (old.app_servers, old.db_servers) != (new.app_servers, new.db_servers):
             return True
         def rel(a: int, b: int) -> float:
-            return abs(a - b) / max(1, a)
+            # Symmetric relative change: a 10->8 shrink and an 8->10 grow
+            # score identically, so the hysteresis band has no direction
+            # bias.
+            return abs(a - b) / max(a, b, 1)
         return (
             rel(old.soft.tomcat_threads, new.soft.tomcat_threads) > 0.2
             or rel(old.soft.db_connections, new.soft.db_connections) > 0.2

@@ -13,10 +13,13 @@ from repro.model.fitting import (
     fit_concurrency_model,
 )
 from repro.model.laws import (
+    MMCMetrics,
     TierDemand,
     bottleneck,
     demand_table,
+    erlang_c,
     forced_flow,
+    mmc_metrics,
     interactive_response_time,
     littles_law_population,
     max_system_throughput,
@@ -40,6 +43,7 @@ __all__ = [
     "ConcurrencyModel",
     "DEFAULT_HEADROOM",
     "FitResult",
+    "MMCMetrics",
     "OperatingPoint",
     "OnlineModelEstimator",
     "TierDemand",
@@ -47,9 +51,11 @@ __all__ = [
     "bin_samples",
     "bottleneck",
     "demand_table",
+    "erlang_c",
     "estimate_scaling_correction",
     "fit_concurrency_model",
     "forced_flow",
+    "mmc_metrics",
     "interactive_response_time",
     "littles_law_population",
     "max_system_throughput",

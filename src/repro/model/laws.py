@@ -91,3 +91,82 @@ def max_system_throughput(tiers: Sequence[TierDemand], gamma: float = 1.0) -> fl
 def demand_table(tiers: Sequence[TierDemand]) -> Dict[str, float]:
     """Per-tier demands keyed by tier name (for reports)."""
     return {t.tier: t.demand for t in tiers}
+
+
+# ---------------------------------------------------------------------------
+# M/M/c closed forms (the audit oracle's reference).
+#
+# With the concurrency curve degenerated (alpha = beta = delta = 0) a tier
+# server is exactly an M/M/c station: a FIFO admission queue in front of
+# ``c`` parallel exponential servers.  Erlang C plus Little's Law then give
+# the steady state in closed form, which `repro.audit` compares against the
+# simulator.
+# ---------------------------------------------------------------------------
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C delay probability ``C(c, a)`` — P(arrival must queue).
+
+    ``offered_load`` is ``a = lambda / mu`` (dimensionless).  Requires a
+    stable station (``a < c``).  Computed with the iterative recurrence
+    ``term_k = term_{k-1} * a / k`` so large ``c`` never overflows a
+    factorial.
+    """
+    if servers < 1:
+        raise ModelError(f"servers must be >= 1, got {servers}")
+    if offered_load < 0:
+        raise ModelError(f"offered load must be >= 0, got {offered_load}")
+    if offered_load == 0:
+        return 0.0
+    if offered_load >= servers:
+        raise ModelError(
+            f"unstable station: offered load {offered_load} >= servers {servers}"
+        )
+    # Sum of a^k/k! for k < c, built incrementally.
+    term = 1.0
+    acc = 1.0
+    for k in range(1, servers):
+        term *= offered_load / k
+        acc += term
+    # a^c / (c! (1 - rho))
+    term *= offered_load / servers
+    tail = term / (1.0 - offered_load / servers)
+    return tail / (acc + tail)
+
+
+@dataclass(frozen=True)
+class MMCMetrics:
+    """Closed-form steady state of an M/M/c queue."""
+
+    servers: int
+    arrival_rate: float
+    service_rate: float
+    utilization: float         # rho = a / c
+    delay_probability: float   # Erlang C
+    mean_wait: float           # W_q
+    mean_response: float       # W = W_q + 1/mu
+    mean_queue_length: float   # L_q = lambda W_q
+    mean_in_system: float      # L = lambda W
+    mean_in_service: float     # a = lambda / mu
+
+
+def mmc_metrics(servers: int, arrival_rate: float, service_rate: float) -> MMCMetrics:
+    """Closed-form M/M/c steady state for ``lambda`` arrivals/s into ``c``
+    servers of rate ``mu`` each.  Requires stability (``lambda < c mu``)."""
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ModelError("arrival and service rates must be positive")
+    offered = arrival_rate / service_rate
+    delay_p = erlang_c(servers, offered)
+    mean_wait = delay_p / (servers * service_rate - arrival_rate)
+    mean_response = mean_wait + 1.0 / service_rate
+    return MMCMetrics(
+        servers=servers,
+        arrival_rate=arrival_rate,
+        service_rate=service_rate,
+        utilization=offered / servers,
+        delay_probability=delay_p,
+        mean_wait=mean_wait,
+        mean_response=mean_response,
+        mean_queue_length=arrival_rate * mean_wait,
+        mean_in_system=arrival_rate * mean_response,
+        mean_in_service=offered,
+    )

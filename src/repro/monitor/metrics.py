@@ -58,22 +58,25 @@ class ServerMetricsSampler:
 
     def sample(self) -> MetricRecord:
         """Snapshot the server and return the windowed metrics since the
-        previous call.  Zero-length windows yield all-zero rates."""
+        previous call.  Zero-length windows yield explicit zeros for every
+        rate and integral name (same key set as any other window)."""
         now = self.env.now
         window = now - self._last_time
         snap = self.server.snapshot()
         prev = self._last_snapshot
         metrics: Dict[str, float] = {}
 
-        if window > 0:
-            for counter, name in _RATES.items():
-                metrics[name] = (snap.get(counter, 0.0) - prev.get(counter, 0.0)) / window
-            for counter, name in _INTEGRALS.items():
-                if counter in snap:
-                    metrics[name] = (snap[counter] - prev.get(counter, 0.0)) / window
-        else:
-            for name in _RATES.values():
-                metrics[name] = 0.0
+        # Both branches emit the same key set — every rate and every
+        # integral the server exposes — so consumers see a stable record
+        # schema whether or not the window has zero length.
+        positive = window > 0
+        for counter, name in _RATES.items():
+            delta = snap.get(counter, 0.0) - prev.get(counter, 0.0)
+            metrics[name] = delta / window if positive else 0.0
+        for counter, name in _INTEGRALS.items():
+            if counter in snap:
+                delta = snap[counter] - prev.get(counter, 0.0)
+                metrics[name] = delta / window if positive else 0.0
 
         completed = snap.get("completions", 0.0) - prev.get("completions", 0.0)
         if completed > 0:

@@ -73,6 +73,10 @@ class Balancer:
         self.imbalance = imbalance
         self._rng = rng
         self._backends: List["TierServer"] = []
+        # Round-robin cursor: the *last picked* backend plus a numeric
+        # fallback position, so the rotation survives membership churn
+        # (see ``pick``) instead of taking a modulo over a shifting list.
+        self._rr_last: Optional["TierServer"] = None
         self._rr_index = 0
         self._dispatches = 0
 
@@ -116,12 +120,33 @@ class Balancer:
             raise TopologyError(f"{self.name}: no backend available")
         self._dispatches += 1
         if len(candidates) == 1:
+            if self.policy == "round_robin":
+                self._rr_last = candidates[0]
+                self._rr_index = 1
             return candidates[0]
         if self.imbalance > 0.0 and self._rng.random() < self.imbalance:
             return candidates[0]
         if self.policy == "round_robin":
-            self._rr_index = (self._rr_index + 1) % len(candidates)
-            return candidates[self._rr_index]
+            # Anchor the rotation to the last picked backend: the next pick
+            # is its successor in the *current* eligible list, so the first
+            # ever pick goes to backend 0 and membership churn (drains,
+            # additions) never double-picks or starves a survivor.  When the
+            # last pick left the pool, fall back to the numeric position it
+            # occupied, clamped into the new list.
+            idx = self._rr_index
+            if self._rr_last is not None:
+                try:
+                    idx = candidates.index(self._rr_last) + 1
+                except ValueError:
+                    # The last pick left the pool; its successor now sits at
+                    # the position the departed backend occupied.
+                    idx = max(0, idx - 1)
+            if idx >= len(candidates):
+                idx = 0
+            chosen = candidates[idx]
+            self._rr_last = chosen
+            self._rr_index = idx + 1
+            return chosen
         if self.policy == "least_conn":
             return min(candidates, key=lambda b: (b.outstanding, b.name))
         return candidates[int(self._rng.integers(len(candidates)))]

@@ -20,7 +20,7 @@ from repro.sim.events import (
     any_of,
 )
 from repro.sim.processor import ContentionProcessor
-from repro.sim.resources import Acquire, Resource, Store
+from repro.sim.resources import Acquire, Resource, Store, StoreGet
 from repro.sim.rng import RandomStreams
 
 __all__ = [
@@ -34,6 +34,7 @@ __all__ = [
     "RandomStreams",
     "Resource",
     "Store",
+    "StoreGet",
     "Timeout",
     "all_of",
     "any_of",

@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Any, Deque, Optional
 
 from repro.check import config as _checks
 from repro.errors import ConfigurationError, InvariantViolation, SimulationError
-from repro.sim.events import Event
+from repro.sim.events import PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Environment
@@ -56,16 +56,18 @@ class Acquire(Event):
         self.granted = False
 
     def cancel(self) -> bool:
-        """Withdraw a *queued* acquisition.
+        """Withdraw a *queued* acquisition.  Idempotent.
 
         Returns ``True`` if the acquisition was still queued and has been
-        removed; ``False`` if it had already been granted (in which case the
-        caller still owns a slot and must release it).
+        removed; ``False`` if there was nothing to withdraw — it had already
+        been granted (in which case the caller still owns a slot and must
+        release it), already been cancelled, or already been released.
         """
-        if self.granted:
+        if self.granted or self._state != PENDING:
+            # Granted (currently holding a slot), or no longer pending:
+            # a granted-then-released or failed acquisition.
             return False
-        self.resource._withdraw(self)
-        return True
+        return self.resource._withdraw(self)
 
 
 class Resource:
@@ -212,39 +214,107 @@ class Resource:
         while self._queue and self._in_use < self._capacity:
             self._grant(self._queue.popleft())
 
-    def _withdraw(self, req: Acquire) -> None:
+    def _withdraw(self, req: Acquire) -> bool:
         try:
             self._queue.remove(req)
         except ValueError:
-            raise SimulationError("cancel() of an acquisition not in the queue") from None
+            # Already withdrawn by an earlier cancel(); nothing to do.
+            return False
+        return True
+
+
+class StoreGet(Event):
+    """Pending retrieval of one :class:`Store` item.
+
+    Fires with the oldest item once one is available.  A getter that gives
+    up (e.g. a consumer poll timing out in an ``any_of``) should call
+    :meth:`cancel` so a later ``put`` is not delivered into an event nobody
+    reads any more.
+    """
+
+    __slots__ = ("store",)
+
+    def __init__(self, env: "Environment", store: "Store") -> None:
+        # Inline Event.__init__ (see Acquire): one per blocking get.
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._state = 0  # PENDING
+        self.store = store
+
+    def cancel(self) -> bool:
+        """Withdraw a still-pending get.  Idempotent.
+
+        Returns ``True`` if the get was waiting and has been removed from
+        the store's getter queue; ``False`` if there was nothing to withdraw
+        (the item was already delivered, or the get was already cancelled).
+        """
+        if self._state != PENDING:
+            return False
+        try:
+            self.store._getters.remove(self)
+        except ValueError:
+            return False
+        return True
+
+
+def _has_live_waiter(ev: StoreGet) -> bool:
+    """Whether anybody would still observe ``ev`` firing.
+
+    A queued getter is *dead* when every registered callback belongs to an
+    event that already fired without it — the waiting process was
+    interrupted (its ``_resume`` was removed, leaving no callbacks) or it
+    was waiting through a :class:`~repro.sim.events.Condition` (``any_of``
+    poll-with-timeout) that has since triggered on another child.  Anything
+    else is conservatively treated as live.
+    """
+    for callback in ev.callbacks:
+        owner = getattr(callback, "__self__", None)
+        if isinstance(owner, Event) and owner._state != PENDING:
+            continue  # a fired Condition / finished Process: nobody's home
+        return True
+    return False
 
 
 class Store:
     """An unbounded FIFO buffer of items with blocking ``get``.
 
-    Used by the mini message broker for blocking consumer polls.  ``put``
-    never blocks; ``get`` returns an event that fires with the oldest item.
+    Used for blocking consumer polls (broker-style message delivery).
+    ``put`` never blocks; ``get`` returns an event that fires with the
+    oldest item.  A ``put`` never hands an item to an *abandoned* getter:
+    cancelled and dead getters (interrupted processes, timed-out ``any_of``
+    waits) are skipped and purged, so a message is only consumed by a getter
+    someone is still waiting on.
     """
 
     def __init__(self, env: "Environment", name: str = "") -> None:
         self.env = env
         self.name = name
         self._items: Deque[Any] = deque()
-        self._getters: Deque[Event] = deque()
+        self._getters: Deque[StoreGet] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
 
     def put(self, item: Any) -> None:
-        """Append ``item``, waking the oldest blocked getter if any."""
-        if self._getters:
-            self._getters.popleft().succeed(item)
-        else:
-            self._items.append(item)
+        """Append ``item``, waking the oldest *live* blocked getter if any."""
+        getters = self._getters
+        while getters:
+            ev = getters.popleft()
+            if _has_live_waiter(ev):
+                ev.succeed(item)
+                return
+        self._items.append(item)
 
-    def get(self) -> Event:
-        """Return an event that fires with the oldest item."""
-        ev = Event(self.env)
+    def get(self) -> StoreGet:
+        """Return an event that fires with the oldest item.
+
+        The event must either be waited on or cancelled (see
+        :meth:`StoreGet.cancel`); a getter abandoned without cancelling is
+        purged on the next ``put`` that reaches it.
+        """
+        ev = StoreGet(self.env, self)
         if self._items:
             ev.succeed(self._items.popleft())
         else:

@@ -297,3 +297,46 @@ class TestPerfCommand:
         code = main(["perf", "--out", str(tmp_path / "bench.json"),
                      "--baseline", baseline, "--tolerance", "0.05"])
         assert code == 1
+
+
+class TestAuditCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.action == "run"
+        assert args.budget == 50
+        assert args.seed == 0
+
+    def test_run_small_budget_passes(self, capsys):
+        # Seeded fuzz over cheap properties only would be ideal, but even a
+        # mixed budget of 3 keeps this test quick.
+        code = main(["audit", "--budget", "3", "--seed", "0", "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all 3 scenarios passed" in out
+
+    def test_replay_corpus(self, capsys):
+        code = main(["audit", "replay", "tests/audit_corpus"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rr-off-by-one.json" in out
+
+    def test_replay_single_spec(self, capsys, tmp_path):
+        from repro.audit import Scenario
+
+        spec = tmp_path / "spec.json"
+        Scenario(
+            "rr_fairness", {"backends": 2, "picks": 4, "churn_events": []}, 0
+        ).save(spec)
+        assert main(["audit", "replay", str(spec)]) == 0
+
+    def test_replay_unknown_property_raises(self, tmp_path):
+        spec = tmp_path / "bad.json"
+        spec.write_text('{"property": "nope", "params": {}, "seed": 0}')
+        with pytest.raises(ConfigurationError):
+            main(["audit", "replay", str(spec)])
+
+    def test_replay_missing_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["audit", "replay", "/nonexistent/spec.json"])
+        with pytest.raises(SystemExit):
+            main(["audit", "replay"])

@@ -129,6 +129,33 @@ class TestPlanHysteresis:
         # Same topology, same pools: not material.
         assert not ctl._materially_different(base)
 
+    def test_flap_guard_symmetric_for_grow_and_shrink(self):
+        from dataclasses import replace
+
+        env, system, collector, ctl, _b = make_dcm()
+        base = ctl.compute_plan()
+
+        def with_threads(plan, threads):
+            return replace(plan, soft=replace(plan.soft, tomcat_threads=threads))
+
+        old_threads = base.soft.tomcat_threads
+        for factor in (1.25, 1.5, 2.0):
+            bigger = max(old_threads + 1, round(old_threads * factor))
+            grown, shrunk = with_threads(base, bigger), with_threads(base, old_threads)
+            # Judge old->new and new->old with the same band: an A->B change
+            # is material exactly when B->A is.
+            ctl.last_plan = base
+            grow_material = ctl._materially_different(grown)
+            ctl.last_plan = with_threads(base, bigger)
+            shrink_material = ctl._materially_different(shrunk)
+            assert grow_material == shrink_material, factor
+        # The band still admits genuine changes and rejects noise.
+        ctl.last_plan = base
+        assert ctl._materially_different(with_threads(base, old_threads * 2))
+        assert not ctl._materially_different(
+            with_threads(base, old_threads + max(1, old_threads // 10))
+        )
+
     def test_new_server_config_sizes_for_future_topology(self):
         env, system, collector, ctl, _b = make_dcm()
         kwargs = ctl.new_server_config("app")

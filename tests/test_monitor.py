@@ -71,6 +71,25 @@ class TestSampler:
         assert record.get("cpu_utilization") == 0.0
         assert record.get("mean_response_time") == 0.0
 
+    @pytest.mark.parametrize("tier", ["web", "app", "db"])
+    def test_record_schema_stable_across_window_lengths(self, tier):
+        # A zero-length window must emit the exact same metric key set as a
+        # positive window — explicit zeros, not missing keys — so consumers
+        # never see a shifting schema masked by record.get() defaults.
+        env, system, broker, producer = make_stack(users=10)
+        server = system.tier_servers(tier)[0]
+        sampler = ServerMetricsSampler(env, server)
+        env.run(until=2.0)
+        windowed = sampler.sample()
+        zero = sampler.sample()  # same instant: window == 0
+        assert zero.window == 0.0
+        assert set(zero.metrics) == set(windowed.metrics)
+        for name, value in zero.metrics.items():
+            if name in ("cpu_utilization", "cpu_efficiency", "concurrency",
+                        "busy_fraction", "pool_occupancy", "dbconnp_occupancy",
+                        "throughput", "arrival_rate", "failure_rate"):
+                assert value == 0.0, name
+
 
 class TestAgentsAndFleet:
     def test_agent_produces_every_interval(self):

@@ -162,6 +162,44 @@ class TestBalancer:
         assert sorted(set(picks)) == ["s0", "s1", "s2"]
         assert picks[:3] == picks[3:]
 
+    def test_round_robin_starts_at_backend_zero(self):
+        b = Balancer("b", policy="round_robin")
+        servers = [self._server_stub(f"s{i}") for i in range(3)]
+        for s in servers:
+            b.add(s)
+        assert [b.pick().name for _ in range(4)] == ["s0", "s1", "s2", "s0"]
+
+    @pytest.mark.parametrize("k,n", [(2, 7), (3, 4), (3, 8), (4, 10)])
+    def test_round_robin_exact_fairness(self, k, n):
+        # N picks over K static backends land exactly ceil(N/K) on the first
+        # N % K backends (registration order) and floor(N/K) on the rest.
+        b = Balancer("b", policy="round_robin")
+        servers = [self._server_stub(f"s{i}") for i in range(k)]
+        for s in servers:
+            b.add(s)
+        counts = {s.name: 0 for s in servers}
+        for _ in range(n):
+            counts[b.pick().name] += 1
+        ceil_n, extras = -(-n // k), n % k
+        expected = [ceil_n] * extras + [n // k] * (k - extras)
+        assert [counts[f"s{i}"] for i in range(k)] == expected
+
+    def test_round_robin_reanchors_on_membership_churn(self):
+        b = Balancer("b", policy="round_robin")
+        servers = [self._server_stub(f"s{i}") for i in range(3)]
+        for s in servers:
+            b.add(s)
+        assert b.pick().name == "s0"
+        # s0 drains right after being picked; the rotation must continue
+        # with s0's successor instead of re-deriving a position from a
+        # modulo over the now-shorter candidate list.
+        servers[0].accepting = False
+        assert [b.pick().name for _ in range(4)] == ["s1", "s2", "s1", "s2"]
+        # s0 comes back: the rotation resumes from the last pick (s2), so
+        # s0 is next and nobody is double-picked.
+        servers[0].accepting = True
+        assert [b.pick().name for _ in range(3)] == ["s0", "s1", "s2"]
+
     def test_least_conn_prefers_idle(self):
         b = Balancer("b", policy="least_conn")
         busy = self._server_stub("busy", outstanding=10)

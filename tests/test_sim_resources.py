@@ -157,14 +157,29 @@ def test_cancel_granted_acquire_returns_false():
     res.release(req)
 
 
-def test_double_cancel_raises():
+def test_double_cancel_returns_false():
     env = Environment()
     res = Resource(env, 1)
     res.acquire()  # takes the only slot
     queued = res.acquire()
     assert queued.cancel() is True
-    with pytest.raises(SimulationError):
-        queued.cancel()
+    # Idempotent per the documented contract: a second cancel is a no-op.
+    assert queued.cancel() is False
+    assert res.queue_length == 0
+
+
+def test_cancel_after_grant_and_release_returns_false():
+    env = Environment()
+    res = Resource(env, 1)
+    req = res.acquire()
+    env.run(until=0.1)
+    assert req.granted
+    res.release(req)
+    # Granted-then-released: nothing to withdraw, and the slot accounting
+    # must not change.
+    assert req.cancel() is False
+    assert res.in_use == 0
+    assert res.available == 1
 
 
 def test_release_ungranted_raises():
@@ -230,3 +245,56 @@ def test_store_try_get():
     assert len(store) == 1
     assert store.try_get() == "a"
     assert store.try_get() is None
+
+
+def test_store_get_cancel_is_idempotent():
+    env = Environment()
+    store = Store(env)
+    ev = store.get()
+    assert ev.cancel() is True
+    assert ev.cancel() is False
+    # A cancelled getter never swallows a put.
+    store.put("x")
+    assert len(store) == 1
+    assert store.try_get() == "x"
+
+
+def test_store_get_cancel_after_delivery_returns_false():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+    ev = store.get()  # satisfied immediately
+    assert ev.cancel() is False
+
+
+def test_store_put_skips_interrupted_getter():
+    from repro.sim.events import Interrupt
+
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def getter(env):
+        try:
+            item = yield store.get()
+            got.append(item)
+        except Interrupt:
+            pass
+
+    proc = env.process(getter(env))
+
+    def killer(env):
+        yield env.timeout(1.0)
+        proc.interrupt("gave up")
+
+    def putter(env):
+        yield env.timeout(2.0)
+        store.put("late")
+
+    env.process(killer(env))
+    env.process(putter(env))
+    env.run()
+    # The interrupted getter's abandoned event must not consume the item.
+    assert got == []
+    assert len(store) == 1
+    assert store.try_get() == "late"
