@@ -13,15 +13,10 @@ import pytest
 
 from benchmarks.common import emit, ground_truth_models, once, run_spec
 from repro.analysis import stability_report
-from repro.analysis.experiments import build_system
 from repro.analysis.tables import render_table
-from repro.broker import KafkaBroker, Producer
-from repro.cluster import Hypervisor
-from repro.control import AppAgent, StaticProvisioningController, VMAgent
-from repro.monitor import METRICS_TOPIC, MetricCollector, MonitorFleet
-from repro.ntier import HardwareConfig, SoftResourceConfig
 from repro.runner import AutoscaleSpec
-from repro.workload import TraceDrivenGenerator, large_variation
+from repro.scenario import Deployment, ScenarioSpec
+from repro.workload import large_variation
 
 pytestmark = pytest.mark.slow
 
@@ -32,31 +27,23 @@ SEED = 7
 
 def run_static():
     trace = large_variation()
-    env, system = build_system(
-        hardware=HardwareConfig(1, 1, 1),
-        soft=SoftResourceConfig.DEFAULT,
+    spec = ScenarioSpec(
         seed=SEED,
         demand_scale=SCALE,
-    )
-    broker = KafkaBroker(env)
-    broker.create_topic(METRICS_TOPIC, partitions=4)
-    fleet = MonitorFleet(env, system, Producer(broker))
-    hypervisor = Hypervisor(env)
-    vm_agent = VMAgent(env, system, hypervisor, fleet)
-    vm_agent.bootstrap()
-    collector = MetricCollector(broker, history=700)
-    StaticProvisioningController(
-        env, system, collector, vm_agent, {"app": 3, "db": 3},
-        app_agent=AppAgent(env, system),
+        collector_history=700,
+        controller="static",
+        target_servers={"app": 3, "db": 3},
         models={t: m.rescaled(1.0) for t, m in ground_truth_models(SCALE).items()},
+        workload="trace",
+        trace=trace,
+        max_users=MAX_USERS,
     )
-    TraceDrivenGenerator(env, system, trace, max_users=MAX_USERS).start()
-    env.run(until=trace.duration)
-    report = stability_report(
-        system.request_log, len(system.failure_log), trace.duration,
-        vm_seconds=hypervisor.billing.vm_seconds(trace.duration),
+    with Deployment(spec) as dep:
+        dep.run()
+    return stability_report(
+        dep.system.request_log, len(dep.system.failure_log), trace.duration,
+        vm_seconds=dep.hypervisor.billing.vm_seconds(trace.duration),
     )
-    return report
 
 
 def run_pair():

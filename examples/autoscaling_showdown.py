@@ -2,46 +2,74 @@
 """DCM vs EC2-AutoScale on a bursty trace — a compact Fig 5.
 
 Replays the synthetic "Large Variation" trace against both controllers on
-identical systems (same seed, same trace) and prints the stability and
-efficiency comparison plus the scaling timelines.  Runs at demand_scale=4
-(quarter capacity, quarter request volume — knees are scale-invariant) so
-it finishes in about a minute.
+identical systems (same seed, same trace) via the experiment engine and
+prints the stability and efficiency comparison plus the scaling timelines.
+Runs at demand_scale=4 (quarter capacity, quarter request volume — knees
+are scale-invariant) so it finishes in about a minute.
 
 Usage::
 
     python examples/autoscaling_showdown.py [max_users] [demand_scale]
+
+Set ``REPRO_EXAMPLES_QUICK=1`` for the CI-sized variant (short sine trace,
+analytic Table-I models instead of offline training).
 """
 
+import os
 import sys
 
 from repro.analysis import stability_report
-from repro.analysis.experiments import run_autoscale_experiment, trained_models
+from repro.analysis.experiments import trained_models
 from repro.analysis.tables import render_sparkline, render_table
 from repro.analysis.timeseries import response_time_series
-from repro.workload import large_variation
+from repro.model import ConcurrencyModel
+from repro.runner import AutoscaleSpec, run
+from repro.workload import large_variation, sine_trace
+
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") == "1"
+
+
+def analytic_models(scale: float) -> dict:
+    """Table-I ground-truth models rescaled to ``demand_scale`` (the quick
+    path: skips the ~2 min offline training sweep)."""
+    return {
+        "app": ConcurrencyModel(
+            s0=2.84e-2 / 11.03 * scale, alpha=9.87e-3 / 11.03 * scale,
+            beta=4.54e-5 / 11.03 * scale, tier="app"),
+        "db": ConcurrencyModel(
+            s0=7.19e-3 / 4.45 * scale, alpha=5.04e-3 / 4.45 * scale,
+            beta=1.65e-6 / 4.45 * scale, tier="db"),
+    }
 
 
 def main() -> None:
-    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 4.0
-    max_users = int(sys.argv[1]) if len(sys.argv) > 1 else int(5920 / scale)
-    trace = large_variation()
-
-    print(f"offline model training at demand_scale={scale} (one-time, ~2 min)...")
-    models = trained_models(demand_scale=scale, seed=0)
+    if QUICK:
+        scale = 8.0
+        trace = sine_trace(120.0, 60.0, 0.3, 0.9)
+        max_users = 300
+        models = analytic_models(scale)
+    else:
+        scale = float(sys.argv[2]) if len(sys.argv) > 2 else 4.0
+        max_users = int(sys.argv[1]) if len(sys.argv) > 1 else int(5920 / scale)
+        trace = large_variation()
+        print(f"offline model training at demand_scale={scale} "
+              "(one-time, ~2 min)...")
+        models = trained_models(demand_scale=scale, seed=0)
 
     runs = {}
     for controller in ("ec2", "dcm"):
-        print(f"running {controller} against the Large Variation trace "
+        print(f"running {controller} against the trace "
               f"({trace.duration:.0f} s, peak {max_users} users) ...")
-        runs[controller] = run_autoscale_experiment(
-            controller, trace, max_users=max_users, seed=7,
-            demand_scale=scale, seeded_models=models,
+        spec = AutoscaleSpec(
+            controller=controller, trace=trace, max_users=max_users, seed=7,
+            demand_scale=scale, models=models,
         )
+        runs[controller] = run(spec, jobs=1, cache=False).value
 
     reports = {
-        name: stability_report(run.request_log, run.failed, run.duration,
-                               vm_seconds=run.vm_seconds)
-        for name, run in runs.items()
+        name: stability_report(r.request_log, r.failed, r.duration,
+                               vm_seconds=r.vm_seconds)
+        for name, r in runs.items()
     }
     rows = [
         [label, getattr(reports["dcm"], attr), getattr(reports["ec2"], attr)]
@@ -60,11 +88,11 @@ def main() -> None:
     print(render_table(["metric", "DCM", "EC2-AutoScale"], rows,
                        title="\n== stability & efficiency =="))
 
-    for name, run in runs.items():
-        rt = response_time_series(run.request_log, run.duration, 5.0, percentile=95.0)
+    for name, r in runs.items():
+        rt = response_time_series(r.request_log, r.duration, 5.0, percentile=95.0)
         print(f"\n{name} p95 RT over time: {render_sparkline(rt.values)}")
-        print(f"{name} app VMs: {run.tier_vm_timeline('app')}")
-        print(f"{name} db  VMs: {run.tier_vm_timeline('db')}")
+        print(f"{name} app VMs: {r.tier_vm_timeline('app')}")
+        print(f"{name} db  VMs: {r.tier_vm_timeline('db')}")
     dcm = runs["dcm"]
     if dcm.app_agent is not None:
         print("\nDCM soft-resource re-allocations:")

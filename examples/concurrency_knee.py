@@ -10,13 +10,18 @@ contention law.
 Usage::
 
     python examples/concurrency_knee.py [db|app]
+
+Set ``REPRO_EXAMPLES_QUICK=1`` for the CI-sized variant.
 """
 
+import os
 import sys
 
-from repro.analysis.experiments import stress_tier_sweep
 from repro.analysis.tables import render_sparkline, render_table
 from repro.ntier.contention import MYSQL_CONTENTION, TOMCAT_CONTENTION
+from repro.runner import StressSpec, run
+
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") == "1"
 
 
 def main() -> None:
@@ -24,9 +29,17 @@ def main() -> None:
     if tier not in ("db", "app"):
         raise SystemExit("usage: concurrency_knee.py [db|app]")
 
-    levels = (1, 2, 5, 10, 20, 30, 40, 60, 80, 120, 160, 240, 400, 600)
+    if QUICK:
+        levels = (1, 5, 20, 40, 80, 160, 400)
+        warmup, duration = 1.0, 3.0
+    else:
+        levels = (1, 2, 5, 10, 20, 30, 40, 60, 80, 120, 160, 240, 400, 600)
+        warmup, duration = 3.0, 10.0
     print(f"stressing tier {tier!r} at concurrencies {levels} ...")
-    points = stress_tier_sweep(tier, levels, seed=1, duration=10.0)
+    spec = StressSpec(
+        tier=tier, concurrencies=levels, seed=1, warmup=warmup, duration=duration
+    )
+    points = run(spec, jobs=1, cache=False).value
 
     rows = [
         [p.target_concurrency, p.measured_concurrency, p.throughput]

@@ -3,8 +3,9 @@
 
 Shows the DCM architecture's data path in isolation (paper Fig 3):
 
-1. one monitoring agent per server samples every second and produces keyed
-   records to the ``server-metrics`` topic;
+1. the scenario layer deploys the system plus one monitoring agent per
+   server, each sampling every second and producing keyed records to the
+   ``server-metrics`` topic;
 2. the broker decouples the 1 Hz producers from a slow consumer — offsets,
    lag, and consumer-group resume are all visible;
 3. the collector aggregates tier statistics;
@@ -14,71 +15,82 @@ Shows the DCM architecture's data path in isolation (paper Fig 3):
 Usage::
 
     python examples/metrics_pipeline.py
+
+Set ``REPRO_EXAMPLES_QUICK=1`` for the CI-sized variant.
 """
 
-from repro.analysis.experiments import build_system
+import os
+
 from repro.analysis.tables import render_table
-from repro.broker import Consumer, KafkaBroker, Producer
+from repro.broker import Consumer
 from repro.model import OnlineModelEstimator
-from repro.monitor import METRICS_TOPIC, MetricCollector, MonitorFleet
-from repro.workload import RubbosGenerator
+from repro.monitor import METRICS_TOPIC
+from repro.scenario import Deployment, ScenarioSpec
+
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") == "1"
+
+#: (users, run-until) ramp so the estimator sees a spread of operating points.
+RAMP = (
+    ((75, 8.0), (300, 16.0), (600, 24.0), (900, 32.0))
+    if QUICK
+    else ((300, 30.0), (1200, 60.0), (2400, 90.0), (3600, 120.0))
+)
+SCALE = 4.0 if QUICK else 1.0
 
 
 def main() -> None:
-    env, system = build_system(seed=8)
-    broker = KafkaBroker(env)
-    broker.create_topic(METRICS_TOPIC, partitions=4)
-    fleet = MonitorFleet(env, system, Producer(broker, client_id="monitor"))
-    collector = MetricCollector(broker)
-
-    # Ramp the workload through several levels so the estimator sees a
-    # spread of operating points.
-    gen = RubbosGenerator(env, system, users=0, think_time=3.0)
-    for users, until in ((300, 30.0), (1200, 60.0), (2400, 90.0), (3600, 120.0)):
-        gen.set_users(users)
-        env.run(until=until)
-
-    print(f"simulated {env.now:.0f}s; broker end offsets per partition: "
-          f"{broker.end_offsets(METRICS_TOPIC)}")
-
-    ingested = collector.drain()
-    print(f"collector drained {ingested} records "
-          f"({len(collector.servers())} servers)")
-
-    rows = []
-    for tier in ("web", "app", "db"):
-        stats = collector.tier_stats(tier, since=90.0)
-        rows.append([tier, stats.servers, stats.throughput,
-                     stats.mean_cpu_utilization, stats.mean_concurrency_per_server])
-    print(render_table(
-        ["tier", "servers", "throughput", "cpu util", "concurrency"],
-        rows,
-        title="\n== tier stats over the last 30 s ==",
-    ))
-
-    estimator = OnlineModelEstimator(
-        collector,
-        visit_ratios={"web": 1.0, "app": 1.0,
-                      "db": system.catalog.visit_ratios()["db"]},
-        min_samples=6,
-        min_range_ratio=2.0,
+    spec = ScenarioSpec(
+        seed=8, demand_scale=SCALE, workload="rubbos", users=RAMP[0][0]
     )
-    for tier in ("app", "db"):
-        fit = estimator.refit(tier, now=env.now)
-        if fit is None:
-            print(f"{tier}: no credible online fit from "
-                  f"{len(estimator.samples(tier, env.now))} binned samples — "
-                  "a seeded/offline model would remain in force (the DB curve "
-                  "is flat below the knee, so its curvature needs deeper sweeps)")
-        else:
-            print(f"{tier}: online fit -> {fit.summary()}")
+    with Deployment(spec) as dep:
+        env, system, broker, collector = dep.env, dep.system, dep.broker, dep.collector
+        gen = dep.workload
+        for users, until in RAMP:
+            gen.set_users(users)
+            dep.run(until=until)
 
-    # Consumer-group semantics: a late-joining consumer in a fresh group
-    # replays history; one in the collector's group resumes at the end.
-    fresh = Consumer(broker, group="audit", topics=[METRICS_TOPIC])
-    print(f"\nfresh consumer group sees {len(fresh.poll(max_records=100000))} "
-          f"historical records; collector-group lag is "
-          f"{Consumer(broker, group='dcm-controller', topics=[METRICS_TOPIC]).lag()}")
+        print(f"simulated {env.now:.0f}s; broker end offsets per partition: "
+              f"{broker.end_offsets(METRICS_TOPIC)}")
+
+        ingested = collector.drain()
+        print(f"collector drained {ingested} records "
+              f"({len(collector.servers())} servers)")
+
+        window = RAMP[-1][1] - RAMP[-2][1]
+        rows = []
+        for tier in ("web", "app", "db"):
+            stats = collector.tier_stats(tier, since=RAMP[-2][1])
+            rows.append([tier, stats.servers, stats.throughput,
+                         stats.mean_cpu_utilization,
+                         stats.mean_concurrency_per_server])
+        print(render_table(
+            ["tier", "servers", "throughput", "cpu util", "concurrency"],
+            rows,
+            title=f"\n== tier stats over the last {window:.0f} s ==",
+        ))
+
+        estimator = OnlineModelEstimator(
+            collector,
+            visit_ratios=system.visit_ratios(),
+            min_samples=6,
+            min_range_ratio=2.0,
+        )
+        for tier in ("app", "db"):
+            fit = estimator.refit(tier, now=env.now)
+            if fit is None:
+                print(f"{tier}: no credible online fit from "
+                      f"{len(estimator.samples(tier, env.now))} binned samples — "
+                      "a seeded/offline model would remain in force (the DB curve "
+                      "is flat below the knee, so its curvature needs deeper sweeps)")
+            else:
+                print(f"{tier}: online fit -> {fit.summary()}")
+
+        # Consumer-group semantics: a late-joining consumer in a fresh group
+        # replays history; one in the collector's group resumes at the end.
+        fresh = Consumer(broker, group="audit", topics=[METRICS_TOPIC])
+        print(f"\nfresh consumer group sees {len(fresh.poll(max_records=100000))} "
+              f"historical records; collector-group lag is "
+              f"{Consumer(broker, group='dcm-controller', topics=[METRICS_TOPIC]).lag()}")
 
 
 if __name__ == "__main__":

@@ -9,13 +9,19 @@ it runs real closed-loop sweeps, not curve evaluations.
 Usage::
 
     python examples/model_training.py [app|db|both]
+
+Set ``REPRO_EXAMPLES_QUICK=1`` for the CI-sized variant (a thinned sweep;
+the fitted parameters get noisier but the Table-I shape survives).
 """
 
+import os
 import sys
 
-from repro.analysis.experiments import train_tier_model
 from repro.analysis.tables import render_table
 from repro.model import AllocationPlanner
+from repro.runner import TrainingSpec, run
+
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") == "1"
 
 PAPER = {
     "app": {"S0": 2.84e-2, "alpha": 9.87e-3, "beta": 4.54e-5, "gamma": 11.03,
@@ -31,7 +37,14 @@ def main() -> None:
     outcomes = {}
     for tier in tiers:
         print(f"training {tier} model (JMeter sweep; ~1 min) ...")
-        outcomes[tier] = train_tier_model(tier, seed=0)
+        spec = TrainingSpec(
+            tier=tier,
+            seed=0,
+            levels=(1, 3, 8, 16, 25, 36, 55, 80, 110) if QUICK else None,
+            warmup=2.0 if QUICK else 4.0,
+            duration=8.0 if QUICK else 24.0,
+        )
+        outcomes[tier] = run(spec, jobs=1, cache=False).value
 
     rows = []
     for tier, outcome in outcomes.items():

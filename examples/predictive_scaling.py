@@ -10,15 +10,20 @@ earlier — capacity is in service when the ramp needs it.
 Usage::
 
     python examples/predictive_scaling.py
+
+Set ``REPRO_EXAMPLES_QUICK=1`` for the CI-sized variant.
 """
 
+import os
+
 from repro.analysis import stability_report
-from repro.analysis.experiments import run_autoscale_experiment
 from repro.analysis.tables import render_table
 from repro.model import ConcurrencyModel
+from repro.runner import AutoscaleSpec, run
 from repro.workload import WorkloadTrace
 
-SCALE = 4.0
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") == "1"
+SCALE = 8.0 if QUICK else 4.0
 
 
 def scaled_models():
@@ -33,22 +38,29 @@ def scaled_models():
 
 
 def main() -> None:
-    # A steady two-minute climb: the pattern prediction exploits.
-    trace = WorkloadTrace((0.0, 30.0, 150.0, 210.0), (0.25, 0.25, 1.0, 1.0))
+    # A steady climb: the pattern prediction exploits.
+    if QUICK:
+        trace = WorkloadTrace((0.0, 15.0, 90.0, 120.0), (0.25, 0.25, 1.0, 1.0))
+        max_users = 500
+    else:
+        trace = WorkloadTrace((0.0, 30.0, 150.0, 210.0), (0.25, 0.25, 1.0, 1.0))
+        max_users = 1400
     models = scaled_models()
     runs = {}
     for kind in ("dcm", "predictive"):
         print(f"running {kind} on a steady ramp ...")
-        runs[kind] = run_autoscale_experiment(
-            kind, trace, max_users=1400, seed=6, demand_scale=SCALE,
-            seeded_models=models,
+        spec = AutoscaleSpec(
+            controller=kind, trace=trace, max_users=max_users, seed=6,
+            demand_scale=SCALE, models=models,
         )
+        runs[kind] = run(spec, jobs=1, cache=False).value
 
     rows = []
-    for kind, run in runs.items():
-        rep = stability_report(run.request_log, run.failed, run.duration)
+    for kind, result in runs.items():
+        rep = stability_report(result.request_log, result.failed, result.duration)
         first_db = min(
-            (t for t, c in run.tier_vm_timeline("db") if c > 1), default=float("nan")
+            (t for t, c in result.tier_vm_timeline("db") if c > 1),
+            default=float("nan"),
         )
         rows.append([kind, first_db, rep.p95_response_time,
                      rep.max_response_time, rep.spike_seconds])

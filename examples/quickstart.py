@@ -3,8 +3,10 @@
 
 Runs in a few seconds.  What it shows:
 
-1. assembling an n-tier system (Apache -> Tomcat -> MySQL) with the paper's
-   default soft-resource allocation 1000/100/80;
+1. describing a deployment declaratively (:class:`repro.scenario.ScenarioSpec`)
+   and assembling it with the composition root (``Deployment``) — Apache ->
+   Tomcat -> MySQL with the paper's default soft-resource allocation
+   1000/100/80;
 2. driving it with the RUBBoS closed-loop client (3 s think time);
 3. reading throughput, response time, per-tier concurrency and the two CPU
    gauges (utilization vs *efficiency* — watch them diverge when you raise
@@ -13,29 +15,40 @@ Runs in a few seconds.  What it shows:
 Usage::
 
     python examples/quickstart.py [users]
+
+Set ``REPRO_EXAMPLES_QUICK=1`` for the CI-sized variant.
 """
 
+import os
 import sys
 
-from repro.analysis.experiments import build_system, measure_steady_state
+from repro.analysis.experiments import measure_steady_state
 from repro.analysis.tables import render_table
-from repro.ntier import HardwareConfig, SoftResourceConfig
-from repro.workload import RubbosGenerator
+from repro.scenario import Deployment, ScenarioSpec
+
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") == "1"
 
 
 def main() -> None:
-    users = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
+    users = int(sys.argv[1]) if len(sys.argv) > 1 else (400 if QUICK else 1500)
+    warmup, duration = (2.0, 6.0) if QUICK else (5.0, 20.0)
 
-    env, system = build_system(
-        hardware=HardwareConfig.parse("1/1/1"),
-        soft=SoftResourceConfig.parse("1000/100/80"),
+    spec = ScenarioSpec(
+        hardware="1/1/1",
+        soft="1000/100/80",
         seed=42,
+        monitoring=False,
+        workload="rubbos",
+        users=users,
+        think_time=3.0,
     )
-    print(f"topology {system.hardware} soft {system.soft}, {users} users, "
-          f"think time 3 s")
-
-    RubbosGenerator(env, system, users=users, think_time=3.0)
-    steady = measure_steady_state(env, system, warmup=5.0, duration=20.0)
+    with Deployment(spec) as dep:
+        print(f"topology {dep.system.hardware} soft {dep.system.soft}, "
+              f"{users} users, think time 3 s")
+        dep.start()
+        steady = measure_steady_state(
+            dep.env, dep.system, warmup=warmup, duration=duration
+        )
 
     print(render_table(
         ["metric", "value"],
@@ -45,7 +58,7 @@ def main() -> None:
             ["completed requests", steady.completed],
             ["failed requests", steady.failed],
         ],
-        title="\n== steady state (20 s window) ==",
+        title=f"\n== steady state ({duration:.0f} s window) ==",
     ))
 
     rows = []

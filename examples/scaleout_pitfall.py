@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
 """Why naive scale-out backfires (the Fig 2(b) experiment).
 
-Three configurations under the same heavy RUBBoS workload:
+Three configurations under the same heavy RUBBoS workload, each described
+as a :class:`repro.scenario.ScenarioSpec` and assembled by the composition
+root:
 
 1. ``1/1/1`` with the default 1000/100/80 — Tomcat is the bottleneck;
 2. ``1/2/1`` with the default — the *second Tomcat doubles the connections
@@ -12,14 +14,18 @@ Three configurations under the same heavy RUBBoS workload:
 Usage::
 
     python examples/scaleout_pitfall.py [users]
+
+Set ``REPRO_EXAMPLES_QUICK=1`` for the CI-sized variant.
 """
 
+import os
 import sys
 
-from repro.analysis.experiments import build_system, measure_steady_state
+from repro.analysis.experiments import measure_steady_state
 from repro.analysis.tables import render_table
-from repro.ntier import HardwareConfig, SoftResourceConfig
-from repro.workload import RubbosGenerator
+from repro.scenario import Deployment, ScenarioSpec
+
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") == "1"
 
 CONFIGS = [
     ("1/1/1 default", "1/1/1", "1000/100/80"),
@@ -29,23 +35,33 @@ CONFIGS = [
 
 
 def main() -> None:
-    users = int(sys.argv[1]) if len(sys.argv) > 1 else 3600
+    scale = 4.0 if QUICK else 1.0
+    users = int(sys.argv[1]) if len(sys.argv) > 1 else (900 if QUICK else 3600)
+    warmup, duration = (2.0, 8.0) if QUICK else (6.0, 20.0)
     rows = []
     for label, hw, soft in CONFIGS:
-        env, system = build_system(
-            hardware=HardwareConfig.parse(hw),
-            soft=SoftResourceConfig.parse(soft),
+        spec = ScenarioSpec(
+            hardware=hw,
+            soft=soft,
             seed=11,
+            demand_scale=scale,
+            monitoring=False,
+            workload="rubbos",
+            users=users,
+            think_time=3.0,
         )
-        RubbosGenerator(env, system, users=users, think_time=3.0)
-        steady = measure_steady_state(env, system, warmup=6.0, duration=20.0)
-        rows.append([
-            label,
-            steady.throughput,
-            steady.mean_response_time,
-            system.max_db_concurrency(),
-            steady.tier_efficiency["db"],
-        ])
+        with Deployment(spec) as dep:
+            dep.start()
+            steady = measure_steady_state(
+                dep.env, dep.system, warmup=warmup, duration=duration
+            )
+            rows.append([
+                label,
+                steady.throughput,
+                steady.mean_response_time,
+                dep.system.max_db_concurrency(),
+                steady.tier_efficiency["db"],
+            ])
         print(f"done: {label}")
 
     print(render_table(

@@ -19,6 +19,8 @@ Subpackages
 ``repro.analysis``  time series, SLA reports, experiment runners
 ``repro.runner``    parallel experiment engine: frozen specs, process-pool
                     fan-out, spec-keyed on-disk result caching
+``repro.scenario``  declarative scenario layer: ScenarioSpec + Deployment
+                    composition root with controller/workload registries
 ``repro.check``     determinism lint (DCM001-DCM008) + runtime invariant
                     sanitizer (REPRO_CHECK=1)
 """
@@ -35,6 +37,7 @@ from repro import (  # noqa: F401
     monitor,
     ntier,
     runner,
+    scenario,
     sim,
     workload,
 )

@@ -29,36 +29,23 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.broker import KafkaBroker, Producer
 from repro.cluster import Hypervisor
-from repro.control import (
-    AppAgent,
-    DCMController,
-    EC2AutoScaleController,
-    PredictiveDCMController,
-    ScalingPolicy,
-    VMAgent,
-)
+from repro.control import AppAgent, ScalingPolicy, VMAgent
 from repro.errors import ConfigurationError
 from repro.model import (
     ConcurrencyModel,
     FitResult,
-    OnlineModelEstimator,
 )
-from repro.monitor import METRICS_TOPIC, MetricCollector, MonitorFleet
+from repro.monitor import MetricCollector
 from repro.ntier import (
     HardwareConfig,
     NTierSystem,
     SoftResourceConfig,
 )
-from repro.ntier.contention import ContentionModel
 from repro.runner.specs import DB_TRAINING_LEVELS, TRAINING_LEVELS  # noqa: F401
-from repro.sim import Environment, RandomStreams
-from repro.workload import (
-    TraceDrivenGenerator,
-    WorkloadTrace,
-    browse_only_catalog,
-)
+from repro.scenario import Deployment, ScenarioSpec, build_system  # noqa: F401
+from repro.sim import Environment
+from repro.workload import TraceDrivenGenerator, WorkloadTrace
 from repro.workload.servlets import Servlet, ServletCatalog
 
 
@@ -74,47 +61,10 @@ def _warn_deprecated(old: str, new: str) -> None:
 # ---------------------------------------------------------------------------
 # Building blocks
 # ---------------------------------------------------------------------------
-
-def build_system(
-    hardware: HardwareConfig = HardwareConfig(1, 1, 1),
-    soft: SoftResourceConfig = SoftResourceConfig.DEFAULT,
-    seed: int = 0,
-    demand_scale: float = 1.0,
-    demand_distribution: str = "exponential",
-    imbalance: float = 0.05,
-    catalog: Optional[ServletCatalog] = None,
-    balancer_policy: str = "least_conn",
-    mysql_contention: Optional[ContentionModel] = None,
-    tomcat_contention: Optional[ContentionModel] = None,
-) -> Tuple[Environment, NTierSystem]:
-    """One-call construction of an environment + n-tier system.
-
-    ``mysql_contention`` / ``tomcat_contention`` override the calibrated
-    ground-truth contention models when given (``None`` keeps the
-    defaults) — the thrash ablation runs the substrate with the quadratic
-    law only.
-    """
-    env = Environment()
-    streams = RandomStreams(seed)
-    cat = catalog or browse_only_catalog(
-        demand_distribution=demand_distribution, demand_scale=demand_scale
-    )
-    overrides = {}
-    if mysql_contention is not None:
-        overrides["mysql_contention"] = mysql_contention
-    if tomcat_contention is not None:
-        overrides["tomcat_contention"] = tomcat_contention
-    system = NTierSystem(
-        env,
-        streams,
-        hardware=hardware,
-        soft=soft,
-        catalog=cat,
-        balancer_policy=balancer_policy,
-        imbalance=imbalance,
-        **overrides,
-    )
-    return env, system
+#
+# ``build_system`` now lives in the scenario layer (the composition root);
+# it is re-imported above so every historical ``from
+# repro.analysis.experiments import build_system`` keeps working.
 
 
 @dataclass(frozen=True)
@@ -475,81 +425,37 @@ def _autoscale_core(spec) -> AutoscaleRun:
     with the optimal DB connection total) and re-allocate after every
     scaling action.
     """
-    env, system = build_system(
+    scenario = ScenarioSpec(
         hardware=HardwareConfig(1, 1, 1),
         soft=spec.initial_soft,
         seed=spec.seed,
         demand_scale=spec.demand_scale,
         imbalance=spec.imbalance,
+        controller=spec.controller,
+        policy=spec.policy,
+        models=spec.models,
+        online_refit=spec.online_refit,
+        preparation_periods=spec.preparation_periods,
+        workload="trace",
+        trace=spec.trace,
+        max_users=spec.max_users,
+        think_time=spec.think_time,
     )
-    trace = spec.trace
-    duration = trace.duration
-
-    broker = KafkaBroker(env)
-    broker.create_topic(METRICS_TOPIC, partitions=4)
-    producer = Producer(broker, client_id="monitor")
-    fleet = MonitorFleet(env, system, producer)
-    hypervisor = Hypervisor(env)
-    preparation_periods = (
-        None if spec.preparation_periods is None else dict(spec.preparation_periods)
-    )
-    vm_agent = VMAgent(
-        env, system, hypervisor, fleet, preparation_periods=preparation_periods
-    )
-    vm_agent.bootstrap()
-    collector = MetricCollector(broker, history=int(duration) + 120)
-    policy = spec.policy or ScalingPolicy()
-    controller = spec.controller
-
-    app_agent: Optional[AppAgent] = None
-    if controller in ("dcm", "predictive"):
-        app_agent = AppAgent(env, system)
-        models = (
-            dict(spec.models)
-            if spec.models is not None
-            else trained_models(spec.demand_scale, spec.seed)
-        )
-        estimator = OnlineModelEstimator(
-            collector,
-            visit_ratios={"web": 1.0, "app": 1.0, "db": system.catalog.visit_ratios()["db"]},
-        )
-        for tier, model in models.items():
-            estimator.seed(tier, model)
-        cls = DCMController if controller == "dcm" else PredictiveDCMController
-        ctl: object = cls(
-            env,
-            system,
-            collector,
-            vm_agent,
-            app_agent,
-            estimator,
-            policy=policy,
-            refit_every_periods=4 if spec.online_refit else 10**9,
-        )
-    else:
-        ctl = EC2AutoScaleController(env, system, collector, vm_agent, policy=policy)
-
-    trace_gen = TraceDrivenGenerator(
-        env, system, trace, max_users=spec.max_users, think_time=spec.think_time
-    )
-    trace_gen.start()
-    env.run(until=duration)
-    collector.drain()
-    ctl.stop()
-    fleet.stop()
+    with Deployment(scenario) as dep:
+        dep.run()
 
     return AutoscaleRun(
-        controller_name=controller,
-        duration=duration,
-        system=system,
-        controller=ctl,
-        collector=collector,
-        hypervisor=hypervisor,
-        vm_agent=vm_agent,
-        app_agent=app_agent,
-        trace_gen=trace_gen,
-        request_log=list(system.request_log),
-        failed=len(system.failure_log),
+        controller_name=spec.controller,
+        duration=dep.duration,
+        system=dep.system,
+        controller=dep.controller,
+        collector=dep.collector,
+        hypervisor=dep.hypervisor,
+        vm_agent=dep.vm_agent,
+        app_agent=dep.app_agent,
+        trace_gen=dep.workload,
+        request_log=list(dep.system.request_log),
+        failed=len(dep.system.failure_log),
     )
 
 

@@ -18,6 +18,9 @@ satisfy by construction:
   regardless of spec submission order;
 * ``store_conservation`` — broker stores neither lose nor duplicate
   messages under consumers that abandon their polls.
+* ``scenario_roundtrip`` — a fuzzed :class:`repro.scenario.ScenarioSpec`
+  survives its JSON round-trip unchanged, and two deployments built from
+  it by the composition root replay identically.
 
 Properties are registered in :data:`PROPERTIES`; the fuzzer draws
 scenarios from each property's ``generate`` and the shrinker minimises
@@ -457,6 +460,58 @@ def _check_store(params: Dict[str, Any], seed: int, **_: Any) -> PropertyResult:
 
 
 # ---------------------------------------------------------------------------
+# scenario_roundtrip
+# ---------------------------------------------------------------------------
+
+def _gen_scenario(rng: np.random.Generator) -> Dict[str, Any]:
+    return {
+        "controller": str(rng.choice(["none", "ec2", "static"])),
+        "users": int(rng.integers(10, 41)),
+        "duration": round(float(rng.uniform(6.0, 12.0)), 2),
+        "demand_scale": round(float(rng.uniform(2.0, 6.0)), 2),
+    }
+
+
+def _check_scenario(params: Dict[str, Any], seed: int, **_: Any) -> PropertyResult:
+    import hashlib
+
+    from repro.scenario import Deployment, ScenarioSpec
+
+    controller = None if params["controller"] == "none" else str(params["controller"])
+    spec = ScenarioSpec(
+        seed=seed,
+        demand_scale=float(params["demand_scale"]),
+        controller=controller,
+        target_servers={"app": 2} if controller == "static" else None,
+        workload="rubbos",
+        users=int(params["users"]),
+        duration=float(params["duration"]),
+    )
+    failures: List[str] = []
+    if ScenarioSpec.from_json(spec.to_json()) != spec:
+        failures.append("ScenarioSpec JSON round-trip changed the spec")
+    digests: List[str] = []
+    completed = 0
+    for _i in range(2):
+        with Deployment(spec) as dep:
+            dep.run()
+        completed = dep.system.completed_count()
+        log = json.dumps(dep.system.request_log, sort_keys=True,
+                         separators=(",", ":"))
+        digests.append(hashlib.sha256(log.encode("utf-8")).hexdigest())
+    if digests[0] != digests[1]:
+        failures.append(
+            f"same spec, different request logs: {digests[0][:12]} vs "
+            f"{digests[1][:12]}"
+        )
+    return PropertyResult(
+        passed=not failures,
+        failures=failures,
+        details={"digest": digests[0][:16], "completed": completed},
+    )
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -509,6 +564,13 @@ PROPERTIES: Dict[str, AuditProperty] = {
                 "consumers": 1,
             },
             weight=4.0,
+        ),
+        AuditProperty(
+            name="scenario_roundtrip",
+            generate=_gen_scenario,
+            check=_check_scenario,
+            floors={"users": 5, "duration": 2.0, "demand_scale": 1.0},
+            weight=1.0,
         ),
     )
 }

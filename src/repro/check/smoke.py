@@ -14,6 +14,11 @@ Three fast end-to-end probes, all run with every sanitizer domain armed:
 ``lifecycle``
     A miniature cluster scenario — provision, boot, serve, drain,
     terminate — followed by the VM-lifecycle and billing audits.
+``scenario``
+    A tiny full-stack :class:`repro.scenario.Deployment` (monitoring
+    pipeline + EC2 controller + RUBBoS users) built, run, and torn down
+    under the sanitizer; teardown must leave no live agent/controller
+    processes behind.
 
 All imports of the heavyweight packages happen inside the functions so
 ``repro.check`` stays importable before (and by) ``sim``/``ntier``/``runner``.
@@ -103,6 +108,38 @@ def _lifecycle_check() -> SmokeOutcome:
     )
 
 
+def _scenario_check(seed: int, demand_scale: float) -> SmokeOutcome:
+    from repro.scenario import Deployment, ScenarioSpec
+
+    spec = ScenarioSpec(
+        seed=seed,
+        demand_scale=demand_scale,
+        controller="ec2",
+        workload="rubbos",
+        users=20,
+        duration=12.0,
+    )
+    with Deployment(spec) as dep:
+        dep.run()
+        agent_procs = [a._process for a in dep.fleet.agents.values()]
+    dep.stop()  # idempotent by contract
+    # Stopped loops exit at their next tick; settle the clock to flush them.
+    dep.env.run(until=dep.env.now + 2 * dep.policy.control_period)
+    leftovers = [
+        p for p in agent_procs + [dep.controller._process] if p.is_alive
+    ]
+    if leftovers:
+        return SmokeOutcome(
+            "scenario", False,
+            f"{len(leftovers)} agent/controller processes alive after stop()",
+        )
+    return SmokeOutcome(
+        "scenario", True,
+        f"full-stack deployment ran {spec.duration:.0f}s and tore down clean "
+        f"({dep.system.completed_count()} requests served)",
+    )
+
+
 def run_smoke(seed: int = 0, demand_scale: float = 1.0) -> List[SmokeOutcome]:
     """Run every smoke check with all sanitizer domains armed."""
     outcomes: List[SmokeOutcome] = []
@@ -115,4 +152,8 @@ def run_smoke(seed: int = 0, demand_scale: float = 1.0) -> List[SmokeOutcome]:
             outcomes.append(_lifecycle_check())
         except InvariantViolation as err:
             outcomes.append(SmokeOutcome("lifecycle", False, str(err)))
+        try:
+            outcomes.append(_scenario_check(seed, demand_scale))
+        except InvariantViolation as err:
+            outcomes.append(SmokeOutcome("scenario", False, str(err)))
     return outcomes

@@ -17,6 +17,11 @@ Gives operators the library's main entry points without writing Python:
 ``sweep``
     Run an arbitrary population sweep from flags or a spec JSON file
     (``--spec``), printing the per-point table and engine telemetry.
+``scenario``
+    Assemble and run a declarative :class:`repro.scenario.ScenarioSpec`
+    from a JSON file through the composition root: ``repro scenario run
+    spec.json``.  Prints completion/failure counts and (with a
+    controller) billed VM-seconds.
 ``trace``
     Export a built-in workload trace to CSV (or describe it).
 ``lint``
@@ -173,6 +178,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", type=float, default=4.0)
     p.add_argument("--duration", type=float, default=12.0)
     p.add_argument("--imbalance", type=float, default=0.05)
+
+    p = sub.add_parser(
+        "scenario", help="assemble and run a declarative scenario spec"
+    )
+    p.add_argument("action", choices=["run"], help="what to do with the spec")
+    p.add_argument(
+        "spec", metavar="SPEC_JSON", help="path to a ScenarioSpec JSON file"
+    )
+    p.add_argument(
+        "--until", type=float, default=None, metavar="T",
+        help="override the run horizon (absolute simulated seconds)",
+    )
 
     p = sub.add_parser("trace", help="export or describe a built-in trace")
     engine(p)
@@ -426,6 +443,30 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenario import Deployment, ScenarioSpec
+
+    spec = ScenarioSpec.from_json(Path(args.spec).read_text())
+    with Deployment(spec) as dep:
+        dep.run(until=args.until)
+    horizon = args.until if args.until is not None else dep.duration
+    rows: List[List[object]] = [
+        ["controller", spec.controller or "-"],
+        ["workload", spec.workload or "-"],
+        ["simulated seconds", float(horizon)],
+        ["completed requests", float(dep.system.completed_count())],
+        ["failed requests", float(len(dep.system.failure_log))],
+    ]
+    if dep.hypervisor is not None:
+        rows.append(["VM-seconds", dep.hypervisor.billing.vm_seconds(horizon)])
+        for tier in ("app", "db"):
+            timeline = dep.controller.scaling_timeline(tier)
+            rows.append([f"{tier} servers (final)", float(timeline[-1][1])])
+    print(render_table(["metric", "value"], rows,
+                       title=f"scenario: {Path(args.spec).name}"))
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     trace = TRACES[args.name]()
     print(f"{args.name}: duration {trace.duration:.0f}s, "
@@ -563,6 +604,7 @@ _COMMANDS = {
     "train": cmd_train,
     "predict": cmd_predict,
     "autoscale": cmd_autoscale,
+    "scenario": cmd_scenario,
     "sweep": cmd_sweep,
     "trace": cmd_trace,
     "lint": cmd_lint,

@@ -51,6 +51,7 @@ class DCMController(BaseAutoScaleController):
         tiers: Tuple[str, ...] = ("app", "db"),
         refit_every_periods: int = 4,
         apply_initial_plan: bool = True,
+        online_refit: bool = True,
     ) -> None:
         super().__init__(env, system, collector, vm_agent, policy, tiers)
         self.app_agent = app_agent
@@ -59,6 +60,7 @@ class DCMController(BaseAutoScaleController):
             apache_threads=system.soft.apache_threads
         )
         self.refit_every_periods = refit_every_periods
+        self.online_refit = online_refit
         self._periods_seen = 0
         self.last_plan: Optional[AllocationPlan] = None
         if apply_initial_plan:
@@ -160,6 +162,8 @@ class DCMController(BaseAutoScaleController):
     def on_period_end(self, now: float) -> None:
         """Periodic online refits; re-apply the plan when knees move."""
         self._periods_seen += 1
+        if not self.online_refit:
+            return
         if self._periods_seen % self.refit_every_periods:
             return
         changed = False

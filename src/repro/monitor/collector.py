@@ -14,6 +14,7 @@ history, and answers the two questions controllers ask —
 from __future__ import annotations
 
 from collections import defaultdict, deque
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from repro.broker.broker import KafkaBroker
@@ -25,28 +26,18 @@ if TYPE_CHECKING:  # pragma: no cover
     pass
 
 
+@dataclass(frozen=True)
 class TierStats:
     """Aggregated view of one tier over a horizon (see ``tier_stats``)."""
 
-    def __init__(
-        self,
-        tier: str,
-        servers: int,
-        mean_cpu_utilization: float,
-        max_cpu_utilization: float,
-        throughput: float,
-        mean_concurrency_per_server: float,
-        total_concurrency: float,
-        mean_response_time: float,
-    ) -> None:
-        self.tier = tier
-        self.servers = servers
-        self.mean_cpu_utilization = mean_cpu_utilization
-        self.max_cpu_utilization = max_cpu_utilization
-        self.throughput = throughput
-        self.mean_concurrency_per_server = mean_concurrency_per_server
-        self.total_concurrency = total_concurrency
-        self.mean_response_time = mean_response_time
+    tier: str
+    servers: int
+    mean_cpu_utilization: float
+    max_cpu_utilization: float
+    throughput: float
+    mean_concurrency_per_server: float
+    total_concurrency: float
+    mean_response_time: float
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -194,6 +194,11 @@ class NTierSystem:
             max(1, len(self.active_servers("db"))),
         )
 
+    def visit_ratios(self) -> Dict[str, float]:
+        """The paper's V_m per tier for this system's servlet mix — what the
+        model estimator needs to convert HTTP throughput to per-tier visits."""
+        return self.catalog.visit_ratios()
+
     # -- scaling operations (used by actuators) -----------------------------------------
     def drain(self, server) -> Event:
         """Begin draining ``server``; returns the drained event."""

@@ -41,10 +41,10 @@ def _dec_contention(obj):
 
 
 def _execute_steady(payload: Dict[str, Any]) -> Dict[str, Any]:
-    from repro.analysis.experiments import build_system, measure_steady_state
-    from repro.workload import JMeterGenerator, RubbosGenerator
+    from repro.analysis.experiments import measure_steady_state
+    from repro.scenario import Deployment, ScenarioSpec
 
-    env, system = build_system(
+    spec = ScenarioSpec(
         hardware=HardwareConfig.parse(payload["hardware"]),
         soft=SoftResourceConfig.parse(payload["soft"]),
         seed=payload["seed"],
@@ -54,22 +54,23 @@ def _execute_steady(payload: Dict[str, Any]) -> Dict[str, Any]:
         balancer_policy=payload["balancer_policy"],
         mysql_contention=_dec_contention(payload.get("mysql_contention")),
         tomcat_contention=_dec_contention(payload.get("tomcat_contention")),
+        monitoring=False,
+        workload=payload["workload"],
+        users=payload["users"],
+        think_time=payload["think_time"],
     )
-    if payload["workload"] == "jmeter":
-        JMeterGenerator(env, system, payload["users"]).start()
-    else:
-        RubbosGenerator(
-            env, system, users=payload["users"], think_time=payload["think_time"]
+    with Deployment(spec) as dep:
+        dep.start()
+        steady = measure_steady_state(
+            dep.env, dep.system, payload["warmup"], payload["duration"]
         )
-    steady = measure_steady_state(
-        env, system, payload["warmup"], payload["duration"]
-    )
-    server_busy = {
-        tier: sorted(
-            s.cpu.busy_integral() / env.now for s in system.tier_servers(tier)
-        )
-        for tier in ("web", "app", "db")
-    }
+        server_busy = {
+            tier: sorted(
+                s.cpu.busy_integral() / dep.env.now
+                for s in dep.system.tier_servers(tier)
+            )
+            for tier in ("web", "app", "db")
+        }
     return {"steady": asdict(steady), "server_busy": server_busy}
 
 

@@ -1,0 +1,45 @@
+"""Declarative scenario layer — one composition root for the whole stack.
+
+``ScenarioSpec`` (a frozen, JSON round-tripping dataclass) describes a
+deployment — topology, monitoring pipeline, controller, workload,
+duration — and ``Deployment`` assembles and runs it with a managed
+lifecycle.  Controllers and workloads are looked up in pluggable
+registries, so new kinds plug in without touching assembly code::
+
+    from repro.scenario import Deployment, ScenarioSpec
+
+    spec = ScenarioSpec(controller="dcm", workload="trace",
+                        trace=my_trace, max_users=200)
+    with Deployment(spec) as dep:
+        dep.run()
+        print(dep.system.completed_count())
+
+See DESIGN.md §3 "Scenario layer".
+"""
+
+from repro.scenario.deploy import Deployment, build_system
+from repro.scenario.registry import (
+    CONTROLLERS,
+    WORKLOADS,
+    controller_names,
+    register_controller,
+    register_workload,
+    resolve_controller,
+    resolve_workload,
+    workload_names,
+)
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = [
+    "CONTROLLERS",
+    "Deployment",
+    "ScenarioSpec",
+    "WORKLOADS",
+    "build_system",
+    "controller_names",
+    "register_controller",
+    "register_workload",
+    "resolve_controller",
+    "resolve_workload",
+    "workload_names",
+]

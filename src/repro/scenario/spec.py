@@ -1,0 +1,284 @@
+"""Declarative scenario specifications — the composition root's input.
+
+A :class:`ScenarioSpec` is a frozen dataclass that fully describes one
+deployment of the DCM stack: topology + soft configuration, broker and
+monitoring settings, the controller and its models/policy, the workload
+generator, and the run duration.  Like the runner specs it round-trips
+through JSON (``from_json(to_json(spec)) == spec``), so a scenario can be
+stored in a file, shipped to the CLI (``repro scenario run spec.json``),
+or embedded in an audit corpus.
+
+The spec names its controller and workload by **registry key** (see
+:mod:`repro.scenario.registry`); third parties register new kinds without
+touching the assembly code in :mod:`repro.scenario.deploy`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional, Tuple
+
+from repro.control.policy import ScalingPolicy
+from repro.errors import ConfigurationError
+from repro.model.service_time import ConcurrencyModel
+from repro.ntier.contention import ContentionModel
+from repro.ntier.softconfig import HardwareConfig, SoftResourceConfig
+from repro.workload.traces import WorkloadTrace
+
+
+def _canonical_json(obj: Any) -> str:
+    """Stable, compact JSON used for persistence and hashing."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _enc_contention(model: Optional[ContentionModel]) -> Optional[Dict[str, Any]]:
+    if model is None:
+        return None
+    return {"s0": model.s0, "alpha": model.alpha, "beta": model.beta,
+            "delta": model.delta, "knee": model.knee}
+
+
+def _dec_contention(obj: Optional[Dict[str, Any]]) -> Optional[ContentionModel]:
+    return None if obj is None else ContentionModel(**obj)
+
+
+def _enc_model(model: ConcurrencyModel) -> Dict[str, Any]:
+    return {"s0": model.s0, "alpha": model.alpha, "beta": model.beta,
+            "gamma": model.gamma, "tier": model.tier}
+
+
+def _enc_policy(policy: Optional[ScalingPolicy]) -> Optional[Dict[str, Any]]:
+    if policy is None:
+        return None
+    return {f.name: getattr(policy, f.name) for f in fields(policy)}
+
+
+def _enc_trace(trace: Optional[WorkloadTrace]) -> Optional[Dict[str, Any]]:
+    if trace is None:
+        return None
+    return {"times": list(trace.times), "levels": list(trace.levels)}
+
+
+def _dec_trace(obj: Optional[Dict[str, Any]]) -> Optional[WorkloadTrace]:
+    if obj is None:
+        return None
+    return WorkloadTrace(tuple(obj["times"]), tuple(obj["levels"]))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything needed to assemble and run one deployment of the stack.
+
+    Field groups, in lifecycle order:
+
+    * **Topology / substrate** — ``hardware``, ``soft``, ``seed``,
+      ``demand_scale``, ``demand_distribution``, ``imbalance``,
+      ``balancer_policy``, and optional contention-law overrides.
+    * **Monitoring pipeline** — ``monitoring`` gates the whole
+      agents → Kafka → collector chain; ``partitions``,
+      ``sample_interval``, and ``collector_history`` tune it.
+    * **Control plane** — ``controller`` is a registry key
+      (``static`` / ``ec2`` / ``dcm`` / ``predictive`` built in, or any
+      third-party registration); ``None`` runs without actuation.
+      ``policy``, ``models``, ``online_refit``, ``preparation_periods``
+      and ``target_servers`` parameterise the built-in controllers.
+    * **Workload** — ``workload`` is a registry key (``jmeter`` /
+      ``rubbos`` / ``trace`` built in); ``users`` feeds the closed-loop
+      generators, ``trace`` + ``max_users`` the trace replayer.
+    * **Duration** — explicit ``duration`` or, when ``None``, the trace's
+      own length.
+
+    ``models``, ``preparation_periods`` and ``target_servers`` accept
+    plain dicts and are frozen to sorted tuples so the spec stays
+    hashable and equality-comparable after a JSON round-trip.
+    """
+
+    kind = "scenario"
+
+    # -- topology / substrate ------------------------------------------------
+    hardware: HardwareConfig = HardwareConfig(1, 1, 1)
+    soft: SoftResourceConfig = SoftResourceConfig.DEFAULT
+    seed: int = 0
+    demand_scale: float = 1.0
+    demand_distribution: str = "exponential"
+    imbalance: float = 0.05
+    balancer_policy: str = "least_conn"
+    mysql_contention: Optional[ContentionModel] = None
+    tomcat_contention: Optional[ContentionModel] = None
+
+    # -- monitoring pipeline -------------------------------------------------
+    monitoring: bool = True
+    partitions: int = 4
+    sample_interval: float = 1.0
+    collector_history: Optional[int] = None
+
+    # -- control plane -------------------------------------------------------
+    controller: Optional[str] = None
+    policy: Optional[ScalingPolicy] = None
+    models: Optional[Tuple[Tuple[str, ConcurrencyModel], ...]] = None
+    online_refit: bool = True
+    preparation_periods: Optional[Tuple[Tuple[str, float], ...]] = None
+    target_servers: Optional[Tuple[Tuple[str, int], ...]] = None
+
+    # -- workload ------------------------------------------------------------
+    workload: Optional[str] = None
+    users: int = 100
+    max_users: int = 100
+    think_time: float = 3.0
+    trace: Optional[WorkloadTrace] = None
+
+    # -- duration ------------------------------------------------------------
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        from repro.scenario.registry import resolve_controller, resolve_workload
+
+        if isinstance(self.hardware, str):
+            object.__setattr__(self, "hardware", HardwareConfig.parse(self.hardware))
+        if isinstance(self.soft, str):
+            object.__setattr__(self, "soft", SoftResourceConfig.parse(self.soft))
+        if isinstance(self.models, dict):
+            object.__setattr__(self, "models", tuple(sorted(self.models.items())))
+        if isinstance(self.preparation_periods, dict):
+            object.__setattr__(
+                self,
+                "preparation_periods",
+                tuple(sorted(self.preparation_periods.items())),
+            )
+        if isinstance(self.target_servers, dict):
+            object.__setattr__(
+                self, "target_servers", tuple(sorted(self.target_servers.items()))
+            )
+        if self.controller is not None:
+            resolve_controller(self.controller)  # fail fast on unknown keys
+        if self.workload is not None:
+            resolve_workload(self.workload)
+        if self.workload == "trace" and self.trace is None:
+            raise ConfigurationError("workload 'trace' requires a trace")
+        if self.partitions < 1:
+            raise ConfigurationError(
+                f"partitions must be >= 1, got {self.partitions}"
+            )
+        if self.sample_interval <= 0:
+            raise ConfigurationError(
+                f"sample_interval must be > 0, got {self.sample_interval}"
+            )
+        if self.users < 1:
+            raise ConfigurationError(f"users must be >= 1, got {self.users}")
+        if self.max_users < 1:
+            raise ConfigurationError(
+                f"max_users must be >= 1, got {self.max_users}"
+            )
+        if self.duration is not None and self.duration <= 0:
+            raise ConfigurationError(
+                f"duration must be > 0, got {self.duration}"
+            )
+        if self.controller is not None and not self.monitoring:
+            raise ConfigurationError(
+                "controllers read the metric collector; monitoring=False is "
+                "only valid for controller-less scenarios"
+            )
+
+    # -- derived -------------------------------------------------------------
+
+    def effective_duration(self) -> Optional[float]:
+        """The run horizon: explicit ``duration``, else the trace length."""
+        if self.duration is not None:
+            return self.duration
+        if self.trace is not None:
+            return self.trace.duration
+        return None
+
+    def effective_collector_history(self) -> int:
+        """Metric retention window: explicit, else duration + 2 min slack."""
+        if self.collector_history is not None:
+            return self.collector_history
+        horizon = self.effective_duration()
+        return int(horizon) + 120 if horizon is not None else 600
+
+    # -- JSON round-trip -----------------------------------------------------
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "hardware": str(self.hardware),
+            "soft": str(self.soft),
+            "seed": self.seed,
+            "demand_scale": self.demand_scale,
+            "demand_distribution": self.demand_distribution,
+            "imbalance": self.imbalance,
+            "balancer_policy": self.balancer_policy,
+            "mysql_contention": _enc_contention(self.mysql_contention),
+            "tomcat_contention": _enc_contention(self.tomcat_contention),
+            "monitoring": self.monitoring,
+            "partitions": self.partitions,
+            "sample_interval": self.sample_interval,
+            "collector_history": self.collector_history,
+            "controller": self.controller,
+            "policy": _enc_policy(self.policy),
+            "models": None if self.models is None else {
+                tier: _enc_model(m) for tier, m in self.models
+            },
+            "online_refit": self.online_refit,
+            "preparation_periods": None if self.preparation_periods is None
+            else dict(self.preparation_periods),
+            "target_servers": None if self.target_servers is None
+            else dict(self.target_servers),
+            "workload": self.workload,
+            "users": self.users,
+            "max_users": self.max_users,
+            "think_time": self.think_time,
+            "trace": _enc_trace(self.trace),
+            "duration": self.duration,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON text for this scenario (stable across runs)."""
+        return _canonical_json(self.to_json_obj())
+
+    @classmethod
+    def from_json_obj(cls, obj: Dict[str, Any]) -> "ScenarioSpec":
+        kind = obj.get("kind", cls.kind)
+        if kind != cls.kind:
+            raise ConfigurationError(
+                f"expected a {cls.kind!r} spec, got kind {kind!r}"
+            )
+        models = obj.get("models")
+        return cls(
+            hardware=obj["hardware"],
+            soft=obj["soft"],
+            seed=obj["seed"],
+            demand_scale=obj["demand_scale"],
+            demand_distribution=obj["demand_distribution"],
+            imbalance=obj["imbalance"],
+            balancer_policy=obj["balancer_policy"],
+            mysql_contention=_dec_contention(obj.get("mysql_contention")),
+            tomcat_contention=_dec_contention(obj.get("tomcat_contention")),
+            monitoring=obj["monitoring"],
+            partitions=obj["partitions"],
+            sample_interval=obj["sample_interval"],
+            collector_history=obj.get("collector_history"),
+            controller=obj.get("controller"),
+            policy=None if obj.get("policy") is None
+            else ScalingPolicy(**obj["policy"]),
+            models=None if models is None else {
+                tier: ConcurrencyModel(**m) for tier, m in models.items()
+            },
+            online_refit=obj["online_refit"],
+            preparation_periods=None if obj.get("preparation_periods") is None
+            else dict(obj["preparation_periods"]),
+            target_servers=None if obj.get("target_servers") is None
+            else dict(obj["target_servers"]),
+            workload=obj.get("workload"),
+            users=obj["users"],
+            max_users=obj["max_users"],
+            think_time=obj["think_time"],
+            trace=_dec_trace(obj.get("trace")),
+            duration=obj.get("duration"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Reconstruct a scenario from its ``to_json()`` text."""
+        return cls.from_json_obj(json.loads(text))

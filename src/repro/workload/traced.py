@@ -63,6 +63,7 @@ class TraceDrivenGenerator:
         )
         self._applied: List[Tuple[float, int]] = []
         self._process: Optional["Process"] = None
+        self._stopping = False
 
     # -- control -------------------------------------------------------------------
     def start(self) -> "Process":
@@ -72,6 +73,12 @@ class TraceDrivenGenerator:
             raise ConfigurationError("trace replay already started")
         self._process = self.env.process(self._replay())
         return self._process
+
+    def stop(self) -> None:
+        """Stop replaying and gracefully wind the population down; the
+        replay process exits at its next update tick."""
+        self._stopping = True
+        self.population.stop()
 
     def target_at(self, t: float) -> int:
         """User target at trace time ``t`` (level × max_users, rounded)."""
@@ -85,7 +92,7 @@ class TraceDrivenGenerator:
     # -- internals ------------------------------------------------------------------
     def _replay(self):
         start = self.env.now
-        while True:
+        while not self._stopping:
             elapsed = self.env.now - start
             if elapsed > self.trace.duration:
                 break

@@ -70,6 +70,7 @@ class TestProperties:
             "service_time_scaling",
             "seed_permutation",
             "store_conservation",
+            "scenario_roundtrip",
         }
         for prop in PROPERTIES.values():
             assert prop.weight > 0
