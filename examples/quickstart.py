@@ -22,9 +22,8 @@ Set ``REPRO_EXAMPLES_QUICK=1`` for the CI-sized variant.
 import os
 import sys
 
-from repro.analysis.experiments import measure_steady_state
 from repro.analysis.tables import render_table
-from repro.scenario import Deployment, ScenarioSpec
+from repro.scenario import Deployment, ScenarioSpec, measure_steady_state
 
 QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") == "1"
 

@@ -6,14 +6,20 @@ frozen spec dataclass executed by :func:`repro.runner.run` (parallel
 fan-out + spec-keyed result caching; see DESIGN.md §3 "Experiment
 engine").  This module keeps
 
-* the building blocks (:func:`build_system`, :func:`measure_steady_state`)
-  and result dataclasses the engine's point functions and reducers use, and
+* result dataclasses the engine's point functions and reducers use
+  (the building blocks themselves now live in the scenario layer:
+  :func:`repro.scenario.build_system`,
+  :func:`repro.scenario.measure_steady_state` — re-exported here so
+  historical imports keep working), and
 * thin **deprecated** wrappers with the historical signatures
   (``stress_tier_sweep``, ``jmeter_sweep``, ``train_tier_model``,
   ``validation_curves``, ``run_autoscale_experiment``) so existing scripts
   keep working; they emit :class:`DeprecationWarning` and delegate to the
   engine with ``jobs=1, cache=False`` — bit-identical to the old serial
-  behaviour.
+  behaviour.  **These five wrappers are scheduled for removal in the next
+  release** — nothing inside the repo imports them any more; build the
+  corresponding :mod:`repro.runner` spec and call ``repro.runner.run``
+  instead.
 
 Runners are deterministic given a seed and support ``demand_scale`` — a
 speed knob that multiplies all CPU demands (capacities shrink by the same
@@ -26,8 +32,6 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
 
 from repro.cluster import Hypervisor
 from repro.control import AppAgent, ScalingPolicy, VMAgent
@@ -43,8 +47,13 @@ from repro.ntier import (
     SoftResourceConfig,
 )
 from repro.runner.specs import DB_TRAINING_LEVELS, TRAINING_LEVELS  # noqa: F401
-from repro.scenario import Deployment, ScenarioSpec, build_system  # noqa: F401
-from repro.sim import Environment
+from repro.scenario import (  # noqa: F401
+    Deployment,
+    ScenarioSpec,
+    SteadyState,
+    build_system,
+    measure_steady_state,
+)
 from repro.workload import TraceDrivenGenerator, WorkloadTrace
 from repro.workload.servlets import Servlet, ServletCatalog
 
@@ -62,79 +71,10 @@ def _warn_deprecated(old: str, new: str) -> None:
 # Building blocks
 # ---------------------------------------------------------------------------
 #
-# ``build_system`` now lives in the scenario layer (the composition root);
-# it is re-imported above so every historical ``from
-# repro.analysis.experiments import build_system`` keeps working.
-
-
-@dataclass(frozen=True)
-class SteadyState:
-    """Measured steady-state operating point of one run window."""
-
-    throughput: float
-    mean_response_time: float
-    tier_concurrency: Dict[str, float]
-    tier_utilization: Dict[str, float]
-    tier_efficiency: Dict[str, float]
-    tier_busy_fraction: Dict[str, float]
-    completed: int
-    failed: int
-
-
-def measure_steady_state(
-    env: Environment,
-    system: NTierSystem,
-    warmup: float,
-    duration: float,
-) -> SteadyState:
-    """Run ``warmup`` then ``duration`` seconds; report windowed stats."""
-    if warmup < 0 or duration <= 0:
-        raise ConfigurationError("need warmup >= 0 and duration > 0")
-    env.run(until=env.now + warmup)
-    base_completed = system.completed_count()
-    base_failed = len(system.failure_log)
-    base_int: Dict[str, Tuple[float, float, float, float]] = {}
-    servers = system.all_servers()
-    for s in servers:
-        base_int[s.name] = (
-            s.cpu.busy_integral(),
-            s.cpu.utilization_integral(),
-            s.cpu.efficiency_integral(),
-            s.cpu.nonidle_integral(),
-        )
-    start = env.now
-    env.run(until=start + duration)
-
-    completed_rows = [
-        rt for created, rt in system.request_log if created + rt >= start
-    ]
-    completed = system.completed_count() - base_completed
-    tier_conc: Dict[str, List[float]] = {}
-    tier_util: Dict[str, List[float]] = {}
-    tier_eff: Dict[str, List[float]] = {}
-    tier_busy: Dict[str, List[float]] = {}
-    for s in servers:
-        b0, u0, e0, i0 = base_int[s.name]
-        tier_conc.setdefault(s.tier, []).append((s.cpu.busy_integral() - b0) / duration)
-        tier_util.setdefault(s.tier, []).append(
-            (s.cpu.utilization_integral() - u0) / duration
-        )
-        tier_eff.setdefault(s.tier, []).append(
-            (s.cpu.efficiency_integral() - e0) / duration
-        )
-        tier_busy.setdefault(s.tier, []).append(
-            (s.cpu.nonidle_integral() - i0) / duration
-        )
-    return SteadyState(
-        throughput=completed / duration,
-        mean_response_time=float(np.mean(completed_rows)) if completed_rows else 0.0,
-        tier_concurrency={t: float(np.mean(v)) for t, v in tier_conc.items()},
-        tier_utilization={t: float(np.mean(v)) for t, v in tier_util.items()},
-        tier_efficiency={t: float(np.mean(v)) for t, v in tier_eff.items()},
-        tier_busy_fraction={t: float(np.mean(v)) for t, v in tier_busy.items()},
-        completed=completed,
-        failed=len(system.failure_log) - base_failed,
-    )
+# ``build_system``, ``SteadyState``, and ``measure_steady_state`` now live
+# in the scenario layer (the composition root measures what it builds);
+# they are re-imported above so every historical ``from
+# repro.analysis.experiments import measure_steady_state`` keeps working.
 
 
 # ---------------------------------------------------------------------------

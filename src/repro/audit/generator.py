@@ -10,18 +10,33 @@ often than engine-backed simulations).
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterable, List, Optional
 
 import numpy as np
 
 from repro.audit.properties import PROPERTIES, Scenario
+from repro.errors import ConfigurationError
 from repro.sim.rng import RandomStreams
 
 
-def generate_scenarios(seed: int, budget: int) -> List[Scenario]:
-    """Draw ``budget`` scenarios deterministically from ``seed``."""
+def generate_scenarios(
+    seed: int, budget: int, properties: Optional[Iterable[str]] = None
+) -> List[Scenario]:
+    """Draw ``budget`` scenarios deterministically from ``seed``.
+
+    ``properties`` restricts the draw to a subset of property names (the
+    CLI's ``--properties``); ``None`` keeps the full weighted mix.
+    """
     rng = RandomStreams(seed).stream("audit.generator")
-    names = sorted(PROPERTIES)
+    if properties is None:
+        names = sorted(PROPERTIES)
+    else:
+        names = sorted(set(properties))
+        unknown = [n for n in names if n not in PROPERTIES]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown audit properties {unknown}; pick from {sorted(PROPERTIES)}"
+            )
     weights = np.array([PROPERTIES[n].weight for n in names], dtype=float)
     weights /= weights.sum()
     scenarios: List[Scenario] = []

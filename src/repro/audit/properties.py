@@ -21,6 +21,13 @@ satisfy by construction:
 * ``scenario_roundtrip`` — a fuzzed :class:`repro.scenario.ScenarioSpec`
   survives its JSON round-trip unchanged, and two deployments built from
   it by the composition root replay identically.
+* ``fault_conservation`` — under an injected fault (VM crash, tier
+  partition, latency spike, broker outage, slow node) with any shipped
+  resilience policy, every submitted request completes, fails, or is
+  accounted as shed — none silently lost — servers conserve
+  arrivals = completions + failures even across a crash, and no
+  completed request duplicates committed database work (the retry
+  idempotency guard).
 
 Properties are registered in :data:`PROPERTIES`; the fuzzer draws
 scenarios from each property's ``generate`` and the shrinker minimises
@@ -512,6 +519,193 @@ def _check_scenario(params: Dict[str, Any], seed: int, **_: Any) -> PropertyResu
 
 
 # ---------------------------------------------------------------------------
+# fault_conservation
+# ---------------------------------------------------------------------------
+
+#: How long the quiescence loop waits (simulated seconds) for in-flight
+#: work to resolve after the run horizon — abandoned (timed-out) attempts
+#: and retry backoffs all finish well inside this.
+_FAULT_GRACE = 240.0
+
+_FAULT_KINDS = (
+    "vm_crash", "tier_partition", "latency_spike", "broker_outage", "slow_node",
+)
+_FAULT_POLICIES = (
+    "none", "retry", "timeout", "circuit_breaker", "retry+circuit_breaker",
+    "bulkhead", "shed",
+)
+
+
+def _gen_faults(rng: np.random.Generator) -> Dict[str, Any]:
+    return {
+        "fault": str(rng.choice(list(_FAULT_KINDS))),
+        "policy": str(rng.choice(list(_FAULT_POLICIES))),
+        "app_servers": int(rng.integers(2, 4)),
+        "users": int(rng.integers(20, 61)),
+        "demand_scale": round(float(rng.uniform(1.0, 5.0)), 2),
+        "duration": round(float(rng.uniform(8.0, 16.0)), 2),
+        "fault_at": round(float(rng.uniform(1.0, 5.0)), 2),
+        "fault_duration": round(float(rng.uniform(1.0, 4.0)), 2),
+    }
+
+
+def _fault_scenario_spec(params: Dict[str, Any], seed: int):
+    """Translate a parameter point into a fault-bearing ScenarioSpec."""
+    from repro.faults import (
+        BrokerOutage, LatencySpike, PolicyConfig, SlowNode, TierPartition, VMCrash,
+    )
+    from repro.scenario import ScenarioSpec
+
+    at = float(params["fault_at"])
+    dur = float(params["fault_duration"])
+    kind = str(params["fault"])
+    if kind == "vm_crash":
+        fault, tier = VMCrash(at=at, tier="app", index=0), "app"
+    elif kind == "tier_partition":
+        fault, tier = TierPartition(at=at, tier="db", duration=dur), "db"
+    elif kind == "latency_spike":
+        fault, tier = LatencySpike(at=at, tier="app", extra=0.5, duration=dur), "app"
+    elif kind == "broker_outage":
+        fault, tier = BrokerOutage(at=at, duration=dur), "app"
+    elif kind == "slow_node":
+        fault, tier = SlowNode(at=at, tier="db", index=0, factor=6.0, duration=dur), "db"
+    else:
+        raise ConfigurationError(f"unknown fault kind {kind!r}")
+
+    policies = {
+        "none": (),
+        "retry": (PolicyConfig("retry", tier, {"attempts": 3, "base_delay": 0.05}),),
+        "retry_noguard": (
+            PolicyConfig("retry_noguard", tier, {"attempts": 3, "base_delay": 0.05}),
+        ),
+        "timeout": (PolicyConfig("timeout", tier, {"deadline": 3.0}),),
+        "circuit_breaker": (
+            PolicyConfig(
+                "circuit_breaker", tier,
+                {"failure_threshold": 3, "recovery_time": 1.0},
+            ),
+        ),
+        "retry+circuit_breaker": (
+            PolicyConfig("retry", tier, {"attempts": 3, "base_delay": 0.05}),
+            PolicyConfig(
+                "circuit_breaker", tier,
+                {"failure_threshold": 3, "recovery_time": 1.0},
+            ),
+        ),
+        "bulkhead": (PolicyConfig("bulkhead", tier, {"limit": 30}),),
+        "shed": (PolicyConfig("shed", tier, {"max_outstanding": 40}),),
+    }
+    policy = str(params["policy"])
+    if policy not in policies:
+        raise ConfigurationError(
+            f"unknown resilience policy combo {policy!r}; "
+            f"pick from {sorted(policies)}"
+        )
+    return ScenarioSpec(
+        hardware=f"1/{int(params['app_servers'])}/1",
+        seed=seed,
+        demand_scale=float(params.get("demand_scale", 1.0)),
+        # The broker exists only when the fault needs one: the property is
+        # about request conservation, not the metric pipeline.
+        monitoring=(kind == "broker_outage"),
+        workload="rubbos",
+        users=int(params["users"]),
+        think_time=1.0,
+        duration=float(params["duration"]),
+        faults=(fault,),
+        resilience=policies[policy],
+    )
+
+
+def _check_faults(params: Dict[str, Any], seed: int, **_: Any) -> PropertyResult:
+    """Conservation under failure: every submitted request completes, fails,
+    or is accounted as shed — none silently lost — and no completed request
+    duplicates committed database work (retry idempotency)."""
+    from repro.scenario import Deployment, ScenarioSpec
+
+    spec = _fault_scenario_spec(params, seed)
+    failures: List[str] = []
+    if ScenarioSpec.from_json(spec.to_json()) != spec:
+        failures.append("fault-bearing ScenarioSpec JSON round-trip changed it")
+
+    dep = Deployment(spec)
+    system = dep.system
+    system.audit_requests = []
+    dep.run()
+    dep.stop()
+
+    def quiet() -> bool:
+        return system.inflight == 0 and all(
+            s.outstanding == 0 and s.inflight == 0
+            for s in system.all_servers() + system.removed_servers
+        )
+
+    # Quiesce: closed-loop sessions finish their in-flight request after
+    # stop(); abandoned (timed-out) attempts and retry backoffs drain too.
+    deadline = dep.env.now + _FAULT_GRACE
+    while not quiet() and dep.env.now < deadline:
+        dep.env.run(until=min(dep.env.now + 5.0, deadline))
+
+    if not quiet():
+        stuck = [
+            f"{s.name}:{s.outstanding}"
+            for s in system.all_servers() + system.removed_servers
+            if s.outstanding != 0 or s.inflight != 0
+        ]
+        failures.append(
+            f"system did not quiesce within {_FAULT_GRACE}s grace: "
+            f"client inflight={system.inflight}, servers={stuck}"
+        )
+
+    completed = system.completed_count()
+    failed = len(system.failure_log)
+    shed = len(system.shed_log)
+    if system.submitted != completed + failed + shed:
+        failures.append(
+            f"request conservation violated: submitted={system.submitted} != "
+            f"completed={completed} + failed={failed} + shed={shed}"
+        )
+
+    for request in system.audit_requests:
+        expected = len(request.demand.db_queries)
+        if request.completed is not None and request.db_commits != expected:
+            failures.append(
+                f"request {request.request_id} completed with "
+                f"{request.db_commits} DB commits, expected {expected} — "
+                "a retry duplicated (or lost) committed work"
+            )
+            break
+        if request.completed is None and request.db_commits > expected:
+            failures.append(
+                f"failed request {request.request_id} committed "
+                f"{request.db_commits} > {expected} queries — duplicated work"
+            )
+            break
+
+    for server in system.all_servers() + system.removed_servers:
+        if server.arrivals != server.completions + server.failures:
+            failures.append(
+                f"{server.name}: arrivals={server.arrivals} != "
+                f"completions={server.completions} + failures={server.failures}"
+            )
+
+    return PropertyResult(
+        passed=not failures,
+        failures=failures,
+        details={
+            "submitted": system.submitted,
+            "completed": completed,
+            "failed": failed,
+            "shed": shed,
+            "injections": (
+                [] if dep.injector is None
+                else [f"{e.time:.2f}:{e.kind}:{e.phase}" for e in dep.injector.log]
+            ),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -571,6 +765,20 @@ PROPERTIES: Dict[str, AuditProperty] = {
             check=_check_scenario,
             floors={"users": 5, "duration": 2.0, "demand_scale": 1.0},
             weight=1.0,
+        ),
+        AuditProperty(
+            name="fault_conservation",
+            generate=_gen_faults,
+            check=_check_faults,
+            floors={
+                "app_servers": 2,
+                "users": 10,
+                "demand_scale": 1.0,
+                "duration": 4.0,
+                "fault_at": 0.5,
+                "fault_duration": 0.5,
+            },
+            weight=2.5,
         ),
     )
 }

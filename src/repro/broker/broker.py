@@ -67,6 +67,8 @@ class KafkaBroker:
         self._topics: Dict[str, Topic] = {}
         #: committed offsets: (group, topic, partition) -> next offset to read
         self._group_offsets: Dict[Tuple[str, str, int], int] = {}
+        self._available = True
+        self.rejected_produces = 0
 
     # -- topic management -----------------------------------------------------------
     def create_topic(
@@ -90,9 +92,24 @@ class KafkaBroker:
         """All topic names."""
         return sorted(self._topics)
 
+    # -- availability (BrokerOutage fault) -------------------------------------------
+    @property
+    def available(self) -> bool:
+        """Whether the broker accepts produces (outage = write-unavailable)."""
+        return self._available
+
+    def set_available(self, available: bool) -> None:
+        """Take the broker down (or bring it back).  An outage rejects
+        *produces* only — consumers can still read already-stored records,
+        like a Kafka cluster that lost its ack quorum but not its disks."""
+        self._available = bool(available)
+
     # -- producing -------------------------------------------------------------------
     def produce(self, topic: str, value: Any, key: Optional[str] = None) -> Tuple[int, int]:
         """Append ``value`` to ``topic``; returns ``(partition, offset)``."""
+        if not self._available:
+            self.rejected_produces += 1
+            raise BrokerError(f"broker unavailable: produce to {topic!r} rejected")
         return self.topic(topic).append(key, value)
 
     # -- offset bookkeeping -------------------------------------------------------------

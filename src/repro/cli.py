@@ -20,8 +20,10 @@ Gives operators the library's main entry points without writing Python:
 ``scenario``
     Assemble and run a declarative :class:`repro.scenario.ScenarioSpec`
     from a JSON file through the composition root: ``repro scenario run
-    spec.json``.  Prints completion/failure counts and (with a
-    controller) billed VM-seconds.
+    spec.json``.  Prints completion/failure/shed counts, the fault
+    injection log, and (with a controller) billed VM-seconds.  ``repro
+    scenario run --list`` prints every registered controller, workload,
+    fault kind, and resilience policy.
 ``trace``
     Export a built-in workload trace to CSV (or describe it).
 ``lint``
@@ -35,7 +37,9 @@ Gives operators the library's main entry points without writing Python:
     ``repro audit --budget N --seed S`` draws N random scenarios across
     the property catalogue (analytical M/M/c oracle, metamorphic and
     conservation properties), shrinks any failure to a minimal JSON spec
-    under ``--save-failures``, and exits 1.  ``repro audit replay
+    under ``--save-failures``, and exits 1.  ``--properties NAMES``
+    restricts the draw (the nightly fault budget passes
+    ``--properties fault_conservation``).  ``repro audit replay
     SPEC`` re-checks a saved spec file or a directory of them (e.g. the
     committed ``tests/audit_corpus/``).
 ``perf``
@@ -184,11 +188,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("action", choices=["run"], help="what to do with the spec")
     p.add_argument(
-        "spec", metavar="SPEC_JSON", help="path to a ScenarioSpec JSON file"
+        "spec", nargs="?", metavar="SPEC_JSON",
+        help="path to a ScenarioSpec JSON file",
     )
     p.add_argument(
         "--until", type=float, default=None, metavar="T",
         help="override the run horizon (absolute simulated seconds)",
+    )
+    p.add_argument(
+        "--list", action="store_true", dest="list_registries",
+        help="list registered controllers, workloads, fault kinds, and "
+             "resilience policies, then exit",
     )
 
     p = sub.add_parser("trace", help="export or describe a built-in trace")
@@ -245,6 +255,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-shrink-runs", type=int, default=48, metavar="N",
         help="re-check budget per failing scenario during shrinking",
+    )
+    p.add_argument(
+        "--properties", type=lambda s: [n for n in s.replace(",", " ").split() if n],
+        default=None, metavar="NAMES",
+        help="restrict generation to these property names "
+             "(comma-separated; default: the full weighted mix)",
     )
     engine(p)
 
@@ -444,8 +460,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_scenario(args: argparse.Namespace) -> int:
-    from repro.scenario import Deployment, ScenarioSpec
+    from repro.scenario import Deployment, ScenarioSpec, registries
 
+    if args.list_registries:
+        rows = [
+            [group, name]
+            for group, registry in sorted(registries().items())
+            for name in registry.names()
+        ]
+        print(render_table(["registry", "name"], rows,
+                           title="scenario registries"))
+        return 0
+    if args.spec is None:
+        raise SystemExit("repro scenario run: a SPEC_JSON file is required "
+                         "(or pass --list to see the registries)")
     spec = ScenarioSpec.from_json(Path(args.spec).read_text())
     with Deployment(spec) as dep:
         dep.run(until=args.until)
@@ -456,7 +484,11 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         ["simulated seconds", float(horizon)],
         ["completed requests", float(dep.system.completed_count())],
         ["failed requests", float(len(dep.system.failure_log))],
+        ["shed requests", float(len(dep.system.shed_log))],
     ]
+    if dep.injector is not None:
+        for event in dep.injector.log:
+            rows.append([f"fault {event.kind} {event.phase}", event.time])
     if dep.hypervisor is not None:
         rows.append(["VM-seconds", dep.hypervisor.billing.vm_seconds(horizon)])
         for tier in ("app", "db"):
@@ -544,7 +576,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
                            title="audit corpus replay"))
         return 1 if failed else 0
 
-    scenarios = generate_scenarios(args.seed, args.budget)
+    scenarios = generate_scenarios(args.seed, args.budget, properties=args.properties)
     rows = []
     failing: List[Scenario] = []
     for i, scenario in enumerate(scenarios):

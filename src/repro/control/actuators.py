@@ -171,6 +171,21 @@ class VMAgent:
         self._log("terminate", tier, victim.name)
         return victim.name
 
+    # -- crash handling --------------------------------------------------------------
+    def handle_crash(self, server: "TierServer") -> None:
+        """Clean up after an abrupt server death (fault injection).
+
+        The server is already dead — no drain.  Force-terminate its VM (a
+        crashed host stops billing), drop the bookkeeping, and reconcile the
+        monitor fleet so no orphaned agent keeps sampling a corpse.
+        """
+        vm = self._vm_by_server.pop(server.name, None)
+        if vm is not None:
+            self.hypervisor.terminate(vm)
+        if self.fleet is not None:
+            self.fleet.reconcile()
+        self._log("crash", server.tier, server.name)
+
 
 class AppAgent:
     """Resizes soft resources on live servers (Section IV-B).

@@ -70,6 +70,35 @@ class ControlError(ReproError):
     code = "DCM-CONTROL"
 
 
+class SchemaError(ReproError):
+    """A persisted spec declared a schema this library cannot read."""
+
+    code = "DCM-SCHEMA"
+
+
+class RequestShed(ReproError):
+    """A request was deliberately refused by an admission-control policy.
+
+    Shedding is *accounted* load rejection — bulkheads, load shedders and
+    open circuit-breakers raise it — and the n-tier system classifies it
+    separately from failures (``NTierSystem.shed_log``), so conservation
+    audits can tell "we chose not to serve this" from "we broke".
+    """
+
+    code = "DCM-SHED"
+
+
+class PolicyTimeout(ReproError):
+    """A resilience-policy deadline elapsed before the dispatch finished.
+
+    The abandoned attempt may still be running server-side, so timed-out
+    dispatches are never retried by the retry policy (the work might still
+    commit); see :mod:`repro.faults.policies`.
+    """
+
+    code = "DCM-TIMEOUT"
+
+
 class InvariantViolation(ReproError):
     """A runtime sanity check (the ``repro.check`` sanitizer) failed.
 

@@ -1,0 +1,48 @@
+"""Deterministic fault injection and resilience policies.
+
+Faults are *data*: frozen, JSON-round-tripping :class:`FaultSpec` objects
+carried by ``ScenarioSpec.faults`` and armed by the composition root
+(:class:`~repro.scenario.deploy.Deployment`) as a
+:class:`FaultInjector` process.  Mitigations are *policies*: named chain
+links (timeout, retry, circuit-breaker, bulkhead, shedding) from the
+:data:`POLICIES` registry, installed on tier balancers via
+``ScenarioSpec.resilience``.
+
+Both registries are ordinary :class:`repro.registry.Registry` instances,
+introspectable through :func:`repro.scenario.registries`.
+"""
+
+from repro.faults.injector import FaultInjector, InjectionEvent
+from repro.faults.policies import (
+    POLICIES,
+    CircuitOpen,
+    PolicyConfig,
+    build_chain,
+)
+from repro.faults.spec import (
+    FAULTS,
+    BrokerOutage,
+    FaultSpec,
+    LatencySpike,
+    SlowNode,
+    TierPartition,
+    VMCrash,
+    fault_from_json_obj,
+)
+
+__all__ = [
+    "FAULTS",
+    "POLICIES",
+    "BrokerOutage",
+    "CircuitOpen",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectionEvent",
+    "LatencySpike",
+    "PolicyConfig",
+    "SlowNode",
+    "TierPartition",
+    "VMCrash",
+    "build_chain",
+    "fault_from_json_obj",
+]

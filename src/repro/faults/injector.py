@@ -1,0 +1,58 @@
+"""The fault injector: one process per fault, armed by the composition root.
+
+The injector is only created when a scenario carries faults, and it is
+wired *after* everything else in ``Deployment.__init__`` — so a scenario
+with ``faults=()`` constructs exactly the same process/event sequence as a
+pre-fault (schema v1) scenario, which the golden-digest tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Tuple
+
+from repro.faults.spec import FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scenario.deploy import Deployment
+    from repro.sim.core import Environment
+    from repro.sim.events import Process
+
+
+@dataclass(frozen=True)
+class InjectionEvent:
+    """One entry in the injector's audit log."""
+
+    time: float
+    kind: str
+    phase: str  # "inject" or "heal"
+    detail: str
+
+
+class FaultInjector:
+    """Schedules every fault of a scenario against a live deployment."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        deployment: "Deployment",
+        faults: Iterable[FaultSpec],
+    ) -> None:
+        self.env = env
+        self.deployment = deployment
+        self.faults: Tuple[FaultSpec, ...] = tuple(faults)
+        self.log: List[InjectionEvent] = []
+        self._procs: List["Process"] = [
+            env.process(self._run(fault)) for fault in self.faults
+        ]
+
+    def _run(self, fault: FaultSpec):
+        if fault.at > 0:
+            yield self.env.timeout(fault.at)
+        detail, heal = fault.apply(self.deployment)
+        self.log.append(InjectionEvent(self.env.now, fault.kind, "inject", detail))
+        duration = getattr(fault, "duration", 0.0)
+        if heal is not None and duration > 0:
+            yield self.env.timeout(duration)
+            heal()
+            self.log.append(InjectionEvent(self.env.now, fault.kind, "heal", detail))

@@ -1,0 +1,269 @@
+"""Resilience policies: composable wrappers around balancer dispatch.
+
+A policy chain link is a generator function ``chain(env, balancer,
+request, kwargs)`` that drives an ``inner`` link and decides what to do
+with its outcome.  Factories in the :data:`POLICIES` registry have the
+signature ``factory(params: dict, inner) -> chain``;
+:func:`build_chain` folds a list of :class:`PolicyConfig` entries around
+the bare pick-and-dispatch base, first-listed outermost::
+
+    resilience=(PolicyConfig("retry", "app", {"attempts": 3}),
+                PolicyConfig("circuit_breaker", "app"))
+    # => retry(circuit_breaker(base))
+
+Accounting contract: a policy that *refuses* work raises
+:class:`~repro.errors.RequestShed` (the client records it in
+``shed_log``, not ``failure_log``); a policy that *gives up* on work
+raises the underlying failure (or :class:`~repro.errors.PolicyTimeout`).
+Nothing is ever silently dropped — the conservation-under-failure audit
+property checks exactly that.
+
+Retry safety: the guard compares ``(request.db_started,
+request.db_commits)`` before and after a failed attempt.  A moved counter
+means the attempt committed database work — or admitted a query that is
+still executing server-side and may yet commit — so replaying it would
+duplicate transactions; the guarded retry refuses.  (``db_commits`` alone
+is racy: a crash interrupts the client-side attempt *before* its orphaned
+in-flight query commits, so the started counter is the one that is always
+ahead of the orphan.)  Timed-out attempts are *never* retried (the
+abandoned attempt is still running and may yet commit); pair ``timeout``
+with ``circuit_breaker`` instead.  ``retry_noguard`` ships as a
+deliberately broken variant for the audit to catch — do not use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from repro.errors import ConfigurationError, PolicyTimeout, RequestShed
+from repro.registry import Registry
+from repro.sim.events import any_of
+
+#: Policy kind -> ``factory(params, inner) -> chain`` callable.
+POLICIES = Registry("resilience policy")
+
+_TIERS = ("web", "app", "db")
+
+
+class CircuitOpen(RequestShed):
+    """An open circuit-breaker refused the dispatch (a kind of shedding)."""
+
+    code = "DCM-CIRCUIT-OPEN"
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """One policy installation: which chain link, on which tier's balancer.
+
+    ``params`` accepts a plain dict and is frozen to sorted pairs so the
+    config stays hashable and JSON-round-trips canonically.
+    """
+
+    kind: str
+    tier: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.params, dict):
+            object.__setattr__(self, "params", tuple(sorted(self.params.items())))
+        if self.tier not in _TIERS:
+            raise ConfigurationError(f"unknown tier {self.tier!r}; pick from {_TIERS}")
+        POLICIES.resolve(self.kind)  # fail fast on unknown kinds
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "tier": self.tier, "params": dict(self.params)}
+
+    @classmethod
+    def from_json_obj(cls, obj: Dict[str, Any]) -> "PolicyConfig":
+        return cls(
+            kind=obj["kind"], tier=obj["tier"], params=dict(obj.get("params", {}))
+        )
+
+
+# ---------------------------------------------------------------------------
+# Chain assembly
+# ---------------------------------------------------------------------------
+
+def _base_dispatch(env, balancer, request, kwargs):
+    """The innermost link: the historical pick + handle pair."""
+    server = balancer.pick()
+    result = yield server.handle(request, **kwargs)
+    return result
+
+
+def build_chain(configs) -> Callable:
+    """Fold ``configs`` (first-listed outermost) around the base dispatch."""
+    chain = _base_dispatch
+    for cfg in reversed(list(configs)):
+        factory = POLICIES.resolve(cfg.kind)
+        chain = factory(dict(cfg.params), chain)
+    return chain
+
+
+# ---------------------------------------------------------------------------
+# Built-in policies
+# ---------------------------------------------------------------------------
+
+@POLICIES.register("timeout")
+def _timeout_factory(params: Dict[str, Any], inner: Callable) -> Callable:
+    """Abandon a dispatch that exceeds ``deadline`` seconds.
+
+    The abandoned attempt keeps running server-side (its server still
+    accounts its completion or failure); the *client* sees a
+    :class:`PolicyTimeout` failure.
+    """
+    deadline = float(params.get("deadline", 2.0))
+    if deadline <= 0:
+        raise ConfigurationError(f"timeout deadline must be > 0, got {deadline}")
+
+    def chain(env, balancer, request, kwargs):
+        attempt = env.process(inner(env, balancer, request, kwargs))
+        timer = env.timeout(deadline)
+        # A failing attempt fails the condition, re-raising here; once the
+        # timer wins, the condition absorbs the attempt's later outcome.
+        yield any_of(env, [attempt, timer])
+        if attempt.triggered:
+            if attempt.ok:
+                return attempt.value
+            raise attempt.value
+        raise PolicyTimeout(
+            f"dispatch via {balancer.name} exceeded {deadline}s deadline"
+        )
+
+    return chain
+
+
+def _retry_factory(guard: bool):
+    def factory(params: Dict[str, Any], inner: Callable) -> Callable:
+        attempts = int(params.get("attempts", 3))
+        base_delay = float(params.get("base_delay", 0.1))
+        factor = float(params.get("factor", 2.0))
+        if attempts < 1:
+            raise ConfigurationError(f"attempts must be >= 1, got {attempts}")
+        if base_delay < 0:
+            raise ConfigurationError(f"base_delay must be >= 0, got {base_delay}")
+        if factor < 1.0:
+            raise ConfigurationError(f"backoff factor must be >= 1, got {factor}")
+
+        def chain(env, balancer, request, kwargs):
+            for attempt in range(1, attempts + 1):
+                marker = (request.db_started, request.db_commits)
+                try:
+                    result = yield from inner(env, balancer, request, kwargs)
+                    return result
+                except (RequestShed, PolicyTimeout):
+                    # Shedding is a decision, not a transient failure; a
+                    # timed-out attempt may still commit work server-side.
+                    raise
+                except Exception:
+                    if attempt == attempts:
+                        raise
+                    if guard and (request.db_started, request.db_commits) != marker:
+                        # The failed attempt committed transactions — or has
+                        # an orphaned query still executing that may yet
+                        # commit.  Replaying would duplicate that work.
+                        raise
+                    delay = base_delay * factor ** (attempt - 1)
+                    if delay > 0:
+                        yield env.timeout(delay)
+
+        return chain
+
+    return factory
+
+
+POLICIES.add("retry", _retry_factory(guard=True))
+#: Deliberately broken: retries even after the failed attempt committed
+#: database work.  Exists so the conservation-under-failure audit has a
+#: known-bad policy to catch; never use it in a real scenario.
+POLICIES.add("retry_noguard", _retry_factory(guard=False))
+
+
+@POLICIES.register("circuit_breaker")
+def _breaker_factory(params: Dict[str, Any], inner: Callable) -> Callable:
+    """Trip open after ``failure_threshold`` consecutive failures; refuse
+    dispatches (as :class:`CircuitOpen` sheds) until ``recovery_time`` has
+    passed, then let a single half-open probe decide."""
+    threshold = int(params.get("failure_threshold", 5))
+    recovery = float(params.get("recovery_time", 5.0))
+    if threshold < 1:
+        raise ConfigurationError(f"failure_threshold must be >= 1, got {threshold}")
+    if recovery <= 0:
+        raise ConfigurationError(f"recovery_time must be > 0, got {recovery}")
+
+    state = {"failures": 0, "opened_at": None, "probing": False}
+
+    def chain(env, balancer, request, kwargs):
+        if state["opened_at"] is not None:
+            if env.now - state["opened_at"] < recovery or state["probing"]:
+                raise CircuitOpen(
+                    f"circuit open on {balancer.name} "
+                    f"(since t={state['opened_at']:.3f})"
+                )
+            state["probing"] = True  # half-open: admit this one probe
+        probe = state["probing"]
+        try:
+            result = yield from inner(env, balancer, request, kwargs)
+        except RequestShed:
+            if probe:
+                state["probing"] = False
+            raise  # downstream shedding is not a breaker failure
+        except Exception:
+            state["failures"] += 1
+            if probe or state["failures"] >= threshold:
+                state["opened_at"] = env.now
+                state["failures"] = 0
+            state["probing"] = False
+            raise
+        state["failures"] = 0
+        state["opened_at"] = None
+        state["probing"] = False
+        return result
+
+    return chain
+
+
+@POLICIES.register("bulkhead")
+def _bulkhead_factory(params: Dict[str, Any], inner: Callable) -> Callable:
+    """Cap concurrent dispatches through this edge; excess is shed."""
+    limit = int(params.get("limit", 50))
+    if limit < 1:
+        raise ConfigurationError(f"bulkhead limit must be >= 1, got {limit}")
+
+    state = {"inflight": 0}
+
+    def chain(env, balancer, request, kwargs):
+        if state["inflight"] >= limit:
+            raise RequestShed(
+                f"bulkhead full on {balancer.name} ({limit} in flight)"
+            )
+        state["inflight"] += 1
+        try:
+            result = yield from inner(env, balancer, request, kwargs)
+            return result
+        finally:
+            state["inflight"] -= 1
+
+    return chain
+
+
+@POLICIES.register("shed")
+def _shed_factory(params: Dict[str, Any], inner: Callable) -> Callable:
+    """Graceful degradation: refuse new work while the tier's total
+    outstanding load sits at or above ``max_outstanding``."""
+    max_outstanding = int(params.get("max_outstanding", 200))
+    if max_outstanding < 1:
+        raise ConfigurationError(
+            f"max_outstanding must be >= 1, got {max_outstanding}"
+        )
+
+    def chain(env, balancer, request, kwargs):
+        load = sum(b.outstanding for b in balancer.eligible())
+        if load >= max_outstanding:
+            raise RequestShed(
+                f"load shed on {balancer.name} ({load} outstanding)"
+            )
+        return (yield from inner(env, balancer, request, kwargs))
+
+    return chain

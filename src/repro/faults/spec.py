@@ -1,0 +1,247 @@
+"""The ``FaultSpec`` family: declarative, replayable failure events.
+
+Each fault is a frozen dataclass with an onset time (``at``), an optional
+``duration`` for transient faults, and a target.  ``apply(deployment)``
+performs the fault against a live stack and returns ``(detail, undo)`` —
+``undo`` is ``None`` for permanent faults (a crashed VM stays dead) and a
+zero-argument heal callable for transient ones.
+
+Faults serialize as ``{"kind": ..., <fields>}`` and are reconstructed via
+the :data:`FAULTS` registry, so third parties can register new kinds the
+same way controllers and workloads are registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scenario.deploy import Deployment
+
+#: Fault kind -> FaultSpec subclass.
+FAULTS = Registry("fault")
+
+_TIERS = ("web", "app", "db")
+
+#: ``apply`` result: human-readable detail + optional heal callable.
+ApplyResult = Tuple[str, Optional[Callable[[], None]]]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Base class: one failure event at simulated time ``at``."""
+
+    kind = "fault"
+
+    at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError(f"fault onset must be >= 0, got {self.at}")
+
+    # -- JSON round-trip -----------------------------------------------------
+    def to_json_obj(self) -> Dict[str, Any]:
+        obj: Dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            obj[f.name] = getattr(self, f.name)
+        return obj
+
+    # -- execution -----------------------------------------------------------
+    def apply(self, deployment: "Deployment") -> ApplyResult:
+        """Inflict the fault on a live deployment (injector use only)."""
+        raise NotImplementedError
+
+    # -- shared target helpers ----------------------------------------------
+    def _validate_tier(self, tier: str) -> None:
+        if tier not in _TIERS:
+            raise ConfigurationError(f"unknown tier {tier!r}; pick from {_TIERS}")
+
+    def _validate_duration(self, duration: float) -> None:
+        if duration < 0:
+            raise ConfigurationError(
+                f"fault duration must be >= 0 (0 = permanent), got {duration}"
+            )
+
+    def _target_server(self, deployment: "Deployment", tier: str, index: int):
+        """The ``index``-th accepting server of ``tier`` (clamped), or
+        ``None`` when the tier has no accepting server left."""
+        servers = deployment.system.active_servers(tier)
+        if not servers:
+            return None
+        return servers[min(index, len(servers) - 1)]
+
+
+def fault_from_json_obj(obj: Dict[str, Any]) -> FaultSpec:
+    """Reconstruct a fault from its ``to_json_obj()`` payload."""
+    kind = obj.get("kind")
+    cls = FAULTS.resolve(kind)
+    kwargs = {k: v for k, v in obj.items() if k != "kind"}
+    return cls(**kwargs)
+
+
+@FAULTS.register("vm_crash")
+@dataclass(frozen=True)
+class VMCrash(FaultSpec):
+    """Abrupt, permanent death of one server's VM.
+
+    Every in-flight interaction on the server fails (accounted, not lost),
+    the server leaves its balancer, its VM is force-terminated, and the
+    monitor fleet drops the orphaned agent.  No heal: crashed stays dead.
+    """
+
+    kind = "vm_crash"
+
+    tier: str = "app"
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._validate_tier(self.tier)
+        if self.index < 0:
+            raise ConfigurationError(f"index must be >= 0, got {self.index}")
+
+    def apply(self, deployment: "Deployment") -> ApplyResult:
+        server = self._target_server(deployment, self.tier, self.index)
+        if server is None:
+            return (f"no accepting {self.tier} server to crash", None)
+        killed = server.crash("vm_crash fault")
+        deployment.system.remove(server)
+        if deployment.vm_agent is not None:
+            deployment.vm_agent.handle_crash(server)
+        elif deployment.fleet is not None:
+            deployment.fleet.reconcile()
+        return (f"crashed {server.name} ({killed} interactions killed)", None)
+
+
+@FAULTS.register("tier_partition")
+@dataclass(frozen=True)
+class TierPartition(FaultSpec):
+    """Network partition severing the link into one tier's balancer.
+
+    While active the balancer reports no eligible backend, so upstream
+    dispatches fail fast (connection refused) instead of queueing into a
+    black hole.  Heals after ``duration`` (0 = permanent).
+    """
+
+    kind = "tier_partition"
+
+    tier: str = "db"
+    duration: float = 5.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._validate_tier(self.tier)
+        self._validate_duration(self.duration)
+
+    def apply(self, deployment: "Deployment") -> ApplyResult:
+        balancer = deployment.system.balancer(self.tier)
+        balancer.set_partitioned(True)
+        return (
+            f"partitioned {balancer.name}",
+            lambda: balancer.set_partitioned(False),
+        )
+
+
+@FAULTS.register("latency_spike")
+@dataclass(frozen=True)
+class LatencySpike(FaultSpec):
+    """Extra network latency on admission to every server of one tier.
+
+    Heals by restoring each affected server's previous ingress latency
+    (servers added mid-spike are unaffected, like a routing anomaly pinned
+    to the hosts present when it began).
+    """
+
+    kind = "latency_spike"
+
+    tier: str = "app"
+    extra: float = 0.5
+    duration: float = 5.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._validate_tier(self.tier)
+        self._validate_duration(self.duration)
+        if self.extra <= 0:
+            raise ConfigurationError(f"extra latency must be > 0, got {self.extra}")
+
+    def apply(self, deployment: "Deployment") -> ApplyResult:
+        affected = [
+            (server, server.ingress_latency)
+            for server in deployment.system.tier_servers(self.tier)
+        ]
+        for server, old in affected:
+            server.ingress_latency = old + self.extra
+
+        def heal() -> None:
+            for server, old in affected:
+                server.ingress_latency = old
+
+        names = ", ".join(server.name for server, _ in affected) or "(no servers)"
+        return (f"+{self.extra}s ingress latency on {names}", heal)
+
+
+@FAULTS.register("broker_outage")
+@dataclass(frozen=True)
+class BrokerOutage(FaultSpec):
+    """The metric broker rejects produces (monitoring goes dark).
+
+    Consumers still read stored records — the cluster lost its ack quorum,
+    not its disks.  A no-op for monitoring-less scenarios.
+    """
+
+    kind = "broker_outage"
+
+    duration: float = 5.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._validate_duration(self.duration)
+
+    def apply(self, deployment: "Deployment") -> ApplyResult:
+        broker = deployment.broker
+        if broker is None:
+            return ("no broker (monitoring off); outage is a no-op", None)
+        broker.set_available(False)
+        return ("broker down (produces rejected)", lambda: broker.set_available(True))
+
+
+@FAULTS.register("slow_node")
+@dataclass(frozen=True)
+class SlowNode(FaultSpec):
+    """One server's CPU degrades by ``factor`` (noisy neighbour, thermal
+    throttling).  Heals by restoring the previous slowdown."""
+
+    kind = "slow_node"
+
+    tier: str = "db"
+    index: int = 0
+    factor: float = 4.0
+    duration: float = 5.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._validate_tier(self.tier)
+        self._validate_duration(self.duration)
+        if self.index < 0:
+            raise ConfigurationError(f"index must be >= 0, got {self.index}")
+        if self.factor < 1.0:
+            raise ConfigurationError(
+                f"slowdown factor must be >= 1.0, got {self.factor}"
+            )
+
+    def apply(self, deployment: "Deployment") -> ApplyResult:
+        server = self._target_server(deployment, self.tier, self.index)
+        if server is None:
+            return (f"no accepting {self.tier} server to slow", None)
+        previous = server.cpu.slowdown
+        server.cpu.set_slowdown(self.factor)
+
+        def heal() -> None:
+            server.cpu.set_slowdown(previous)
+
+        return (f"{server.name} slowed x{self.factor}", heal)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.broker.producer import Producer
+from repro.errors import BrokerError
 from repro.monitor.metrics import ServerMetricsSampler
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -44,6 +45,7 @@ class MonitoringAgent:
         self.topic = topic
         self.interval = interval
         self.samples_sent = 0
+        self.samples_dropped = 0
         self._sampler = ServerMetricsSampler(env, server)
         self._running = True
         self._process = env.process(self._run())
@@ -63,7 +65,13 @@ class MonitoringAgent:
             if not self._running:
                 break
             record = self._sampler.sample()
-            self.producer.send(self.topic, record, key=self.server.name)
+            try:
+                self.producer.send(self.topic, record, key=self.server.name)
+            except BrokerError:
+                # Broker outage: drop the sample and keep sampling — a real
+                # agent buffers-then-drops rather than dying with the broker.
+                self.samples_dropped += 1
+                continue
             self.samples_sent += 1
         return self.samples_sent
 

@@ -54,8 +54,7 @@ class ApacheServer(TierServer):
         try:
             demand = request.demand.apache
             yield self.cpu.execute(demand * _FORWARD_SPLIT)
-            backend = self.app_balancer.pick()
-            yield backend.handle(request)
+            yield from self.app_balancer.dispatch(self.env, request)
             yield self.cpu.execute(demand * (1.0 - _FORWARD_SPLIT))
         finally:
             self.threads.checkin(thread)

@@ -79,6 +79,11 @@ class Balancer:
         self._rr_last: Optional["TierServer"] = None
         self._rr_index = 0
         self._dispatches = 0
+        # Resilience-policy chain wrapped around ``dispatch`` (see
+        # repro.faults.policies).  ``None`` keeps the historical pick+handle
+        # path untouched, which golden-digest tests pin bit-for-bit.
+        self._chain: Optional[Callable] = None
+        self._partitioned = False
 
     # -- membership -------------------------------------------------------------
     @property
@@ -87,7 +92,9 @@ class Balancer:
         return tuple(self._backends)
 
     def eligible(self) -> List["TierServer"]:
-        """Backends currently accepting new work."""
+        """Backends currently accepting new work (none while partitioned)."""
+        if self._partitioned:
+            return []
         return [b for b in self._backends if b.accepting]
 
     @property
@@ -155,6 +162,42 @@ class Balancer:
     def dispatches(self) -> int:
         """Total picks made."""
         return self._dispatches
+
+    # -- faults & resilience ------------------------------------------------------
+    @property
+    def partitioned(self) -> bool:
+        """Whether a TierPartition fault currently severs this edge."""
+        return self._partitioned
+
+    def set_partitioned(self, partitioned: bool) -> None:
+        """Sever (or heal) the link to every backend.
+
+        While partitioned, :meth:`eligible` is empty, so :meth:`pick` raises
+        :class:`TopologyError` — upstream servers fail the request fast
+        (connection refused) rather than queueing into a black hole.
+        """
+        self._partitioned = bool(partitioned)
+
+    def install_policy(self, chain: Optional[Callable]) -> None:
+        """Wrap :meth:`dispatch` in a resilience-policy chain.
+
+        ``chain(env, balancer, request, kwargs)`` must be a generator
+        function; ``None`` restores the bare pick+handle path.
+        """
+        self._chain = chain
+
+    def dispatch(self, env, request, **kwargs):
+        """Route one request through the (optional) resilience chain.
+
+        Generator — call sites drive it with ``yield from``.  With no chain
+        installed this emits exactly the event sequence of the historical
+        ``pick()`` + ``yield handle()`` pair, keeping digests bit-identical.
+        """
+        if self._chain is None:
+            server = self.pick()
+            result = yield server.handle(request, **kwargs)
+            return result
+        return (yield from self._chain(env, self, request, kwargs))
 
 
 def drain_and_wait(server: "TierServer") -> Callable:

@@ -51,8 +51,16 @@ class MySQLServer(TierServer):
     ) -> Generator[Event, Any, None]:
         if self.active_queries >= self.max_connections:
             raise CapacityError(f"{self.name}: max_connections exceeded")
+        # Admitted: from here on the query may commit even if the client-side
+        # attempt dies (an orphaned in-flight query finishes on its own), so
+        # the retry guard must treat the attempt as non-replayable.
+        request.db_started += 1
         started_holder[0] = self.env.now
         yield self.cpu.execute(demand)
+        # The query committed.  Aborted/partial queries never reach this
+        # line, so a retry after a *failed* attempt is safe iff this counter
+        # did not move (the retry policy's idempotency guard).
+        request.db_commits += 1
 
     def snapshot(self) -> dict:
         """Extend the base counters with connection statistics."""

@@ -76,6 +76,17 @@ class Request:
     failed: bool = False
     failure_reason: str = ""
     interactions: Optional[List[Interaction]] = None
+    #: DB transactions committed on behalf of this request (incremented by
+    #: MySQL at query *completion*).  The retry policy's idempotency guard
+    #: reads it: a request whose commit count moved since the failed attempt
+    #: began must not be replayed, or committed work would be duplicated.
+    db_commits: int = 0
+    #: DB queries *admitted for execution* on behalf of this request
+    #: (incremented by MySQL just before the query starts).  The guard needs
+    #: this too: a crash can fail the client-side attempt while a query is
+    #: still executing server-side, and that orphan may commit *after* the
+    #: retry decision — ``db_started`` is always ahead of such orphans.
+    db_started: int = 0
 
     @property
     def response_time(self) -> Optional[float]:

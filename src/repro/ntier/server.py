@@ -22,7 +22,7 @@ from repro.check import config as _checks
 from repro.errors import InvariantViolation, TopologyError
 from repro.ntier.contention import ContentionModel
 from repro.ntier.request import Request
-from repro.sim.events import Event
+from repro.sim.events import Event, Process
 from repro.sim.processor import ContentionProcessor
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -63,6 +63,12 @@ class TierServer:
         # cumulative counters, so the sanitizer can cross-check the two and
         # catch double-counted or lost requests (request conservation).
         self._inflight = 0
+        # Live interaction processes, insertion-ordered so a crash kills
+        # them deterministically.  Populated by ``handle``; reaped on exit.
+        self._live: Dict[Process, None] = {}
+        # Extra per-interaction network delay on admission (LatencySpike
+        # fault).  Exactly 0.0 yields no event — zero-cost when unused.
+        self.ingress_latency = 0.0
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name} outstanding={self.outstanding}>"
@@ -118,6 +124,39 @@ class TierServer:
         ):
             self._drained_event.succeed(self)
 
+    def crash(self, reason: str = "crash") -> int:
+        """Kill the server: stop admissions, abort every in-flight interaction.
+
+        Models an abrupt VM/process death (no drain, no goodbye).  Each live
+        interaction process is interrupted; the interrupt surfaces inside
+        :meth:`_handle`, which records a failure — so conservation holds
+        (``arrivals == completions + failures``) even across a crash.
+        Returns the number of interactions killed.
+        """
+        self._accepting = False
+        killed = 0
+        for proc in list(self._live):
+            if not proc.is_alive:
+                continue
+            target = proc.target
+            proc.interrupt(reason)
+            killed += 1
+            if target is None:
+                continue
+            cancel = getattr(target, "cancel", None)
+            if cancel is not None:
+                # Queued pool acquisition (thread / db connection): withdraw
+                # it, or the pool would later grant a slot to a dead event
+                # and leak capacity permanently.
+                cancel()
+            elif isinstance(target, Process):
+                # The interaction was waiting on a downstream interaction.
+                # That child keeps running; absorb its eventual outcome so a
+                # failure with no remaining observer cannot crash env.run()
+                # (the child's own server still accounts it).
+                target.callbacks.append(lambda _evt: None)
+        return killed
+
     # -- request handling ------------------------------------------------------
     def handle(self, request: Request, **kwargs: Any) -> Event:
         """Process one interaction of ``request``; returns its completion event.
@@ -133,11 +172,19 @@ class TierServer:
         self._inflight += 1
         arrived = self.env.now
         interaction = request.trace(self.name, self.tier, arrived)
-        return self.env.process(self._handle(request, arrived, interaction, kwargs))
+        proc = self.env.process(self._handle(request, arrived, interaction, kwargs))
+        self._live[proc] = None
+        proc.callbacks.append(self._reap)
+        return proc
+
+    def _reap(self, proc: Event) -> None:
+        self._live.pop(proc, None)
 
     def _handle(self, request, arrived, interaction, kwargs) -> Generator[Event, Any, None]:
         try:
             started_holder = [arrived]
+            if self.ingress_latency > 0.0:
+                yield self.env.timeout(self.ingress_latency)
             yield from self._process(request, started_holder, **kwargs)
         except Exception:
             self.failures += 1

@@ -67,8 +67,9 @@ class TomcatServer(TierServer):
             for query_demand in request.demand.db_queries:
                 conn = yield from self.db_pool.checkout()
                 try:
-                    db_server = self.db_balancer.pick()
-                    yield db_server.handle(request, demand=query_demand)
+                    yield from self.db_balancer.dispatch(
+                        self.env, request, demand=query_demand
+                    )
                 finally:
                     self.db_pool.checkin(conn)
             yield self.cpu.execute(demand * (1.0 - _PRE_QUERY_SPLIT))

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.errors import TopologyError
+from repro.errors import RequestShed, TopologyError
 from repro.ntier.apache import ApacheServer
 from repro.ntier.balancer import Balancer
 from repro.ntier.contention import (
@@ -103,7 +103,15 @@ class NTierSystem:
         # Request accounting for the analysis layer.
         self.request_log: List[Tuple[float, float]] = []
         self.failure_log: List[float] = []
+        self.shed_log: List[float] = []
         self.submitted = 0
+        self._inflight = 0
+        # Optional capture of every Request object, enabled by the audit's
+        # conservation-under-failure checks (off by default: it pins memory).
+        self.audit_requests: Optional[List[Request]] = None
+        # Servers deregistered at runtime (crash or scale-in) — kept so
+        # conservation audits can still sum their counters.
+        self.removed_servers: List = []
 
         for _ in range(hardware.db):
             self.add_mysql()
@@ -206,8 +214,9 @@ class NTierSystem:
         return server.drained_event()
 
     def remove(self, server) -> None:
-        """Deregister a (drained) server from its tier balancer."""
+        """Deregister a (drained or crashed) server from its tier balancer."""
         self.balancer(server.tier).remove(server)
+        self.removed_servers.append(server)
 
     def apply_soft_config(self, soft: SoftResourceConfig) -> None:
         """Resize every live server's pools to ``soft`` (APP-agent bulk op)."""
@@ -233,21 +242,38 @@ class NTierSystem:
         demand = servlet.sample_demand(rng, self.catalog.demand_distribution)
         request = Request(servlet=servlet, created=self.env.now, demand=demand)
         self.submitted += 1
+        if self.audit_requests is not None:
+            self.audit_requests.append(request)
         done = self.env.process(self._drive(request))
         return request, done
 
     def _drive(self, request: Request):
+        self._inflight += 1
         try:
-            apache = self.web_balancer.pick()
-            yield apache.handle(request)
-        except Exception as err:  # failed request: record, do not crash the client
-            request.failed = True
-            request.failure_reason = f"{type(err).__name__}: {err}"
-            self.failure_log.append(self.env.now)
+            try:
+                yield from self.web_balancer.dispatch(self.env, request)
+            except RequestShed as err:  # admission control refused it: accounted
+                request.failed = True
+                request.failure_reason = f"{type(err).__name__}: {err}"
+                self.shed_log.append(self.env.now)
+                return request
+            except Exception as err:  # failed request: record, do not crash the client
+                request.failed = True
+                request.failure_reason = f"{type(err).__name__}: {err}"
+                self.failure_log.append(self.env.now)
+                return request
+            request.completed = self.env.now
+            self.request_log.append(
+                (request.created, request.completed - request.created)
+            )
             return request
-        request.completed = self.env.now
-        self.request_log.append((request.created, request.completed - request.created))
-        return request
+        finally:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        """Client requests currently inside the system (submitted, unresolved)."""
+        return self._inflight
 
     # -- quick stats ---------------------------------------------------------------------
     def completed_count(self) -> int:

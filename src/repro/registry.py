@@ -1,0 +1,103 @@
+"""One generic name → entry registry used across the library.
+
+The scenario layer grew two hand-rolled registries (controllers,
+workloads) and the fault subsystem adds two more (fault kinds,
+resilience policies); :class:`Registry` is the single implementation
+behind all of them.  It is a small ordered mapping with decorator-style
+registration and a :meth:`resolve` that fails with the known keys —
+the error shape every ``ScenarioSpec`` validation path relies on::
+
+    POLICIES = Registry("resilience policy")
+
+    @POLICIES.register("retry")
+    def _build_retry(params, inner):
+        ...
+
+    factory = POLICIES.resolve("retry")     # ConfigurationError if unknown
+
+Instances behave like read-mostly dicts (``name in reg``, ``reg[name]``,
+``sorted(reg)``, ``len(reg)``); tests may :meth:`unregister` entries they
+added.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+class Registry:
+    """An ordered name → entry mapping with decorator registration.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable noun for error messages (``"controller"``,
+        ``"fault"``, ...).
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, Any] = {}
+
+    def __repr__(self) -> str:
+        return f"<Registry {self.kind}: {self.names()}>"
+
+    # -- mapping protocol ---------------------------------------------------
+    def __getitem__(self, name: str) -> Any:
+        return self._entries[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """The entry for ``name``, or ``default`` when unregistered."""
+        return self._entries.get(name, default)
+
+    def names(self) -> List[str]:
+        """Registered keys, sorted."""
+        return sorted(self._entries)
+
+    # -- registration -------------------------------------------------------
+    def register(self, name: str) -> Callable[[Any], Any]:
+        """Decorator: register the decorated object under ``name``.
+
+        Re-registering a name replaces the entry (last registration wins),
+        matching the historical controller/workload behaviour.
+        """
+
+        def deco(obj: Any) -> Any:
+            self._entries[name] = obj
+            return obj
+
+        return deco
+
+    def add(self, name: str, obj: Any) -> Any:
+        """Imperative registration (same semantics as :meth:`register`)."""
+        self._entries[name] = obj
+        return obj
+
+    def unregister(self, name: str) -> Optional[Any]:
+        """Remove and return an entry (``None`` if absent) — for tests."""
+        return self._entries.pop(name, None)
+
+    def pop(self, name: str, *default: Any) -> Any:
+        """dict-style removal (kept for existing callers)."""
+        return self._entries.pop(name, *default)
+
+    # -- lookup -------------------------------------------------------------
+    def resolve(self, name: str) -> Any:
+        """Look ``name`` up, or raise listing the known keys."""
+        entry = self._entries.get(name)
+        if entry is None:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r} (registered: {self.names()})"
+            )
+        return entry

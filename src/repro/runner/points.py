@@ -32,7 +32,7 @@ class SteadyResult:
     balance ablation inspects for skew asymmetry.
     """
 
-    steady: Any  # repro.analysis.experiments.SteadyState
+    steady: Any  # repro.scenario.SteadyState
     server_busy: Dict[str, Tuple[float, ...]]
 
 
@@ -41,8 +41,7 @@ def _dec_contention(obj):
 
 
 def _execute_steady(payload: Dict[str, Any]) -> Dict[str, Any]:
-    from repro.analysis.experiments import measure_steady_state
-    from repro.scenario import Deployment, ScenarioSpec
+    from repro.scenario import Deployment, ScenarioSpec, measure_steady_state
 
     spec = ScenarioSpec(
         hardware=HardwareConfig.parse(payload["hardware"]),
@@ -146,7 +145,7 @@ def run_payload(payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
 def decode_result(kind: str, encoded: Dict[str, Any]) -> Any:
     """Reconstruct the rich result object from its cached/transported form."""
     if kind == "steady":
-        from repro.analysis.experiments import SteadyState
+        from repro.scenario import SteadyState
 
         return SteadyResult(
             steady=SteadyState(**encoded["steady"]),

@@ -1,44 +1,55 @@
 """Declarative scenario layer — one composition root for the whole stack.
 
 ``ScenarioSpec`` (a frozen, JSON round-tripping dataclass) describes a
-deployment — topology, monitoring pipeline, controller, workload,
-duration — and ``Deployment`` assembles and runs it with a managed
-lifecycle.  Controllers and workloads are looked up in pluggable
-registries, so new kinds plug in without touching assembly code::
+deployment — topology, monitoring pipeline, controller, workload, faults
+and resilience policies, duration — and ``Deployment`` assembles and runs
+it with a managed lifecycle.  Controllers, workloads, fault kinds, and
+resilience policies are looked up in pluggable registries
+(see :func:`registries`), so new kinds plug in without touching assembly
+code::
 
+    from repro.faults import PolicyConfig, VMCrash
     from repro.scenario import Deployment, ScenarioSpec
 
     spec = ScenarioSpec(controller="dcm", workload="trace",
-                        trace=my_trace, max_users=200)
+                        trace=my_trace, max_users=200,
+                        faults=(VMCrash(at=60.0, tier="app"),),
+                        resilience=(PolicyConfig("retry", "app"),))
     with Deployment(spec) as dep:
         dep.run()
         print(dep.system.completed_count())
 
-See DESIGN.md §3 "Scenario layer".
+See DESIGN.md §3 "Scenario layer" and "Faults & resilience".
 """
 
 from repro.scenario.deploy import Deployment, build_system
+from repro.scenario.measure import SteadyState, measure_steady_state
 from repro.scenario.registry import (
     CONTROLLERS,
     WORKLOADS,
     controller_names,
     register_controller,
     register_workload,
+    registries,
     resolve_controller,
     resolve_workload,
     workload_names,
 )
-from repro.scenario.spec import ScenarioSpec
+from repro.scenario.spec import SCHEMA, ScenarioSpec
 
 __all__ = [
     "CONTROLLERS",
     "Deployment",
+    "SCHEMA",
     "ScenarioSpec",
+    "SteadyState",
     "WORKLOADS",
     "build_system",
     "controller_names",
+    "measure_steady_state",
     "register_controller",
     "register_workload",
+    "registries",
     "resolve_controller",
     "resolve_workload",
     "workload_names",

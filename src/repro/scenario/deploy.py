@@ -35,6 +35,7 @@ from repro.broker import KafkaBroker, Producer
 from repro.cluster import Hypervisor
 from repro.control import AppAgent, ScalingPolicy, VMAgent
 from repro.errors import ConfigurationError
+from repro.faults import FaultInjector, build_chain
 from repro.model import OnlineModelEstimator
 from repro.monitor import METRICS_TOPIC, MetricCollector, MonitorFleet
 from repro.ntier import HardwareConfig, NTierSystem, SoftResourceConfig
@@ -127,6 +128,7 @@ class Deployment:
         self.estimator: Optional[OnlineModelEstimator] = None
         self.controller: Optional[object] = None
         self.workload: Optional[object] = None
+        self.injector: Optional[FaultInjector] = None
         self._started = False
         self._stopped = False
 
@@ -160,6 +162,17 @@ class Deployment:
             self.controller = resolve_controller(spec.controller).build(self)
         if spec.workload is not None:
             self.workload = resolve_workload(spec.workload).build(self)
+        # Faults & resilience are wired last: a spec with neither creates no
+        # process and touches no balancer, so the construction sequence of a
+        # pre-fault (schema v1) scenario is reproduced bit-for-bit.
+        if spec.resilience:
+            by_tier: dict = {}
+            for cfg in spec.resilience:
+                by_tier.setdefault(cfg.tier, []).append(cfg)
+            for tier, cfgs in by_tier.items():
+                self.system.balancer(tier).install_policy(build_chain(cfgs))
+        if spec.faults:
+            self.injector = FaultInjector(self.env, self, spec.faults)
 
     # -- lifecycle -----------------------------------------------------------
 

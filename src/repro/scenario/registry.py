@@ -34,6 +34,7 @@ from repro.control import (
 )
 from repro.errors import ConfigurationError
 from repro.model import OnlineModelEstimator
+from repro.registry import Registry
 from repro.workload import JMeterGenerator, RubbosGenerator, TraceDrivenGenerator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -48,15 +49,15 @@ class Factory:
     build: Callable[["Deployment"], object]
 
 
-CONTROLLERS: Dict[str, Factory] = {}
-WORKLOADS: Dict[str, Factory] = {}
+CONTROLLERS: Registry = Registry("controller")
+WORKLOADS: Registry = Registry("workload")
 
 
 def register_controller(name: str) -> Callable[[Callable], Callable]:
     """Class decorator-style registration of a controller factory."""
 
     def deco(build: Callable[["Deployment"], object]) -> Callable:
-        CONTROLLERS[name] = Factory(name=name, build=build)
+        CONTROLLERS.add(name, Factory(name=name, build=build))
         return build
 
     return deco
@@ -66,7 +67,7 @@ def register_workload(name: str) -> Callable[[Callable], Callable]:
     """Registration of a workload-generator factory."""
 
     def deco(build: Callable[["Deployment"], object]) -> Callable:
-        WORKLOADS[name] = Factory(name=name, build=build)
+        WORKLOADS.add(name, Factory(name=name, build=build))
         return build
 
     return deco
@@ -74,32 +75,38 @@ def register_workload(name: str) -> Callable[[Callable], Callable]:
 
 def controller_names() -> List[str]:
     """Registered controller keys, sorted."""
-    return sorted(CONTROLLERS)
+    return CONTROLLERS.names()
 
 
 def workload_names() -> List[str]:
     """Registered workload keys, sorted."""
-    return sorted(WORKLOADS)
+    return WORKLOADS.names()
 
 
 def resolve_controller(name: str) -> Factory:
     """Look a controller key up, or raise with the known keys."""
-    factory = CONTROLLERS.get(name)
-    if factory is None:
-        raise ConfigurationError(
-            f"unknown controller {name!r} (registered: {controller_names()})"
-        )
-    return factory
+    return CONTROLLERS.resolve(name)
 
 
 def resolve_workload(name: str) -> Factory:
     """Look a workload key up, or raise with the known keys."""
-    factory = WORKLOADS.get(name)
-    if factory is None:
-        raise ConfigurationError(
-            f"unknown workload {name!r} (registered: {workload_names()})"
-        )
-    return factory
+    return WORKLOADS.resolve(name)
+
+
+def registries() -> Dict[str, Registry]:
+    """Every pluggable registry behind the scenario layer, by group.
+
+    The fault/policy registries are imported lazily: :mod:`repro.faults`
+    depends on the scenario registry module, not vice versa.
+    """
+    from repro.faults import FAULTS, POLICIES
+
+    return {
+        "controllers": CONTROLLERS,
+        "workloads": WORKLOADS,
+        "faults": FAULTS,
+        "policies": POLICIES,
+    }
 
 
 # ---------------------------------------------------------------------------

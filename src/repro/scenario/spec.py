@@ -20,7 +20,8 @@ from dataclasses import dataclass, fields
 from typing import Any, Dict, Optional, Tuple
 
 from repro.control.policy import ScalingPolicy
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SchemaError
+from repro.faults import FaultSpec, PolicyConfig, fault_from_json_obj
 from repro.model.service_time import ConcurrencyModel
 from repro.ntier.contention import ContentionModel
 from repro.ntier.softconfig import HardwareConfig, SoftResourceConfig
@@ -30,6 +31,14 @@ from repro.workload.traces import WorkloadTrace
 def _canonical_json(obj: Any) -> str:
     """Stable, compact JSON used for persistence and hashing."""
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+#: Schema tag written by :meth:`ScenarioSpec.to_json_obj`.  v1 payloads
+#: (written before the fault subsystem) carry no ``schema`` key and no
+#: ``faults``/``resilience`` keys; they are accepted unchanged.
+SCHEMA = "repro-scenario/2"
+
+_ACCEPTED_SCHEMAS = ("repro-scenario/1", SCHEMA)
 
 
 def _enc_contention(model: Optional[ContentionModel]) -> Optional[Dict[str, Any]]:
@@ -128,6 +137,10 @@ class ScenarioSpec:
     think_time: float = 3.0
     trace: Optional[WorkloadTrace] = None
 
+    # -- faults & resilience -------------------------------------------------
+    faults: Tuple[FaultSpec, ...] = ()
+    resilience: Tuple[PolicyConfig, ...] = ()
+
     # -- duration ------------------------------------------------------------
     duration: Optional[float] = None
 
@@ -150,6 +163,20 @@ class ScenarioSpec:
             object.__setattr__(
                 self, "target_servers", tuple(sorted(self.target_servers.items()))
             )
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+        if not isinstance(self.resilience, tuple):
+            object.__setattr__(self, "resilience", tuple(self.resilience))
+        for fault in self.faults:
+            if not isinstance(fault, FaultSpec):
+                raise ConfigurationError(
+                    f"faults entries must be FaultSpec instances, got {fault!r}"
+                )
+        for cfg in self.resilience:
+            if not isinstance(cfg, PolicyConfig):
+                raise ConfigurationError(
+                    f"resilience entries must be PolicyConfig instances, got {cfg!r}"
+                )
         if self.controller is not None:
             resolve_controller(self.controller)  # fail fast on unknown keys
         if self.workload is not None:
@@ -202,6 +229,7 @@ class ScenarioSpec:
     def to_json_obj(self) -> Dict[str, Any]:
         return {
             "kind": self.kind,
+            "schema": SCHEMA,
             "hardware": str(self.hardware),
             "soft": str(self.soft),
             "seed": self.seed,
@@ -230,6 +258,8 @@ class ScenarioSpec:
             "max_users": self.max_users,
             "think_time": self.think_time,
             "trace": _enc_trace(self.trace),
+            "faults": [f.to_json_obj() for f in self.faults],
+            "resilience": [p.to_json_obj() for p in self.resilience],
             "duration": self.duration,
         }
 
@@ -243,6 +273,14 @@ class ScenarioSpec:
         if kind != cls.kind:
             raise ConfigurationError(
                 f"expected a {cls.kind!r} spec, got kind {kind!r}"
+            )
+        # v1 payloads predate the schema tag (and the fault subsystem);
+        # they carry no "schema" key and are read unchanged.
+        schema = obj.get("schema", "repro-scenario/1")
+        if schema not in _ACCEPTED_SCHEMAS:
+            raise SchemaError(
+                f"unsupported scenario schema {schema!r}; this library reads "
+                f"{list(_ACCEPTED_SCHEMAS)}"
             )
         models = obj.get("models")
         return cls(
@@ -275,6 +313,12 @@ class ScenarioSpec:
             max_users=obj["max_users"],
             think_time=obj["think_time"],
             trace=_dec_trace(obj.get("trace")),
+            faults=tuple(
+                fault_from_json_obj(o) for o in obj.get("faults", ())
+            ),
+            resilience=tuple(
+                PolicyConfig.from_json_obj(o) for o in obj.get("resilience", ())
+            ),
             duration=obj.get("duration"),
         )
 

@@ -70,6 +70,10 @@ class ContentionProcessor:
         self._jobs: list[tuple[float, int, Event]] = []  # (threshold, seq, done)
         self._seq = 0
         self._timer_generation = 0
+        # Degradation multiplier on the effective inflation (SlowNode fault).
+        # Exactly 1.0 multiplies through without changing any float (IEEE
+        # guarantees x*1.0 == x), so the healthy path stays bit-identical.
+        self._slowdown = 1.0
 
         # Monitoring accumulators.
         self._util_integral = 0.0    # integral of min(1, n/n_peak) dt
@@ -171,6 +175,22 @@ class ContentionProcessor:
         self._advance()
         return self._nonidle_integral
 
+    # -- degradation (SlowNode fault) -------------------------------------------
+    @property
+    def slowdown(self) -> float:
+        """Current degradation multiplier (1.0 = healthy)."""
+        return self._slowdown
+
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade (or restore) the CPU: effective inflation is
+        ``phi(n) * factor``.  Settles accrued work at the old speed first,
+        then re-arms the completion timer at the new speed."""
+        if factor < 1.0:
+            raise SimulationError(f"slowdown factor must be >= 1.0, got {factor}")
+        self._advance()
+        self._slowdown = float(factor)
+        self._reschedule()
+
     # -- job submission ---------------------------------------------------------
     def execute(self, work: float) -> Event:
         """Submit a job needing ``work`` single-threaded seconds.
@@ -201,7 +221,7 @@ class ContentionProcessor:
             return
         n = len(self._jobs)
         if n:
-            phi = self.phi(n)
+            phi = self.phi(n) * self._slowdown
             self._virtual += dt / phi
             rate = n / phi
             self._util_integral += dt * min(
@@ -221,7 +241,7 @@ class ContentionProcessor:
         generation = self._timer_generation
         threshold = self._jobs[0][0]
         n = len(self._jobs)
-        delay = max(0.0, (threshold - self._virtual) * self.phi(n))
+        delay = max(0.0, (threshold - self._virtual) * self.phi(n) * self._slowdown)
         timer = Event(self.env)
         timer._ok = True
         timer._state = 1  # TRIGGERED
