@@ -10,16 +10,15 @@ engine").  This module keeps
   (the building blocks themselves now live in the scenario layer:
   :func:`repro.scenario.build_system`,
   :func:`repro.scenario.measure_steady_state` — re-exported here so
-  historical imports keep working), and
-* thin **deprecated** wrappers with the historical signatures
-  (``stress_tier_sweep``, ``jmeter_sweep``, ``train_tier_model``,
-  ``validation_curves``, ``run_autoscale_experiment``) so existing scripts
-  keep working; they emit :class:`DeprecationWarning` and delegate to the
-  engine with ``jobs=1, cache=False`` — bit-identical to the old serial
-  behaviour.  **These five wrappers are scheduled for removal in the next
-  release** — nothing inside the repo imports them any more; build the
-  corresponding :mod:`repro.runner` spec and call ``repro.runner.run``
-  instead.
+  historical imports keep working),
+* the in-process autoscale point (:func:`_autoscale_core`) and the
+  offline model cache (:func:`trained_models`).
+
+The historical serial wrappers (``stress_tier_sweep``, ``jmeter_sweep``,
+``train_tier_model``, ``validation_curves``, ``run_autoscale_experiment``)
+have been removed: build the corresponding :mod:`repro.runner` spec and
+call :func:`repro.runner.run` (``jobs=1, cache=False`` reproduces the old
+serial behaviour bit-for-bit).
 
 Runners are deterministic given a seed and support ``demand_scale`` — a
 speed knob that multiplies all CPU demands (capacities shrink by the same
@@ -29,12 +28,11 @@ the contention law; see DESIGN.md §2).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster import Hypervisor
-from repro.control import AppAgent, ScalingPolicy, VMAgent
+from repro.control import AppAgent, VMAgent
 from repro.errors import ConfigurationError
 from repro.model import (
     ConcurrencyModel,
@@ -54,17 +52,8 @@ from repro.scenario import (  # noqa: F401
     build_system,
     measure_steady_state,
 )
-from repro.workload import TraceDrivenGenerator, WorkloadTrace
+from repro.workload import TraceDrivenGenerator
 from repro.workload.servlets import Servlet, ServletCatalog
-
-
-def _warn_deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old}() is deprecated; build a spec and call {new} instead "
-        "(the engine adds --jobs parallelism and result caching)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 # ---------------------------------------------------------------------------
@@ -109,37 +98,6 @@ def _stress_servlet(catalog: ServletCatalog, tier: str) -> Tuple[Servlet, float]
     raise ConfigurationError(f"unsupported stress tier {tier!r}")
 
 
-def stress_tier_sweep(
-    tier: str,
-    concurrencies: Sequence[int],
-    seed: int = 0,
-    demand_scale: float = 1.0,
-    warmup: float = 3.0,
-    duration: float = 15.0,
-    demand_distribution: str = "exponential",
-) -> List[StressPoint]:
-    """The paper's Section II-B experiment: stress one server type with a
-    matched thread pool at each concurrency level (Fig 2(a)).
-
-    .. deprecated:: 1.0
-       Build a :class:`repro.runner.StressSpec` and call
-       :func:`repro.runner.run` instead.
-    """
-    from repro.runner import StressSpec, run
-
-    spec = StressSpec(
-        tier=tier,
-        concurrencies=tuple(concurrencies),
-        seed=seed,
-        demand_scale=demand_scale,
-        warmup=warmup,
-        duration=duration,
-        demand_distribution=demand_distribution,
-    )
-    _warn_deprecated("stress_tier_sweep", "repro.runner.run(StressSpec(...))")
-    return run(spec, jobs=1, cache=False).value
-
-
 # ---------------------------------------------------------------------------
 # JMeter sweeps and model training (Table I)
 # ---------------------------------------------------------------------------
@@ -150,39 +108,6 @@ class SweepPoint:
 
     users: int
     steady: SteadyState
-
-
-def jmeter_sweep(
-    users_levels: Sequence[int],
-    hardware: HardwareConfig = HardwareConfig(1, 1, 1),
-    soft: SoftResourceConfig = SoftResourceConfig.DEFAULT,
-    seed: int = 0,
-    demand_scale: float = 1.0,
-    warmup: float = 4.0,
-    duration: float = 12.0,
-    imbalance: float = 0.05,
-) -> List[SweepPoint]:
-    """Run the full system at each fixed JMeter concurrency level.
-
-    .. deprecated:: 1.0
-       Build a :class:`repro.runner.SweepSpec` and call
-       :func:`repro.runner.run` instead.
-    """
-    from repro.runner import SweepSpec, run
-
-    spec = SweepSpec(
-        users_levels=tuple(users_levels),
-        hardware=hardware,
-        soft=soft,
-        workload="jmeter",
-        seed=seed,
-        demand_scale=demand_scale,
-        warmup=warmup,
-        duration=duration,
-        imbalance=imbalance,
-    )
-    _warn_deprecated("jmeter_sweep", "repro.runner.run(SweepSpec(...))")
-    return run(spec, jobs=1, cache=False).value
 
 
 @dataclass(frozen=True)
@@ -197,40 +122,6 @@ class TrainingOutcome:
     def model(self) -> ConcurrencyModel:
         """The fitted model."""
         return self.fit.model
-
-
-def train_tier_model(
-    tier: str,
-    seed: int = 0,
-    demand_scale: float = 1.0,
-    levels: Optional[Sequence[int]] = None,
-    warmup: float = 4.0,
-    duration: float = 24.0,
-) -> TrainingOutcome:
-    """Reproduce the paper's model-training procedure (Section V-A).
-
-    Tomcat: 1/1/1 under the default soft allocation — the app tier is the
-    operative bottleneck.  MySQL: 1/2/1 so the DB tier saturates first.  At
-    each JMeter level the *measured* bottleneck-tier concurrency and the
-    system throughput form one training pair; Eq (7) is then least-squares
-    fitted (see :meth:`repro.runner.TrainingSpec.reduce`).
-
-    .. deprecated:: 1.0
-       Build a :class:`repro.runner.TrainingSpec` and call
-       :func:`repro.runner.run` instead.
-    """
-    from repro.runner import TrainingSpec, run
-
-    spec = TrainingSpec(
-        tier=tier,
-        seed=seed,
-        demand_scale=demand_scale,
-        levels=None if levels is None else tuple(levels),
-        warmup=warmup,
-        duration=duration,
-    )
-    _warn_deprecated("train_tier_model", "repro.runner.run(TrainingSpec(...))")
-    return run(spec, jobs=1, cache=False).value
 
 
 def hardware_count(hardware: HardwareConfig, tier: str) -> int:
@@ -281,41 +172,6 @@ class ValidationCurve:
     def peak_throughput(self) -> float:
         """Best sustained throughput across the user ramp."""
         return max(self.throughput)
-
-
-def validation_curves(
-    hardware: HardwareConfig,
-    soft_configs: Sequence[SoftResourceConfig],
-    user_levels: Sequence[int],
-    seed: int = 0,
-    demand_scale: float = 1.0,
-    think_time: float = 3.0,
-    warmup: float = 5.0,
-    duration: float = 20.0,
-    imbalance: float = 0.05,
-) -> List[ValidationCurve]:
-    """The Fig 4 experiment: same hardware, several soft allocations, a
-    ramp of RUBBoS users (3 s think time); who sustains the most throughput?
-
-    .. deprecated:: 1.0
-       Build a :class:`repro.runner.ValidationSpec` and call
-       :func:`repro.runner.run` instead.
-    """
-    from repro.runner import ValidationSpec, run
-
-    spec = ValidationSpec(
-        hardware=hardware,
-        soft_configs=tuple(soft_configs),
-        user_levels=tuple(user_levels),
-        seed=seed,
-        demand_scale=demand_scale,
-        think_time=think_time,
-        warmup=warmup,
-        duration=duration,
-        imbalance=imbalance,
-    )
-    _warn_deprecated("validation_curves", "repro.runner.run(ValidationSpec(...))")
-    return run(spec, jobs=1, cache=False).value
 
 
 # ---------------------------------------------------------------------------
@@ -397,46 +253,3 @@ def _autoscale_core(spec) -> AutoscaleRun:
         request_log=list(dep.system.request_log),
         failed=len(dep.system.failure_log),
     )
-
-
-def run_autoscale_experiment(
-    controller: str,
-    trace: WorkloadTrace,
-    max_users: int,
-    seed: int = 0,
-    demand_scale: float = 1.0,
-    policy: Optional[ScalingPolicy] = None,
-    initial_soft: SoftResourceConfig = SoftResourceConfig.DEFAULT,
-    seeded_models: Optional[Dict[str, ConcurrencyModel]] = None,
-    imbalance: float = 0.05,
-    think_time: float = 3.0,
-    online_refit: bool = True,
-    preparation_periods: Optional[Dict[str, float]] = None,
-) -> AutoscaleRun:
-    """Run one controller against one trace — the Fig 5 harness.
-
-    ``controller`` is ``"dcm"``, ``"ec2"``, or ``"predictive"`` (the
-    trend-forecasting DCM extension).
-
-    .. deprecated:: 1.0
-       Build a :class:`repro.runner.AutoscaleSpec` and call
-       :func:`repro.runner.run` instead.
-    """
-    from repro.runner import AutoscaleSpec, run
-
-    spec = AutoscaleSpec(
-        controller=controller,
-        trace=trace,
-        max_users=max_users,
-        seed=seed,
-        demand_scale=demand_scale,
-        policy=policy,
-        initial_soft=initial_soft,
-        models=seeded_models,
-        imbalance=imbalance,
-        think_time=think_time,
-        online_refit=online_refit,
-        preparation_periods=preparation_periods,
-    )
-    _warn_deprecated("run_autoscale_experiment", "repro.runner.run(AutoscaleSpec(...))")
-    return run(spec, jobs=1, cache=False).value

@@ -1,0 +1,95 @@
+"""Committed-baseline support for ``repro lint --deep``.
+
+The deep analyses are heuristic: rather than demand a perfectly silent
+tree forever, CI compares findings against a committed JSON baseline
+(``LINT_BASELINE.json`` at the repo root) and fails only on findings not
+in it.  The intended steady state is an *empty* baseline — every real bug
+fixed, every intentional pattern ``noqa``'d at the source line — so any
+entry in the file is a debt marker that survives review.
+
+Keys are ``(posix-relative path, line, code)``; messages are carried for
+humans but excluded from matching so wording tweaks don't churn CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.check.lint import Diagnostic
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "diagnostic_key",
+    "load_baseline",
+    "new_findings",
+    "save_baseline",
+]
+
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+_Key = Tuple[str, int, str]
+
+
+def _relative(path: str, root: str) -> str:
+    try:
+        rel = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    except ValueError:  # pragma: no cover - different drive on windows
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+def diagnostic_key(diag: Diagnostic, root: str = ".") -> _Key:
+    """Stable identity of a finding for baseline matching."""
+    return (_relative(diag.path, root), diag.line, diag.code)
+
+
+def load_baseline(path: str) -> Set[_Key]:
+    """Parse a baseline file into a set of keys."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"unrecognized baseline schema {data.get('schema')!r} in {path}"
+        )
+    out: Set[_Key] = set()
+    for entry in data.get("findings", []):
+        out.add((str(entry["path"]), int(entry["line"]), str(entry["code"])))
+    return out
+
+
+def save_baseline(
+    diagnostics: Sequence[Diagnostic], path: str, root: str = "."
+) -> None:
+    """Write the current findings as the new baseline."""
+    findings: List[Dict[str, object]] = []
+    seen: Set[_Key] = set()
+    for diag in sorted(
+        diagnostics, key=lambda d: (diagnostic_key(d, root), d.col)
+    ):
+        key = diagnostic_key(diag, root)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append({
+            "path": key[0],
+            "line": key[1],
+            "code": key[2],
+            "message": diag.message,
+        })
+    payload = {"schema": BASELINE_SCHEMA, "findings": findings}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def new_findings(
+    diagnostics: Sequence[Diagnostic],
+    baseline: Set[_Key],
+    root: str = ".",
+) -> List[Diagnostic]:
+    """Diagnostics whose keys are not covered by the baseline."""
+    return [
+        d for d in diagnostics if diagnostic_key(d, root) not in baseline
+    ]

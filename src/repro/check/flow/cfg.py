@@ -1,0 +1,305 @@
+"""Per-function control-flow graphs built from the AST.
+
+Every statement becomes its own CFG node (plus a handful of virtual
+``join`` nodes for merge points), which keeps transfer functions trivial
+at the cost of slightly larger graphs — functions in this codebase are
+small, so precision wins.
+
+Exceptional control flow is modelled explicitly: any statement that can
+raise (contains a call, yield, await, subscript, ``raise`` or ``assert``)
+gets an *exceptional* edge to the innermost enclosing handler dispatch,
+``finally`` block, or the synthetic ``raise`` exit.  Exceptional edges
+propagate the statement's **pre**-state — if ``h = pool.acquire()`` raises,
+``h`` was never bound, so no obligation exists on that path.
+
+Approximations (documented in DESIGN.md):
+
+* A ``finally`` body is built once; its exits connect to every requested
+  continuation (fall-through, exceptional propagation, ``return``/``break``
+  targets routed through it).  This merges states of the different ways
+  into the ``finally``, a standard precision loss.
+* An exception raised in a ``try`` body may flow past typed handlers to
+  the outer target; the outer edge is omitted only when a catch-all
+  handler (bare / ``Exception`` / ``BaseException``) is present.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["CFG", "Node", "build_cfg", "can_raise"]
+
+#: Node kinds.
+ENTRY = "entry"
+EXIT = "exit"          # normal function exit (fall-through / return)
+RAISE = "raise"        # exceptional function exit (uncaught exception)
+JOIN = "join"          # virtual merge point, identity transfer
+STMT = "stmt"          # one concrete ast statement
+EXCEPT = "except"      # an ExceptHandler entry (binds ``as name``)
+
+
+@dataclass
+class Node:
+    """One CFG node; ``stmt`` is the underlying AST node for ``stmt``
+    and ``except`` kinds, ``None`` for virtual nodes."""
+
+    idx: int
+    kind: str
+    stmt: Optional[ast.AST] = None
+
+
+class CFG:
+    """Statement-level CFG with normal and exceptional edges."""
+
+    def __init__(self) -> None:
+        self.nodes: List[Node] = []
+        #: node idx -> list of (successor idx, exceptional?)
+        self.succs: Dict[int, List[Tuple[int, bool]]] = {}
+        self.entry = self._new(ENTRY)
+        self.exit = self._new(EXIT)
+        self.raise_exit = self._new(RAISE)
+
+    def _new(self, kind: str, stmt: Optional[ast.AST] = None) -> int:
+        node = Node(len(self.nodes), kind, stmt)
+        self.nodes.append(node)
+        self.succs[node.idx] = []
+        return node.idx
+
+    def edge(self, src: int, dst: int, exceptional: bool = False) -> None:
+        if (dst, exceptional) not in self.succs[src]:
+            self.succs[src].append((dst, exceptional))
+
+
+_RAISING = (ast.Call, ast.Yield, ast.YieldFrom, ast.Await,
+            ast.Subscript, ast.Raise, ast.Assert)
+
+
+def _expr_can_raise(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    for sub in ast.walk(node):
+        if isinstance(sub, _RAISING):
+            return True
+    return False
+
+
+def can_raise(stmt: ast.AST) -> bool:
+    """May executing this (simple or header) statement raise?"""
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    if isinstance(stmt, ast.If) or isinstance(stmt, ast.While):
+        return _expr_can_raise(stmt.test)
+    if isinstance(stmt, ast.For):
+        return _expr_can_raise(stmt.iter)
+    if isinstance(stmt, ast.With):
+        return any(_expr_can_raise(item.context_expr) for item in stmt.items)
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return False
+    return _expr_can_raise(stmt)
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    node = handler.type
+    name = node.attr if isinstance(node, ast.Attribute) else (
+        node.id if isinstance(node, ast.Name) else None
+    )
+    return name in ("Exception", "BaseException")
+
+
+@dataclass
+class _FinallyRec:
+    """A pending ``finally`` between the current point and function exit."""
+
+    entry: int
+    gotos: Set[int] = field(default_factory=set)
+    exceptional_entry: bool = False
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        # Innermost-first stack of pending finallys.
+        self._fins: List[_FinallyRec] = []
+        # (break_target, continue_target) stack.
+        self._loops: List[Tuple[int, int]] = []
+        self._exc = self.cfg.raise_exit
+
+    # -- plumbing -----------------------------------------------------------
+    def _connect(self, preds: Sequence[int], dst: int) -> None:
+        for p in preds:
+            self.cfg.edge(p, dst)
+
+    def _jump(self, src: int, target: int) -> None:
+        """Route return/break/continue, through pending finallys if any."""
+        if self._fins:
+            self.cfg.edge(src, self._fins[-1].entry)
+            for rec in self._fins:
+                rec.gotos.add(target)
+        else:
+            self.cfg.edge(src, target)
+
+    def _stmt_node(self, stmt: ast.AST, preds: Sequence[int]) -> int:
+        n = self.cfg._new(STMT, stmt)
+        self._connect(preds, n)
+        if can_raise(stmt):
+            self.cfg.edge(n, self._exc, exceptional=True)
+            for rec in self._fins:
+                if rec.entry == self._exc:
+                    rec.exceptional_entry = True
+        return n
+
+    # -- recursive construction --------------------------------------------
+    def build(self, stmts: Sequence[ast.stmt], preds: List[int]) -> List[int]:
+        """Build ``stmts``; returns the normal fall-through frontier."""
+        for stmt in stmts:
+            if not preds:
+                # Unreachable code after return/raise/break: skip.
+                break
+            preds = self._build_one(stmt, preds)
+        return preds
+
+    def _build_one(self, stmt: ast.stmt, preds: List[int]) -> List[int]:
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, preds)
+        if isinstance(stmt, ast.While):
+            return self._build_while(stmt, preds)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._build_for(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, preds)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, preds)
+        if isinstance(stmt, ast.Return):
+            n = self._stmt_node(stmt, preds)
+            self._jump(n, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            self._stmt_node(stmt, preds)  # exceptional edge added there
+            return []
+        if isinstance(stmt, ast.Break):
+            n = self._stmt_node(stmt, preds)
+            self._jump(n, self._loops[-1][0]) if self._loops else None
+            return []
+        if isinstance(stmt, ast.Continue):
+            n = self._stmt_node(stmt, preds)
+            self._jump(n, self._loops[-1][1]) if self._loops else None
+            return []
+        # Simple statement (incl. nested defs, treated as opaque bindings).
+        return [self._stmt_node(stmt, preds)]
+
+    def _build_if(self, stmt: ast.If, preds: List[int]) -> List[int]:
+        test = self._stmt_node(stmt, preds)
+        body_f = self.build(stmt.body, [test])
+        if stmt.orelse:
+            orelse_f = self.build(stmt.orelse, [test])
+        else:
+            orelse_f = [test]
+        return body_f + orelse_f
+
+    def _build_while(self, stmt: ast.While, preds: List[int]) -> List[int]:
+        head = self.cfg._new(JOIN)
+        self._connect(preds, head)
+        test = self._stmt_node(stmt, [head])
+        after = self.cfg._new(JOIN)
+        self._loops.append((after, head))
+        body_f = self.build(stmt.body, [test])
+        self._loops.pop()
+        self._connect(body_f, head)
+        always_true = (isinstance(stmt.test, ast.Constant) and bool(stmt.test.value))
+        if not always_true:
+            orelse_f = self.build(stmt.orelse, [test]) if stmt.orelse else [test]
+            self._connect(orelse_f, after)
+        return [after]
+
+    def _build_for(self, stmt: ast.For, preds: List[int]) -> List[int]:
+        head = self.cfg._new(JOIN)
+        self._connect(preds, head)
+        iter_node = self._stmt_node(stmt, [head])  # binds loop target
+        after = self.cfg._new(JOIN)
+        self._loops.append((after, head))
+        body_f = self.build(stmt.body, [iter_node])
+        self._loops.pop()
+        self._connect(body_f, head)
+        orelse_f = self.build(stmt.orelse, [iter_node]) if stmt.orelse else [iter_node]
+        self._connect(orelse_f, after)
+        return [after]
+
+    def _build_with(self, stmt: ast.With, preds: List[int]) -> List[int]:
+        header = self._stmt_node(stmt, preds)  # evaluates + binds items
+        return self.build(stmt.body, [header])
+
+    def _build_try(self, stmt: ast.Try, preds: List[int]) -> List[int]:
+        after = self.cfg._new(JOIN)
+        fin_rec: Optional[_FinallyRec] = None
+        if stmt.finalbody:
+            fin_rec = _FinallyRec(entry=self.cfg._new(JOIN))
+            self._fins.append(fin_rec)
+        # Where unmatched/uncaught exceptions go at *this* nesting level.
+        outer_exc = self._exc
+        level_exc = fin_rec.entry if fin_rec is not None else outer_exc
+
+        # Handler dispatch: exceptional edges from the body land here.
+        if stmt.handlers:
+            dispatch = self.cfg._new(JOIN)
+            body_exc = dispatch
+        else:
+            dispatch = None
+            body_exc = level_exc
+
+        saved_exc = self._exc
+        self._exc = body_exc
+        body_f = self.build(stmt.body, list(preds))
+        self._exc = saved_exc
+
+        # orelse runs after the body completes normally; exceptions there
+        # are NOT caught by this try's handlers.
+        saved_exc = self._exc
+        self._exc = level_exc
+        orelse_f = self.build(stmt.orelse, body_f) if stmt.orelse else body_f
+        self._exc = saved_exc
+
+        handler_fs: List[int] = []
+        if dispatch is not None:
+            caught_all = any(_is_catch_all(h) for h in stmt.handlers)
+            if not caught_all:
+                # Unmatched exceptions continue outward (through finally).
+                self.cfg.edge(dispatch, level_exc)
+                if fin_rec is not None:
+                    fin_rec.exceptional_entry = True
+            for handler in stmt.handlers:
+                h_entry = self.cfg._new(EXCEPT, handler)
+                self.cfg.edge(dispatch, h_entry)
+                saved_exc = self._exc
+                self._exc = level_exc
+                h_f = self.build(handler.body, [h_entry])
+                self._exc = saved_exc
+                handler_fs.extend(h_f)
+
+        normal_f = orelse_f + handler_fs
+        if fin_rec is not None:
+            self._fins.pop()
+            self._connect(normal_f, fin_rec.entry)
+            fin_f = self.build(stmt.finalbody, [fin_rec.entry])
+            self._connect(fin_f, after)
+            if fin_rec.exceptional_entry:
+                # Exception resumes propagating after the finally body.
+                for f in fin_f:
+                    self.cfg.edge(f, outer_exc)
+            for target in sorted(fin_rec.gotos):
+                for f in fin_f:
+                    self.cfg.edge(f, target)
+        else:
+            self._connect(normal_f, after)
+        return [after]
+
+
+def build_cfg(func: ast.FunctionDef) -> CFG:
+    """Build the CFG for one function definition's body."""
+    builder = _Builder()
+    frontier = builder.build(func.body, [builder.cfg.entry])
+    builder._connect(frontier, builder.cfg.exit)
+    return builder.cfg

@@ -1,0 +1,82 @@
+"""Forward dataflow over a :class:`~repro.check.flow.cfg.CFG`.
+
+Classic worklist solver.  An analysis supplies the lattice (``initial``,
+``join``) and the ``transfer`` function; the solver iterates to fixpoint.
+
+Exceptional edges propagate the *pre*-state of the raising statement —
+its effect may not have completed when the exception escapes — which is
+what makes "``h = acquire()`` itself raised" leak-free while "``yield``
+after the acquire raised" correctly keeps the obligation live.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Optional
+
+from repro.check.flow.cfg import CFG, Node
+
+__all__ = ["ForwardAnalysis", "solve"]
+
+
+class ForwardAnalysis:
+    """Interface for a forward may-analysis over statement-level CFGs."""
+
+    def initial(self) -> Any:
+        """State at function entry."""
+        raise NotImplementedError
+
+    def join(self, a: Any, b: Any) -> Any:
+        """Least upper bound of two states."""
+        raise NotImplementedError
+
+    def transfer(self, node: Node, state: Any) -> Any:
+        """State after executing ``node`` normally.  Must not mutate
+        ``state``."""
+        raise NotImplementedError
+
+    def transfer_exceptional(self, node: Node, state: Any) -> Any:
+        """State carried along ``node``'s exceptional out-edge.
+
+        Defaults to the pre-state: a raising statement's effect may not
+        have completed.  Analyses can refine this — e.g. the leak checker
+        treats a ``release()`` call as released even if the call itself
+        raised, otherwise every release inside a ``finally`` would appear
+        leakable through its own failure."""
+        return state
+
+
+def solve(cfg: CFG, analysis: ForwardAnalysis,
+          max_iterations: int = 100_000) -> Dict[int, Any]:
+    """Run ``analysis`` to fixpoint; returns the IN-state per node index.
+
+    Unreachable nodes are absent from the result.  ``max_iterations`` is a
+    backstop against a non-monotone transfer function; the analyses here
+    operate on small finite lattices and converge in a handful of passes.
+    """
+    states_in: Dict[int, Any] = {cfg.entry: analysis.initial()}
+    out_cache: Dict[int, Any] = {}
+    work = deque([cfg.entry])
+    iterations = 0
+    while work:
+        iterations += 1
+        if iterations > max_iterations:  # pragma: no cover - backstop
+            break
+        idx = work.popleft()
+        state_in = states_in[idx]
+        state_out = analysis.transfer(cfg.nodes[idx], state_in)
+        out_cache[idx] = state_out
+        state_exc: Any = None
+        for succ, exceptional in cfg.succs[idx]:
+            if exceptional and state_exc is None:
+                state_exc = analysis.transfer_exceptional(
+                    cfg.nodes[idx], state_in
+                )
+            contrib = state_exc if exceptional else state_out
+            current = states_in.get(succ)
+            merged = contrib if current is None else analysis.join(current, contrib)
+            if current is None or merged != current:
+                states_in[succ] = merged
+                if succ not in work:
+                    work.append(succ)
+    return states_in

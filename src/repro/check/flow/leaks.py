@@ -1,0 +1,246 @@
+"""DCM101 — static acquire/release pairing for pool handles.
+
+Tracks obligations created by ``X.acquire()`` and ``yield from
+X.checkout()``: on every path from the acquisition to function exit —
+including exceptional paths — the handle must be released (``release(h)``
+/ ``checkin(h)`` / ``h.cancel()``), transferred to the caller
+(``return h``), context-managed (``with ... as h``), or escape to code we
+cannot see (stored in a container/attribute or passed to a call), in
+which case the analysis goes quiet rather than guess.
+
+The lattice per tracked variable is RELEASED < HELD < QUIET with join =
+max: a variable that *may* still be held at an exit while no path
+escaped it is a leak, reported at the acquire site (so ``noqa`` comments
+attach where the obligation starts).  This is the static counterpart of
+the sanitizer's runtime grants/releases pairing audit — the sanitizer
+sees one seed's paths, this pass sees all of them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.check.flow.cfg import Node, build_cfg
+from repro.check.flow.engine import ForwardAnalysis, solve
+from repro.check.flow.project import FuncInfo, Project, _dotted_name
+
+__all__ = ["find_leaks", "LeakFinding"]
+
+#: Method names whose call result is a fresh pool handle.
+_ACQUIRE_ATTRS = frozenset({"acquire", "checkout"})
+#: Method names that retire a handle passed as the first argument.
+_RELEASE_ATTRS = frozenset({"release", "checkin"})
+
+RELEASED, HELD, QUIET = 0, 1, 2
+
+#: var -> (rank, line, col, label)
+_State = Dict[str, Tuple[int, int, int, str]]
+
+
+@dataclass(frozen=True)
+class LeakFinding:
+    line: int
+    col: int
+    message: str
+
+
+def _unwrap(expr: ast.AST) -> ast.AST:
+    while isinstance(expr, (ast.Await, ast.Yield, ast.YieldFrom)):
+        inner = getattr(expr, "value", None)
+        if inner is None:
+            break
+        expr = inner
+    return expr
+
+
+def _acquire_site(expr: ast.AST) -> Optional[Tuple[ast.Call, str]]:
+    """``(call, resource label)`` when ``expr`` produces a fresh handle."""
+    expr = _unwrap(expr)
+    if (isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in _ACQUIRE_ATTRS):
+        label = _dotted_name(expr.func) or expr.func.attr
+        return expr, label
+    return None
+
+
+def _release_targets(stmt: ast.AST) -> Set[str]:
+    """Variable names retired by calls anywhere in this statement."""
+    out: Set[str] = set()
+    for sub in ast.walk(stmt):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr in _RELEASE_ATTRS and sub.args:
+            if isinstance(sub.args[0], ast.Name):
+                out.add(sub.args[0].id)
+        elif func.attr == "cancel" and isinstance(func.value, ast.Name):
+            out.add(func.value.id)
+    return out
+
+
+def _escaped_names(stmt: ast.AST, exclude: Set[str]) -> Set[str]:
+    """Names that flow somewhere we cannot track: call arguments and
+    container literals.  ``yield h`` (waiting on the handle's own event)
+    and attribute reads like ``h.granted`` do *not* escape."""
+    out: Set[str] = set()
+
+    def collect(expr: ast.AST) -> None:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name) and sub.id not in exclude:
+                out.add(sub.id)
+
+    for sub in ast.walk(stmt):
+        if isinstance(sub, ast.Call):
+            for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                collect(arg)
+        elif isinstance(sub, (ast.List, ast.Tuple, ast.Set, ast.Dict)):
+            collect(sub)
+    return out
+
+
+def _header_exprs(stmt: ast.AST) -> Optional[List[ast.AST]]:
+    """For compound statements the CFG node covers only the header; its
+    body statements are separate nodes.  ``None`` means "simple statement,
+    scan the whole node"."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.ExceptHandler):
+        return []  # the handler body statements are their own nodes
+    return None
+
+
+class _LeakAnalysis(ForwardAnalysis):
+    def initial(self) -> _State:
+        return {}
+
+    def join(self, a: _State, b: _State) -> _State:
+        if a == b:
+            return a
+        out = dict(a)
+        for var, info in b.items():
+            cur = out.get(var)
+            if cur is None or info[0] > cur[0]:
+                out[var] = info
+        return out
+
+    def transfer(self, node: Node, state: _State) -> _State:
+        stmt = node.stmt
+        if stmt is None:
+            return state
+        new = dict(state)
+        scan_roots = _header_exprs(stmt)
+        if scan_roots is None:
+            scan_roots = [stmt]
+
+        # Bindings that retire or create obligations.
+        released: Set[str] = set()
+        for root in scan_roots:
+            released |= _release_targets(root)
+        for var in released:
+            if var in new:
+                new[var] = (RELEASED, *new[var][1:])
+
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = getattr(stmt, "value", None)
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            acq = _acquire_site(value) if value is not None else None
+            if acq is not None:
+                call, label = acq
+                if len(targets) == 1 and isinstance(targets[0], ast.Name):
+                    new[targets[0].id] = (HELD, call.lineno, call.col_offset, label)
+                # Acquire into an untrackable target: stay quiet.
+            else:
+                # Aliasing a tracked handle hands the obligation elsewhere.
+                if isinstance(value, ast.Name) and value.id in new:
+                    new[value.id] = (QUIET, *new[value.id][1:])
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in new:
+                        del new[target.id]  # rebound: obligation untrackable
+        elif isinstance(stmt, ast.Return):
+            if isinstance(stmt.value, ast.Name) and stmt.value.id in new:
+                new[stmt.value.id] = (QUIET, *new[stmt.value.id][1:])
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if _acquire_site(item.context_expr) is not None and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    call, label = _acquire_site(item.context_expr)
+                    new[item.optional_vars.id] = (
+                        QUIET, call.lineno, call.col_offset, label,
+                    )
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(stmt.target):
+                if isinstance(sub, ast.Name) and sub.id in new:
+                    del new[sub.id]
+
+        # Anything else a tracked handle flows into stops the tracking.
+        for root in scan_roots:
+            for var in _escaped_names(root, exclude=released):
+                if var in new and new[var][0] == HELD:
+                    new[var] = (QUIET, *new[var][1:])
+        return new
+
+    def transfer_exceptional(self, node: Node, state: _State) -> _State:
+        """A release statement that itself raises still retired the handle
+        (or at worst double-releases, which the runtime rejects loudly);
+        without this every ``checkin`` in a ``finally`` looks leakable."""
+        stmt = node.stmt
+        if stmt is None:
+            return state
+        roots = _header_exprs(stmt)
+        released: Set[str] = set()
+        for root in [stmt] if roots is None else roots:
+            released |= _release_targets(root)
+        if not released:
+            return state
+        new = dict(state)
+        for var in released:
+            if var in new:
+                new[var] = (RELEASED, *new[var][1:])
+        return new
+
+
+def find_leaks(func: FuncInfo, project: Project) -> List[LeakFinding]:
+    """Leak findings for one function (empty when it has no acquire site)."""
+    has_acquire = any(
+        isinstance(sub, ast.Call)
+        and isinstance(sub.func, ast.Attribute)
+        and sub.func.attr in _ACQUIRE_ATTRS
+        for sub in ast.walk(func.node)
+    )
+    if not has_acquire:
+        return []
+    graph = build_cfg(func.node)
+    states = solve(graph, _LeakAnalysis())
+    findings: Dict[Tuple[int, int, str], LeakFinding] = {}
+    for exit_idx, flavor in (
+        (graph.raise_exit, "on an exception path"),
+        (graph.exit, "on a normal path"),
+    ):
+        state = states.get(exit_idx)
+        if not state:
+            continue
+        for var, (rank, line, col, label) in sorted(state.items()):
+            if rank != HELD:
+                continue
+            key = (line, col, var)
+            if key in findings:
+                continue
+            findings[key] = LeakFinding(
+                line=line, col=col,
+                message=(
+                    f"handle '{var}' from {label}() may never be released "
+                    f"{flavor} through {func.name}(); release/cancel it in a "
+                    "finally (or except) block, or return it to the caller"
+                ),
+            )
+    return sorted(findings.values(), key=lambda f: (f.line, f.col))

@@ -1,0 +1,406 @@
+"""Project-wide symbol table and call-graph resolution.
+
+Indexes every ``.py`` file handed to the deep lint: module import aliases,
+module-level functions, classes (with a resolved base-class hierarchy),
+methods, and nested functions.  On top of the index it offers best-effort
+*call resolution* — mapping a call expression to the project functions it
+may invoke — which is what turns the per-function analyses interprocedural.
+
+Resolution is deliberately under-approximate: an unresolvable callee
+yields no candidates and the analyses stay quiet rather than guess.  The
+supported forms:
+
+* ``name(...)`` — enclosing function's nested defs, then the module's own
+  functions/classes, then ``from``-imports resolved through the alias map.
+* ``mod.attr(...)`` / ``pkg.mod.attr(...)`` — dotted lookup through import
+  aliases against the global table.
+* ``self.m(...)`` / ``cls.m(...)`` — method lookup across the enclosing
+  class, its ancestors, and its descendants (overrides count).
+* ``expr.m(...)`` — *method-name* lookup: every project method called
+  ``m``.  Callers must treat multiple candidates as a disjunction.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = [
+    "ClassInfo",
+    "FuncInfo",
+    "ModuleInfo",
+    "Project",
+    "build_project",
+]
+
+
+@dataclass(eq=False)  # identity semantics; qualname is the logical key
+class FuncInfo:
+    """One function or method definition."""
+
+    qualname: str                  # "repro.ntier.server.TierServer._handle"
+    name: str
+    module: "ModuleInfo"
+    node: ast.FunctionDef
+    class_name: Optional[str] = None
+    parent: Optional[str] = None   # enclosing function qualname for nested defs
+    is_generator: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FuncInfo({self.qualname})"
+
+
+@dataclass(eq=False)  # identity semantics; qualname is the logical key
+class ClassInfo:
+    """One class definition with resolved project base classes."""
+
+    qualname: str
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    base_names: Tuple[str, ...] = ()        # dotted, canonicalised
+    methods: Dict[str, FuncInfo] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClassInfo({self.qualname})"
+
+
+@dataclass
+class ModuleInfo:
+    """One indexed source file."""
+
+    path: str
+    modname: str
+    source: str
+    tree: ast.Module
+    aliases: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FuncInfo] = field(default_factory=dict)   # top-level
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+
+def _module_name(path: str) -> str:
+    """Dotted module name; rooted at the ``repro`` package when present."""
+    parts = os.path.normpath(path).split(os.sep)
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    parts = parts[:-1] + [stem]
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = [stem]
+    if parts[-1] == "__init__":
+        parts = parts[:-1] or [stem]
+    return ".".join(parts)
+
+
+def _is_generator(node: ast.FunctionDef) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                            ast.Lambda)) and sub is not node:
+            continue
+        if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+            # Only count yields belonging to *this* function.
+            if _owns(node, sub):
+                return True
+    return False
+
+
+def _owns(func: ast.AST, target: ast.AST) -> bool:
+    """Is ``target`` inside ``func`` but not inside a nested function?"""
+    stack = [(child, func) for child in ast.iter_child_nodes(func)]
+    while stack:
+        node, owner = stack.pop()
+        if node is target:
+            return owner is func
+        next_owner = owner
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            next_owner = node
+        stack.extend((child, next_owner) for child in ast.iter_child_nodes(node))
+    return False
+
+
+def function_body_walk(func: ast.FunctionDef) -> Iterable[ast.AST]:
+    """Walk a function's AST, skipping nested function/lambda bodies."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class Project:
+    """The global index over every analyzed module."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}            # by path
+        self.functions: Dict[str, FuncInfo] = {}            # by qualname
+        self.classes: Dict[str, ClassInfo] = {}             # by qualname
+        self.funcs_by_name: Dict[str, List[FuncInfo]] = {}  # top-level only
+        self.methods_by_name: Dict[str, List[FuncInfo]] = {}
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        self._subclasses: Dict[str, Set[str]] = {}          # class qn -> direct subs
+
+    # -- construction -------------------------------------------------------
+    def add_module(self, path: str, source: str, tree: ast.Module) -> ModuleInfo:
+        mod = ModuleInfo(path=path, modname=_module_name(path),
+                         source=source, tree=tree)
+        self.modules[path] = mod
+        for stmt in tree.body:
+            self._index_stmt(mod, stmt)
+        return mod
+
+    def _index_stmt(self, mod: ModuleInfo, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                mod.aliases[local] = alias.name if alias.asname else local
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.module and stmt.level == 0:
+                for alias in stmt.names:
+                    local = alias.asname or alias.name
+                    mod.aliases[local] = f"{stmt.module}.{alias.name}"
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._index_function(mod, stmt, class_name=None, parent=None)
+        elif isinstance(stmt, ast.ClassDef):
+            self._index_class(mod, stmt)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # Conditional definitions (TYPE_CHECKING guards etc.).
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.stmt):
+                    self._index_stmt(mod, sub)
+
+    def _index_function(self, mod: ModuleInfo, node: ast.FunctionDef,
+                        class_name: Optional[str],
+                        parent: Optional[str]) -> FuncInfo:
+        scope = parent or (f"{mod.modname}.{class_name}" if class_name
+                           else mod.modname)
+        qualname = f"{scope}.{node.name}"
+        info = FuncInfo(
+            qualname=qualname, name=node.name, module=mod, node=node,
+            class_name=class_name, parent=parent,
+            is_generator=_is_generator(node),
+        )
+        self.functions[qualname] = info
+        if class_name is not None and parent is None:
+            self.methods_by_name.setdefault(node.name, []).append(info)
+        elif parent is None:
+            mod.functions[node.name] = info
+            self.funcs_by_name.setdefault(node.name, []).append(info)
+        # Nested defs (closures handed to env.process, benchmark workers...).
+        for child in ast.walk(node):
+            if (isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and child is not node and _owns(node, child)):
+                self._index_function(mod, child, class_name=class_name,
+                                     parent=qualname)
+        return info
+
+    def _index_class(self, mod: ModuleInfo, node: ast.ClassDef) -> None:
+        qualname = f"{mod.modname}.{node.name}"
+        bases: List[str] = []
+        for base in node.bases:
+            dotted = _dotted_name(base)
+            if dotted is None:
+                continue
+            head, _, rest = dotted.partition(".")
+            canonical = mod.aliases.get(head)
+            if canonical is not None:
+                dotted = canonical + ("." + rest if rest else "")
+            bases.append(dotted)
+        cls = ClassInfo(qualname=qualname, name=node.name, module=mod,
+                        node=node, base_names=tuple(bases))
+        self.classes[qualname] = cls
+        mod.classes[node.name] = cls
+        self.classes_by_name.setdefault(node.name, []).append(cls)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cls.methods[stmt.name] = self._index_function(
+                    mod, stmt, class_name=node.name, parent=None
+                )
+
+    def finalize(self) -> None:
+        """Resolve the class hierarchy once all modules are indexed."""
+        for cls in self.classes.values():
+            for base in cls.base_names:
+                resolved = self._resolve_class_name(base)
+                if resolved is not None:
+                    self._subclasses.setdefault(resolved.qualname, set()).add(
+                        cls.qualname
+                    )
+
+    # -- lookups ------------------------------------------------------------
+    def _resolve_class_name(self, dotted: str) -> Optional[ClassInfo]:
+        if dotted in self.classes:
+            return self.classes[dotted]
+        simple = dotted.rsplit(".", 1)[-1]
+        candidates = self.classes_by_name.get(simple, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        for cand in candidates:
+            if cand.qualname == dotted or cand.qualname.endswith("." + dotted):
+                return cand
+        return None
+
+    def ancestors(self, cls: ClassInfo) -> List[ClassInfo]:
+        out: List[ClassInfo] = []
+        seen: Set[str] = {cls.qualname}
+        work = list(cls.base_names)
+        while work:
+            base = self._resolve_class_name(work.pop())
+            if base is None or base.qualname in seen:
+                continue
+            seen.add(base.qualname)
+            out.append(base)
+            work.extend(base.base_names)
+        return out
+
+    def descendants(self, cls: ClassInfo) -> List[ClassInfo]:
+        out: List[ClassInfo] = []
+        seen: Set[str] = {cls.qualname}
+        work = sorted(self._subclasses.get(cls.qualname, ()))
+        while work:
+            qn = work.pop()
+            if qn in seen:
+                continue
+            seen.add(qn)
+            sub = self.classes[qn]
+            out.append(sub)
+            work.extend(sorted(self._subclasses.get(qn, ())))
+        return out
+
+    def is_subclass_of(self, cls: ClassInfo, root_name: str) -> bool:
+        """Is ``cls`` (or an ancestor) named ``root_name``?"""
+        if cls.name == root_name:
+            return True
+        return any(a.name == root_name for a in self.ancestors(cls))
+
+    def event_classes(self) -> Set[str]:
+        """Qualnames of Event and every transitive subclass."""
+        roots = [c for c in self.classes_by_name.get("Event", ())]
+        out: Set[str] = set()
+        for root in roots:
+            out.add(root.qualname)
+            out.update(d.qualname for d in self.descendants(root))
+        return out
+
+    # -- call resolution ----------------------------------------------------
+    def resolve_callable(
+        self,
+        func_expr: ast.AST,
+        mod: ModuleInfo,
+        context: Optional[FuncInfo] = None,
+    ) -> List[Union[FuncInfo, ClassInfo]]:
+        """Project definitions a call through ``func_expr`` may reach.
+
+        Empty list == unresolved; callers must stay quiet then.
+        """
+        if isinstance(func_expr, ast.Name):
+            return self._resolve_bare_name(func_expr.id, mod, context)
+        if isinstance(func_expr, ast.Attribute):
+            attr = func_expr.attr
+            base = func_expr.value
+            # self.m(...) / cls.m(...): hierarchy-aware lookup.
+            if (isinstance(base, ast.Name) and base.id in ("self", "cls")
+                    and context is not None and context.class_name is not None):
+                cls = mod.classes.get(context.class_name)
+                if cls is not None:
+                    found = self._resolve_method_in_hierarchy(cls, attr)
+                    if found:
+                        return found
+            # mod.attr(...) through import aliases.
+            dotted = _dotted_name(func_expr)
+            if dotted is not None:
+                head, _, rest = dotted.partition(".")
+                canonical = mod.aliases.get(head, head)
+                full = canonical + ("." + rest if rest else "")
+                hit = self._lookup_qualname(full)
+                if hit:
+                    return hit
+            # expr.m(...): every project method named m.
+            methods = self.methods_by_name.get(attr, [])
+            return list(methods)
+        return []
+
+    def _resolve_bare_name(
+        self, name: str, mod: ModuleInfo, context: Optional[FuncInfo]
+    ) -> List[Union[FuncInfo, ClassInfo]]:
+        # Enclosing function's nested defs first.
+        scope = context
+        while scope is not None:
+            nested = self.functions.get(f"{scope.qualname}.{name}")
+            if nested is not None:
+                return [nested]
+            scope = self.functions.get(scope.parent) if scope.parent else None
+        if name in mod.functions:
+            return [mod.functions[name]]
+        if name in mod.classes:
+            return [mod.classes[name]]
+        canonical = mod.aliases.get(name)
+        if canonical is not None:
+            return self._lookup_qualname(canonical)
+        return []
+
+    def _lookup_qualname(self, dotted: str) -> List[Union[FuncInfo, ClassInfo]]:
+        if dotted in self.functions:
+            return [self.functions[dotted]]
+        if dotted in self.classes:
+            return [self.classes[dotted]]
+        # Re-exports: "repro.sim.Environment" indexes as "repro.sim.core.
+        # Environment"; fall back to a unique simple-name match.
+        simple = dotted.rsplit(".", 1)[-1]
+        if dotted.startswith("repro."):
+            funcs = self.funcs_by_name.get(simple, [])
+            if len(funcs) == 1:
+                return [funcs[0]]
+            classes = self.classes_by_name.get(simple, [])
+            if len(classes) == 1:
+                return [classes[0]]
+        return []
+
+    def _resolve_method_in_hierarchy(
+        self, cls: ClassInfo, name: str
+    ) -> List[Union[FuncInfo, ClassInfo]]:
+        out: List[Union[FuncInfo, ClassInfo]] = []
+        for candidate in [cls] + self.ancestors(cls) + self.descendants(cls):
+            method = candidate.methods.get(name)
+            if method is not None:
+                out.append(method)
+        return out
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def canonical_dotted(node: ast.AST, mod: ModuleInfo) -> Optional[str]:
+    """Dotted name of an expression with the module's import aliases
+    applied (``np.random.rand`` -> ``numpy.random.rand``)."""
+    dotted = _dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    canonical = mod.aliases.get(head, head)
+    return canonical + ("." + rest if rest else "")
+
+
+def build_project(files: Sequence[Tuple[str, str]]) -> Project:
+    """Index ``(path, source)`` pairs; files that fail to parse are skipped
+    (the syntactic lint reports those)."""
+    project = Project()
+    for path, source in files:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue
+        project.add_module(path, source, tree)
+    project.finalize()
+    return project

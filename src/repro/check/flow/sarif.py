@@ -1,0 +1,89 @@
+"""SARIF 2.1.0 emission for lint diagnostics.
+
+A minimal, spec-conformant document: one run, one driver, one rule object
+per distinct code, one result per diagnostic.  Enough for GitHub code
+scanning to annotate PR diffs with the findings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.check.lint import Diagnostic, Rule
+
+__all__ = ["to_sarif", "write_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(
+    diagnostics: Sequence[Diagnostic],
+    rules: Sequence[Rule],
+    tool_version: str = "0",
+) -> Dict[str, object]:
+    """Build the SARIF document as a plain dict."""
+    by_code: Dict[str, Rule] = {rule.code: rule for rule in rules}
+    used_codes = sorted({d.code for d in diagnostics} | set(by_code))
+    rule_objects: List[Dict[str, object]] = []
+    rule_index: Dict[str, int] = {}
+    for code in used_codes:
+        rule = by_code.get(code)
+        rule_index[code] = len(rule_objects)
+        rule_objects.append({
+            "id": code,
+            "name": rule.name if rule else code,
+            "shortDescription": {
+                "text": rule.summary if rule else "diagnostic"
+            },
+        })
+    results: List[Dict[str, object]] = []
+    for diag in diagnostics:
+        results.append({
+            "ruleId": diag.code,
+            "ruleIndex": rule_index.get(diag.code, -1),
+            "level": "error",
+            "message": {"text": diag.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diag.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(diag.line, 1),
+                        "startColumn": diag.col + 1,
+                    },
+                },
+            }],
+        })
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": "https://example.invalid/repro",
+                    "version": tool_version,
+                    "rules": rule_objects,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(
+    diagnostics: Sequence[Diagnostic],
+    rules: Sequence[Rule],
+    path: str,
+) -> None:
+    """Serialize to ``path``."""
+    document = to_sarif(diagnostics, rules)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2)
+        fh.write("\n")

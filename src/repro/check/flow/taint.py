@@ -1,0 +1,462 @@
+"""DCM103 — nondeterminism taint analysis.
+
+The syntactic rules (DCM001–008) flag nondeterminism *sources* wherever
+they appear, which forces ``noqa`` on telemetry-only uses and misses
+sources laundered through helper functions.  This pass tracks the values:
+a taint kind set {wallclock, rng, environ, hash, unordered} attached to
+local variables, propagated through assignments, arithmetic, returns and
+project-internal calls, and *reported only at simulation-state sinks* —
+event delays (``env.timeout``/``schedule``/``run(until=)``), service
+demands (``.execute``), RNG seeding (``RandomStreams``/``default_rng``/
+``.seed``/``SeedSequence``), and ``*Spec`` construction.
+
+Interprocedural flow uses call-site summaries computed by a fixpoint over
+the project call graph.  Each function summary records which taint kinds
+its return value carries, which *parameters* flow into its return value,
+and which parameters reach a sink inside it — so a wall-clock read two
+helper calls away from an ``env.timeout`` is still caught, and a helper
+that merely logs its argument is not.
+
+Kill set: ``sorted()`` launders the ``unordered`` kind; order-insensitive
+aggregations (``min``/``max``/``sum``/``len``/``any``/``all``) do too.
+Unresolvable calls drop taint (documented under-approximation — the
+analysis prefers silence to guessing).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.check.flow.cfg import Node, build_cfg
+from repro.check.flow.engine import ForwardAnalysis, solve
+from repro.check.flow.project import (
+    ClassInfo,
+    FuncInfo,
+    Project,
+    canonical_dotted,
+)
+from repro.check.lint import _NP_RANDOM_ALLOWED, _WALL_CLOCK_CALLS
+
+__all__ = ["compute_summaries", "find_taint", "TaintFinding", "TaintSummary"]
+
+WALLCLOCK = "wallclock"
+RNG = "rng"
+ENVIRON = "environ"
+HASH = "hash"
+UNORDERED = "unordered"
+_KINDS = frozenset({WALLCLOCK, RNG, ENVIRON, HASH, UNORDERED})
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+#: Builtins through which taint passes unchanged.
+_PASSTHROUGH = frozenset({
+    "int", "float", "str", "bool", "abs", "round", "list", "tuple",
+    "dict", "repr", "format", "divmod", "pow",
+})
+#: Builtins whose result does not depend on input ordering.
+_ORDER_INSENSITIVE = frozenset({"min", "max", "sum", "len", "any", "all"})
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+
+_State = Dict[str, FrozenSet[str]]
+
+
+def _param(i: int) -> str:
+    return f"param:{i}"
+
+
+def _params_of(tokens: Iterable[str]) -> List[int]:
+    return sorted(
+        int(t.split(":", 1)[1]) for t in tokens if t.startswith("param:")
+    )
+
+
+def _kinds_of(tokens: FrozenSet[str]) -> FrozenSet[str]:
+    return tokens & _KINDS
+
+
+@dataclass(frozen=True)
+class TaintSummary:
+    """What one function does with taint, as seen from a call site."""
+
+    ret_tokens: FrozenSet[str] = _EMPTY       # kinds + param:<i> passthrough
+    sink_params: Tuple[Tuple[int, str], ...] = ()  # (param index, sink label)
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    line: int
+    col: int
+    message: str
+
+
+def _param_names(func: FuncInfo) -> List[str]:
+    """Parameter names, receiver stripped: index 0 is the first real arg."""
+    args = func.node.args
+    names = [a.arg for a in args.args] + [a.arg for a in args.kwonlyargs]
+    if func.class_name is not None and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+def _header_exprs(stmt: ast.AST) -> Optional[List[ast.AST]]:
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.ExceptHandler):
+        return []  # the handler body statements are their own nodes
+    return None
+
+
+class _TaintMachine:
+    """Expression evaluation + sink detection shared by the dataflow
+    transfer and the post-fixpoint reporting sweep."""
+
+    def __init__(self, func: FuncInfo, project: Project,
+                 summaries: Dict[str, TaintSummary]) -> None:
+        self.func = func
+        self.project = project
+        self.summaries = summaries
+
+    # -- sources ------------------------------------------------------------
+    def _source_kinds(self, call: ast.Call) -> FrozenSet[str]:
+        dotted = canonical_dotted(call.func, self.func.module)
+        if dotted is None:
+            if (isinstance(call.func, ast.Attribute)
+                    and call.func.attr in _SET_METHODS):
+                return frozenset({UNORDERED})
+            return _EMPTY
+        if dotted in _WALL_CLOCK_CALLS:
+            return frozenset({WALLCLOCK})
+        if dotted == "random" or dotted.startswith("random."):
+            return frozenset({RNG})
+        if (dotted.startswith("numpy.random.")
+                and dotted.rsplit(".", 1)[1] not in _NP_RANDOM_ALLOWED):
+            return frozenset({RNG})
+        if dotted in ("os.getenv", "os.environb"):
+            return frozenset({ENVIRON})
+        if dotted == "hash":
+            return frozenset({HASH})
+        if dotted in ("set", "frozenset"):
+            return frozenset({UNORDERED})
+        return _EMPTY
+
+    # -- expression taint ---------------------------------------------------
+    def expr_taint(self, expr: Optional[ast.AST], state: _State) -> FrozenSet[str]:
+        if expr is None:
+            return _EMPTY
+        if isinstance(expr, ast.Name):
+            return state.get(expr.id, _EMPTY)
+        if isinstance(expr, ast.Constant):
+            return _EMPTY
+        if isinstance(expr, ast.Call):
+            return self._call_taint(expr, state)
+        if isinstance(expr, ast.Attribute):
+            if canonical_dotted(expr, self.func.module) == "os.environ":
+                return frozenset({ENVIRON})
+            return self.expr_taint(expr.value, state)
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return self._union_children(expr, state) | {UNORDERED}
+        if isinstance(expr, (ast.Yield, ast.YieldFrom, ast.Await)):
+            return _EMPTY
+        if isinstance(expr, ast.Lambda):
+            return _EMPTY
+        # BinOp, BoolOp, Compare, Subscript, IfExp, containers, f-strings...
+        return self._union_children(expr, state)
+
+    def _union_children(self, expr: ast.AST, state: _State) -> FrozenSet[str]:
+        out: FrozenSet[str] = _EMPTY
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, (ast.expr, ast.keyword)):
+                node = child.value if isinstance(child, ast.keyword) else child
+                out |= self.expr_taint(node, state)
+        return out
+
+    def _call_args_taint(self, call: ast.Call, state: _State) -> FrozenSet[str]:
+        out: FrozenSet[str] = _EMPTY
+        for arg in call.args:
+            out |= self.expr_taint(arg, state)
+        for kw in call.keywords:
+            out |= self.expr_taint(kw.value, state)
+        return out
+
+    def _call_taint(self, call: ast.Call, state: _State) -> FrozenSet[str]:
+        source = self._source_kinds(call)
+        if source:
+            return source | self._call_args_taint(call, state)
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "sorted":
+                return self._call_args_taint(call, state) - {UNORDERED}
+            if func.id in _ORDER_INSENSITIVE:
+                return self._call_args_taint(call, state) - {UNORDERED}
+            if func.id in _PASSTHROUGH:
+                return self._call_args_taint(call, state)
+        candidates = self.project.resolve_callable(
+            func, self.func.module, self.func
+        )
+        out: FrozenSet[str] = _EMPTY
+        for cand in candidates:
+            if isinstance(cand, ClassInfo):
+                continue  # constructor: field flow handled at Spec sinks
+            summary = self.summaries.get(cand.qualname)
+            if summary is None:
+                continue
+            out |= _kinds_of(summary.ret_tokens)
+            for i in _params_of(summary.ret_tokens):
+                arg = self._positional_arg(call, cand, i)
+                if arg is not None:
+                    out |= self.expr_taint(arg, state)
+        return out
+
+    @staticmethod
+    def _positional_arg(call: ast.Call, callee: FuncInfo,
+                        index: int) -> Optional[ast.AST]:
+        """Call argument feeding the callee's parameter ``index`` (indexed
+        past any ``self``/``cls`` receiver)."""
+        names = _param_names(callee)
+        positional = len(callee.node.args.args)
+        if callee.class_name is not None and callee.node.args.args and (
+            callee.node.args.args[0].arg in ("self", "cls")
+        ):
+            positional -= 1  # the receiver is not a call-site argument
+        if index < positional and index < len(call.args):
+            return call.args[index]
+        if index < len(names):
+            name = names[index]
+            for kw in call.keywords:
+                if kw.arg == name:
+                    return kw.value
+        return None
+
+    # -- sinks --------------------------------------------------------------
+    def sink_hits(self, call: ast.Call,
+                  state: _State) -> List[Tuple[str, FrozenSet[str]]]:
+        """(sink label, taint tokens) for every tainted sink argument."""
+        hits: List[Tuple[str, FrozenSet[str]]] = []
+
+        def arg(pos: int, kw_name: Optional[str] = None) -> Optional[ast.AST]:
+            if pos < len(call.args):
+                return call.args[pos]
+            if kw_name is not None:
+                for kw in call.keywords:
+                    if kw.arg == kw_name:
+                        return kw.value
+            return None
+
+        def check(expr: Optional[ast.AST], label: str) -> None:
+            if expr is None:
+                return
+            tokens = self.expr_taint(expr, state)
+            if tokens:
+                hits.append((label, tokens))
+
+        func = call.func
+        attr = func.attr if isinstance(func, ast.Attribute) else None
+        name = func.id if isinstance(func, ast.Name) else None
+
+        if attr == "timeout":
+            check(arg(0, "delay"), "event delay (.timeout)")
+        elif attr == "schedule":
+            check(arg(1, "delay"), "event delay (.schedule)")
+        elif attr == "execute" and (call.args or call.keywords):
+            check(arg(0, "work"), "service demand (.execute)")
+        elif attr == "seed":
+            check(arg(0), "RNG seed (.seed)")
+        elif attr == "run":
+            until = next(
+                (kw.value for kw in call.keywords if kw.arg == "until"), None
+            )
+            check(until, "run horizon (env.run(until=))")
+        if (attr or name) in ("default_rng", "SeedSequence", "RandomStreams"):
+            check(arg(0, "seed"), f"RNG seed ({attr or name})")
+        if name is not None and name.endswith("Spec") and name != "Spec":
+            for a in call.args:
+                check(a, f"{name} spec field")
+            for kw in call.keywords:
+                check(kw.value, f"{name} field '{kw.arg}'")
+
+        # Callee summaries: a parameter that reaches a sink inside.
+        for cand in self.project.resolve_callable(
+            func, self.func.module, self.func
+        ):
+            if isinstance(cand, ClassInfo):
+                continue
+            summary = self.summaries.get(cand.qualname)
+            if summary is None:
+                continue
+            for index, label in summary.sink_params:
+                check(self._positional_arg(call, cand, index),
+                      f"{label} via {cand.name}()")
+        return hits
+
+
+class _TaintAnalysis(ForwardAnalysis):
+    def __init__(self, machine: _TaintMachine, initial: _State) -> None:
+        self.machine = machine
+        self._initial = initial
+
+    def initial(self) -> _State:
+        return dict(self._initial)
+
+    def join(self, a: _State, b: _State) -> _State:
+        if a == b:
+            return a
+        out = dict(a)
+        for var, tokens in b.items():
+            cur = out.get(var)
+            out[var] = tokens if cur is None else cur | tokens
+        return out
+
+    def transfer(self, node: Node, state: _State) -> _State:
+        stmt = node.stmt
+        if stmt is None:
+            return state
+        m = self.machine
+        if isinstance(stmt, ast.Assign):
+            taint = m.expr_taint(stmt.value, state)
+            new = dict(state)
+            for target in stmt.targets:
+                self._bind(target, taint, new)
+            return new
+        if isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if stmt.value is None:
+                return state
+            taint = m.expr_taint(stmt.value, state)
+            new = dict(state)
+            if isinstance(stmt, ast.AugAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                taint |= state.get(stmt.target.id, _EMPTY)
+            self._bind(stmt.target, taint, new)
+            return new
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taint = m.expr_taint(stmt.iter, state)
+            new = dict(state)
+            self._bind(stmt.target, taint, new)
+            return new
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            new = dict(state)
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._bind(
+                        item.optional_vars,
+                        m.expr_taint(item.context_expr, state),
+                        new,
+                    )
+            return new
+        if isinstance(stmt, ast.ExceptHandler):
+            if stmt.name:
+                new = dict(state)
+                new[stmt.name] = _EMPTY
+                return new
+            return state
+        return state
+
+    @staticmethod
+    def _bind(target: ast.AST, taint: FrozenSet[str], state: _State) -> None:
+        if isinstance(target, ast.Name):
+            state[target.id] = taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                _TaintAnalysis._bind(elt, taint, state)
+        # Attribute/subscript stores leave local state untouched.
+
+
+def _stmt_exprs(stmt: ast.AST) -> List[ast.AST]:
+    roots = _header_exprs(stmt)
+    return roots if roots is not None else [stmt]
+
+
+def _analyze(func: FuncInfo, project: Project,
+             summaries: Dict[str, TaintSummary],
+             symbolic_params: bool):
+    """Solve the taint dataflow; returns (machine, cfg, node->in-state)."""
+    machine = _TaintMachine(func, project, summaries)
+    initial: _State = {}
+    if symbolic_params:
+        for i, name in enumerate(_param_names(func)):
+            initial[name] = frozenset({_param(i)})
+    graph = build_cfg(func.node)
+    states = solve(graph, _TaintAnalysis(machine, initial))
+    return machine, graph, states
+
+
+def _summarize(func: FuncInfo, project: Project,
+               summaries: Dict[str, TaintSummary]) -> TaintSummary:
+    machine, graph, states = _analyze(func, project, summaries,
+                                      symbolic_params=True)
+    ret_tokens: FrozenSet[str] = _EMPTY
+    sink_params: Set[Tuple[int, str]] = set()
+    for node in graph.nodes:
+        state = states.get(node.idx)
+        if state is None or node.stmt is None:
+            continue
+        if isinstance(node.stmt, ast.Return) and node.stmt.value is not None:
+            ret_tokens |= machine.expr_taint(node.stmt.value, state)
+        for root in _stmt_exprs(node.stmt):
+            for sub in ast.walk(root):
+                if isinstance(sub, ast.Call):
+                    for label, tokens in machine.sink_hits(sub, state):
+                        for index in _params_of(tokens):
+                            sink_params.add((index, label))
+    return TaintSummary(
+        ret_tokens=ret_tokens,
+        sink_params=tuple(sorted(sink_params)),
+    )
+
+
+def compute_summaries(project: Project) -> Dict[str, TaintSummary]:
+    """Fixpoint of all function summaries over the call graph."""
+    summaries: Dict[str, TaintSummary] = {
+        qn: TaintSummary() for qn in project.functions
+    }
+    for _ in range(6):  # token sets are tiny; convergence is fast
+        changed = False
+        for qualname in sorted(project.functions):
+            func = project.functions[qualname]
+            new = _summarize(func, project, summaries)
+            if new != summaries[qualname]:
+                summaries[qualname] = new
+                changed = True
+        if not changed:
+            break
+    return summaries
+
+
+def find_taint(func: FuncInfo, project: Project,
+               summaries: Dict[str, TaintSummary]) -> List[TaintFinding]:
+    """Taint findings for one function (parameters assumed clean)."""
+    machine, graph, states = _analyze(func, project, summaries,
+                                      symbolic_params=False)
+    findings: Dict[Tuple[int, int, str], TaintFinding] = {}
+    for node in graph.nodes:
+        state = states.get(node.idx)
+        if state is None or node.stmt is None:
+            continue
+        for root in _stmt_exprs(node.stmt):
+            for sub in ast.walk(root):
+                if not isinstance(sub, ast.Call):
+                    continue
+                for label, tokens in machine.sink_hits(sub, state):
+                    kinds = _kinds_of(tokens)
+                    if not kinds:
+                        continue  # parameter-only taint: caller's concern
+                    key = (sub.lineno, sub.col_offset, label)
+                    if key in findings:
+                        continue
+                    findings[key] = TaintFinding(
+                        line=sub.lineno, col=sub.col_offset,
+                        message=(
+                            f"{'/'.join(sorted(kinds))}-tainted value reaches "
+                            f"{label} in {func.name}(); simulation state must "
+                            "derive only from the root seed and the spec"
+                        ),
+                    )
+    return sorted(findings.values(), key=lambda f: (f.line, f.col))

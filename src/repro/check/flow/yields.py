@@ -1,0 +1,265 @@
+"""DCM102 — yield-protocol checking for simulation process generators.
+
+The kernel's contract: a generator handed to ``env.process`` (directly,
+or reached transitively through ``yield from``) may only yield
+:class:`~repro.sim.events.Event` instances.  PR 3 fixed three protocol
+bugs of exactly this shape at runtime; this pass encodes them as rules.
+
+Process bodies are discovered, not declared: every ``<expr>.process(f(...))``
+spawn site marks ``f``, ``self.m(...)`` resolving through the class
+hierarchy so overrides (``Apache._process`` behind ``TierServer._handle``)
+are reached, then the set is closed under ``yield from``.
+
+Each ``yield`` in a marked generator is classified against the project
+call graph into EVENT / NON_EVENT / UNKNOWN:
+
+* calls are classified by a fixpoint over callee return expressions
+  (constructing an ``Event`` subclass, returning another event-returning
+  call, ...); calling a *generator* function yields a generator object,
+  a classic missing-``yield from`` bug;
+* names are classified through their local assignments;
+* literals and arithmetic are NON_EVENT.
+
+Only bare ``yield`` and provably NON_EVENT operands are reported —
+UNKNOWN stays quiet, so decorator-wrapped generators and dynamic targets
+never false-positive.  Blocking stdlib calls (``time.sleep``, ``socket``,
+``subprocess``) inside a process body are reported here too: they stall
+the real clock, not the simulated one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from repro.check.flow.project import (
+    ClassInfo,
+    FuncInfo,
+    Project,
+    canonical_dotted,
+    function_body_walk,
+)
+
+__all__ = ["find_yield_violations", "YieldFinding", "EventClassifier",
+           "process_bodies"]
+
+EVENT = "event"
+NON_EVENT = "non-event"
+UNKNOWN = "unknown"
+
+#: Dotted prefixes whose calls block the real clock (reported in process
+#: bodies).  ``time.sleep`` is the classic; sockets and subprocesses wait
+#: on the outside world.
+_BLOCKING_EXACT = frozenset({
+    "time.sleep", "os.system", "os.wait", "os.waitpid", "input",
+})
+_BLOCKING_PREFIXES = ("socket.", "subprocess.", "requests.", "urllib.request.")
+
+
+@dataclass(frozen=True)
+class YieldFinding:
+    line: int
+    col: int
+    message: str
+
+
+class EventClassifier:
+    """Classifies expressions/functions as event-valued via the call graph."""
+
+    _IN_PROGRESS = object()
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.event_classes: Set[str] = project.event_classes()
+        self._func_cache: Dict[str, object] = {}
+
+    # -- function summaries -------------------------------------------------
+    def func_kind(self, func: FuncInfo) -> str:
+        cached = self._func_cache.get(func.qualname)
+        if cached is self._IN_PROGRESS:
+            return UNKNOWN  # recursion: stay quiet
+        if cached is not None:
+            return str(cached)
+        self._func_cache[func.qualname] = self._IN_PROGRESS
+        kinds: Set[str] = set()
+        for node in function_body_walk(func.node):
+            if isinstance(node, ast.Return):
+                if node.value is None:
+                    kinds.add(NON_EVENT)
+                else:
+                    kinds.add(self.expr_kind(node.value, func))
+        if not kinds:
+            kinds.add(NON_EVENT)  # falls off the end: returns None
+        result = self._combine(kinds)
+        self._func_cache[func.qualname] = result
+        return result
+
+    @staticmethod
+    def _combine(kinds: Set[str]) -> str:
+        if kinds == {EVENT}:
+            return EVENT
+        if kinds == {NON_EVENT}:
+            return NON_EVENT
+        return UNKNOWN
+
+    # -- expressions --------------------------------------------------------
+    def expr_kind(self, expr: ast.AST, context: FuncInfo,
+                  _depth: int = 0) -> str:
+        if _depth > 16:
+            return UNKNOWN
+        if isinstance(expr, ast.Call):
+            return self.call_kind(expr, context, _depth)
+        if isinstance(expr, ast.Name):
+            return self._name_kind(expr.id, context, _depth)
+        if isinstance(expr, ast.IfExp):
+            return self._combine({
+                self.expr_kind(expr.body, context, _depth + 1),
+                self.expr_kind(expr.orelse, context, _depth + 1),
+            })
+        if isinstance(expr, ast.Constant):
+            return NON_EVENT
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Dict, ast.Set,
+                             ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp, ast.JoinedStr, ast.BinOp,
+                             ast.UnaryOp, ast.BoolOp, ast.Compare,
+                             ast.Lambda)):
+            # The kernel defines no operator algebra on events; composition
+            # goes through all_of/any_of.
+            return NON_EVENT
+        return UNKNOWN
+
+    def call_kind(self, call: ast.Call, context: FuncInfo,
+                  _depth: int = 0) -> str:
+        candidates = self.project.resolve_callable(
+            call.func, context.module, context
+        )
+        if not candidates:
+            return UNKNOWN
+        kinds: Set[str] = set()
+        for cand in candidates:
+            if isinstance(cand, ClassInfo):
+                if cand.qualname in self.event_classes:
+                    kinds.add(EVENT)
+                else:
+                    kinds.add(NON_EVENT)
+            elif cand.is_generator:
+                # Calling a generator function returns a generator object —
+                # yielding one is the missing-``yield from`` bug.
+                kinds.add(NON_EVENT)
+            else:
+                kinds.add(self.func_kind(cand))
+        return self._combine(kinds)
+
+    def _name_kind(self, name: str, context: FuncInfo, _depth: int) -> str:
+        kinds: Set[str] = set()
+        for node in function_body_walk(context.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        kinds.add(self.expr_kind(node.value, context,
+                                                 _depth + 1))
+        if not kinds:
+            return UNKNOWN  # parameter, loop target, closure...
+        return self._combine(kinds)
+
+
+def _spawn_argument(call: ast.Call) -> Optional[ast.Call]:
+    """``env.process(f(...))`` -> the inner generator-producing call."""
+    func = call.func
+    is_spawn = (isinstance(func, ast.Attribute) and func.attr == "process") or (
+        isinstance(func, ast.Name) and func.id == "process"
+    )
+    if not is_spawn or not call.args:
+        return None
+    arg = call.args[0]
+    return arg if isinstance(arg, ast.Call) else None
+
+
+def process_bodies(project: Project) -> Set[str]:
+    """Qualnames of every generator reachable as a simulation process."""
+    marked: Set[str] = set()
+    work: List[FuncInfo] = []
+
+    def mark(candidates: Sequence[Union[FuncInfo, ClassInfo]]) -> None:
+        for cand in candidates:
+            if isinstance(cand, FuncInfo) and cand.qualname not in marked:
+                marked.add(cand.qualname)
+                work.append(cand)
+
+    for func in project.functions.values():
+        for node in function_body_walk(func.node):
+            if isinstance(node, ast.Call):
+                inner = _spawn_argument(node)
+                if inner is not None:
+                    mark(project.resolve_callable(inner.func, func.module, func))
+
+    while work:  # close under yield-from
+        func = work.pop()
+        for node in function_body_walk(func.node):
+            if isinstance(node, ast.YieldFrom) and isinstance(
+                node.value, ast.Call
+            ):
+                mark(project.resolve_callable(
+                    node.value.func, func.module, func
+                ))
+    return marked
+
+
+def _describe(expr: ast.AST) -> str:
+    try:
+        text = ast.unparse(expr)
+    except (ValueError, RecursionError):  # pragma: no cover - valid ASTs unparse
+        return "value"
+    return text if len(text) <= 40 else text[:37] + "..."
+
+
+def find_yield_violations(
+    func: FuncInfo,
+    project: Project,
+    classifier: EventClassifier,
+    marked: Set[str],
+) -> List[YieldFinding]:
+    """Protocol findings for one marked process generator."""
+    if func.qualname not in marked or not func.is_generator:
+        return []
+    findings: List[YieldFinding] = []
+    for node in function_body_walk(func.node):
+        if isinstance(node, ast.Yield):
+            if node.value is None:
+                findings.append(YieldFinding(
+                    node.lineno, node.col_offset,
+                    f"bare yield in process generator {func.name}(); the "
+                    "kernel resumes processes only through Event callbacks",
+                ))
+                continue
+            kind = classifier.expr_kind(node.value, func)
+            if kind == NON_EVENT:
+                reason = _describe(node.value)
+                hint = ""
+                if (isinstance(node.value, ast.Call)):
+                    cands = project.resolve_callable(
+                        node.value.func, func.module, func
+                    )
+                    if any(isinstance(c, FuncInfo) and c.is_generator
+                           for c in cands):
+                        hint = " (a generator — did you mean 'yield from'?)"
+                findings.append(YieldFinding(
+                    node.lineno, node.col_offset,
+                    f"process generator {func.name}() yields '{reason}' "
+                    f"which is not an Event{hint}; only Event subclasses "
+                    "may be yielded to the kernel",
+                ))
+        elif isinstance(node, ast.Call):
+            dotted = canonical_dotted(node.func, func.module)
+            if dotted is not None and (
+                dotted in _BLOCKING_EXACT
+                or dotted.startswith(_BLOCKING_PREFIXES)
+            ):
+                findings.append(YieldFinding(
+                    node.lineno, node.col_offset,
+                    f"blocking call {dotted}() inside process generator "
+                    f"{func.name}(); it stalls the wall clock, not "
+                    "simulated time — use env.timeout",
+                ))
+    return sorted(findings, key=lambda f: (f.line, f.col))

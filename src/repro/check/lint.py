@@ -17,7 +17,16 @@ DCM005    mutable-default         ``def f(x=[])`` — state leaks across calls
 DCM006    environ-read            ``os.environ``/``os.getenv`` outside runner/benchmarks
 DCM007    unsorted-listing        ``os.listdir``/``glob.glob``/``Path.iterdir`` unsorted
 DCM008    builtin-hash            ``hash()`` — salted per process by PYTHONHASHSEED
+DCM009    blocking-call           ``time.sleep``/``socket``/``subprocess`` in kernel
+                                  code (``sim``/``ntier``) — stalls the wall clock
+DCM010    swallowed-invariant     catch-all ``except`` that never re-raises; it
+                                  would swallow ``InvariantViolation``
 ========  ======================  =====================================================
+
+``lint_paths(..., deep=True)`` additionally runs the interprocedural
+dataflow analyses from :mod:`repro.check.flow` (DCM101 resource-leak,
+DCM102 yield-protocol, DCM103 nondeterminism-taint) over the same paths,
+through the same ``noqa`` filter.  CLI: ``repro lint --deep``.
 
 A diagnostic may be suppressed for its line with an inline comment::
 
@@ -80,6 +89,11 @@ RULES: Tuple[Rule, ...] = (
          "filesystem enumeration order is arbitrary; wrap in sorted()"),
     Rule("DCM008", "builtin-hash",
          "builtin hash() is salted per process; use hashlib for stable digests"),
+    Rule("DCM009", "blocking-call",
+         "blocking call in sim/ntier code; it stalls the wall clock, not "
+         "simulated time"),
+    Rule("DCM010", "swallowed-invariant",
+         "catch-all except without re-raise swallows InvariantViolation"),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in RULES}
@@ -174,6 +188,13 @@ _SET_METHODS = frozenset({
 #: Names/attributes that denote a simulated-clock value (DCM004).
 _CLOCK_NAMES = frozenset({"now", "sim_time"})
 
+#: Canonical dotted names whose call blocks on the real world (DCM009).
+_BLOCKING_CALLS = frozenset({
+    "time.sleep", "os.system", "os.wait", "os.waitpid", "input",
+})
+#: Dotted prefixes that block on the real world (DCM009).
+_BLOCKING_PREFIXES = ("socket.", "subprocess.", "requests.", "urllib.request.")
+
 
 def _path_parts(path: str) -> Set[str]:
     return set(os.path.normpath(path).split(os.sep))
@@ -196,6 +217,9 @@ class _Linter(ast.NodeVisitor):
         self._ordered: Set[int] = set()
         parts = _path_parts(path)
         self._environ_exempt = bool(parts & {"runner", "benchmarks"})
+        # DCM009 guards the simulation kernel and the tiers built on it;
+        # analysis/runner code may legitimately shell out or sleep.
+        self._blocking_scope = bool(parts & {"sim", "ntier"})
 
     # -- helpers -----------------------------------------------------------
     def _report(self, node: ast.AST, code: str, message: str) -> None:
@@ -386,7 +410,44 @@ class _Linter(ast.NodeVisitor):
                 "configuration through specs instead",
             )
 
-    # -- calls: DCM001 / DCM002 / DCM007 / DCM008 ----------------------------
+    # -- DCM010: swallowed invariants -----------------------------------------
+    def visit_Try(self, node: ast.Try) -> None:
+        violation_intercepted = False
+        for handler in node.handlers:
+            htype = handler.type
+            name = None
+            if isinstance(htype, ast.Name):
+                name = htype.id
+            elif isinstance(htype, ast.Attribute):
+                name = htype.attr
+            if name == "InvariantViolation" or (
+                isinstance(htype, ast.Tuple)
+                and any(
+                    (isinstance(e, ast.Name) and e.id == "InvariantViolation")
+                    or (isinstance(e, ast.Attribute) and e.attr == "InvariantViolation")
+                    for e in htype.elts
+                )
+            ):
+                # An earlier, narrower handler already intercepts the
+                # sanitizer's signal — a later catch-all cannot swallow it.
+                violation_intercepted = True
+            catches_all = htype is None or name in ("Exception", "BaseException")
+            if not catches_all or violation_intercepted:
+                continue
+            reraises = any(
+                isinstance(sub, ast.Raise) for sub in ast.walk(handler)
+            )
+            if not reraises:
+                what = "bare except:" if htype is None else f"except {name}:"
+                self._report(
+                    handler, "DCM010",
+                    f"{what} never re-raises — it would swallow "
+                    "InvariantViolation from the sanitizer; catch narrower "
+                    "exceptions or re-raise InvariantViolation first",
+                )
+        self.generic_visit(node)
+
+    # -- calls: DCM001 / DCM002 / DCM007 / DCM008 / DCM009 -------------------
     def visit_Call(self, node: ast.Call) -> None:
         # Anything directly inside sorted(...) is ordered downstream.
         if (isinstance(node.func, ast.Name) and node.func.id == "sorted"
@@ -448,6 +509,15 @@ class _Linter(ast.NodeVisitor):
                     "builtin hash() is salted per process (PYTHONHASHSEED); "
                     "use hashlib for stable digests",
                 )
+            elif self._blocking_scope and (
+                dotted in _BLOCKING_CALLS
+                or dotted.startswith(_BLOCKING_PREFIXES)
+            ):
+                self._report(
+                    node, "DCM009",
+                    f"{dotted}() blocks on the real world inside sim/ntier "
+                    "code; model delays with env.timeout instead",
+                )
 
         if (isinstance(node.func, ast.Attribute)
                 and node.func.attr in _FS_LISTING_ATTRS
@@ -501,12 +571,17 @@ def lint_file(path: str, select: Optional[Sequence[str]] = None) -> List[Diagnos
 
 
 def lint_paths(
-    paths: Sequence[str], select: Optional[Sequence[str]] = None
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    deep: bool = False,
 ) -> List[Diagnostic]:
     """Lint files and directory trees (recursively, ``.py`` only).
 
     Files are visited in sorted order so output — and therefore CI diffs —
-    is stable regardless of filesystem enumeration order.
+    is stable regardless of filesystem enumeration order.  With
+    ``deep=True`` the interprocedural dataflow analyses (DCM101–DCM103,
+    see :mod:`repro.check.flow`) run over the same paths and their
+    findings are merged in, position-sorted.
     """
     files: List[str] = []
     for path in paths:
@@ -523,4 +598,9 @@ def lint_paths(
     diagnostics: List[Diagnostic] = []
     for file_path in files:
         diagnostics.extend(lint_file(file_path, select=select))
+    if deep:
+        from repro.check import flow  # deferred: flow imports this module
+
+        diagnostics.extend(flow.analyze_paths(paths, select=select))
+        diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.code))
     return diagnostics

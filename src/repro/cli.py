@@ -27,8 +27,11 @@ Gives operators the library's main entry points without writing Python:
 ``trace``
     Export a built-in workload trace to CSV (or describe it).
 ``lint``
-    Static determinism lint (rules DCM001–DCM008) over source trees;
-    defaults to the installed ``repro`` package.  Exits 1 on findings.
+    Static determinism lint (rules DCM001–DCM010) over source trees;
+    defaults to the installed ``repro`` package.  ``--deep`` adds the
+    interprocedural dataflow analyses (DCM101–DCM103) with optional
+    ``--sarif`` output and ``--baseline`` comparison.  Exits 1 on
+    findings not covered by the baseline.
 ``check``
     Sanitized smoke checks: two-run determinism digest, runtime invariant
     sanitizer, and a VM lifecycle/billing audit.  Exits 1 on failure.
@@ -207,7 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", help="write the trace to this CSV path")
 
     p = sub.add_parser(
-        "lint", help="static determinism lint (DCM001-DCM008)"
+        "lint", help="static determinism lint (DCM001-DCM010, deep DCM10x)"
     )
     p.add_argument(
         "paths", nargs="*", metavar="PATH",
@@ -221,6 +224,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--rules", action="store_true",
         help="print the rule table and exit",
+    )
+    p.add_argument(
+        "--deep", action="store_true",
+        help="also run the interprocedural dataflow analyses "
+             "(DCM101 resource leaks, DCM102 yield protocol, "
+             "DCM103 nondeterminism taint)",
+    )
+    p.add_argument(
+        "--sarif", metavar="FILE", default=None,
+        help="write findings as a SARIF 2.1.0 document to FILE",
+    )
+    p.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="compare findings against this baseline file and fail only "
+             "on new ones (default with --deep: LINT_BASELINE.json beside "
+             "the linted tree, when present)",
+    )
+    p.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file with the current findings "
+             "instead of failing",
     )
 
     p = sub.add_parser(
@@ -513,18 +537,53 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.check import RULES, lint_paths, render_diagnostics
+    from repro.check.flow import FLOW_RULES
 
     if args.rules:
-        rows = [[r.code, r.name, r.summary] for r in RULES]
+        rows = [[r.code, r.name, r.summary] for r in (*RULES, *FLOW_RULES)]
         print(render_table(["code", "name", "catches"], rows,
                            title="determinism lint rules"))
         return 0
     paths = args.paths or [os.path.dirname(os.path.abspath(repro.__file__))]
-    diagnostics = lint_paths(paths, select=args.select)
+    diagnostics = lint_paths(paths, select=args.select, deep=args.deep)
+
+    if args.sarif:
+        from repro.check.flow.sarif import write_sarif
+
+        write_sarif(diagnostics, (*RULES, *FLOW_RULES), args.sarif)
+        print(f"SARIF report written to {args.sarif}")
+
+    baseline_path = args.baseline
+    if baseline_path is None and args.deep and os.path.exists(
+            "LINT_BASELINE.json"):
+        baseline_path = "LINT_BASELINE.json"
+
+    if args.update_baseline:
+        from repro.check.flow.baseline import save_baseline
+
+        target = baseline_path or "LINT_BASELINE.json"
+        root = os.path.dirname(os.path.abspath(target)) or "."
+        save_baseline(diagnostics, target, root=root)
+        print(f"baseline rewritten: {target} "
+              f"({len(diagnostics)} finding(s))")
+        return 0
+
+    if baseline_path is not None:
+        from repro.check.flow.baseline import load_baseline, new_findings
+
+        root = os.path.dirname(os.path.abspath(baseline_path)) or "."
+        known = load_baseline(baseline_path)
+        fresh = new_findings(diagnostics, known, root=root)
+        if len(fresh) != len(diagnostics):
+            print(f"{len(diagnostics) - len(fresh)} baselined finding(s) "
+                  f"suppressed by {baseline_path}")
+        diagnostics = fresh
+
     if diagnostics:
         print(render_diagnostics(diagnostics))
         print(f"{len(diagnostics)} finding(s); "
-              "suppress a line with '# repro: noqa[DCM00x]' plus a reason")
+              "suppress a line with '# repro: noqa[DCM00x]' plus a reason, "
+              "or record accepted debt with --update-baseline")
         return 1
     print("determinism lint: clean")
     return 0

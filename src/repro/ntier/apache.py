@@ -50,8 +50,10 @@ class ApacheServer(TierServer):
         self, request: Request, started_holder: list, **kwargs: Any
     ) -> Generator[Event, Any, None]:
         thread = yield from self.threads.checkout()
-        started_holder[0] = self.env.now
         try:
+            # Inside the try so no statement can slip between obtaining the
+            # thread and the finally that returns it.
+            started_holder[0] = self.env.now
             demand = request.demand.apache
             yield self.cpu.execute(demand * _FORWARD_SPLIT)
             yield from self.app_balancer.dispatch(self.env, request)

@@ -72,7 +72,14 @@ class ConnectionPool:
         """Generator helper: ``conn = yield from pool.checkout()``."""
         asked = self.env.now
         req = self._resource.acquire()
-        yield req
+        try:
+            yield req
+        except BaseException:
+            # Mirror ThreadPool.checkout: a crash interrupt landing between
+            # the grant and our resume must not leak the connection.
+            if not req.cancel() and req.granted:
+                self._resource.release(req)
+            raise
         self._checkouts += 1
         self._wait_time_total += self.env.now - asked
         return req

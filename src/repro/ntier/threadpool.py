@@ -81,7 +81,16 @@ class ThreadPool:
         """
         asked = self.env.now
         req = self._resource.acquire()
-        yield req
+        try:
+            yield req
+        except BaseException:
+            # The waiting process died at the yield (crash interrupt, kernel
+            # shutdown): withdraw a still-queued request, or give back a slot
+            # that was granted in the same timestep but never resumed us —
+            # cancel() returns False exactly when the grant already happened.
+            if not req.cancel() and req.granted:
+                self._resource.release(req)
+            raise
         self._acquisitions += 1
         self._wait_time_total += self.env.now - asked
         return req

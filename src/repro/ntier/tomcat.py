@@ -60,8 +60,10 @@ class TomcatServer(TierServer):
         self, request: Request, started_holder: list, **kwargs: Any
     ) -> Generator[Event, Any, None]:
         thread = yield from self.threads.checkout()
-        started_holder[0] = self.env.now
         try:
+            # Inside the try so no statement can slip between obtaining the
+            # thread and the finally that returns it.
+            started_holder[0] = self.env.now
             demand = request.demand.tomcat
             yield self.cpu.execute(demand * _PRE_QUERY_SPLIT)
             for query_demand in request.demand.db_queries:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.errors import RequestShed, TopologyError
+from repro.errors import InvariantViolation, RequestShed, TopologyError
 from repro.ntier.apache import ApacheServer
 from repro.ntier.balancer import Balancer
 from repro.ntier.contention import (
@@ -257,6 +257,11 @@ class NTierSystem:
                 request.failure_reason = f"{type(err).__name__}: {err}"
                 self.shed_log.append(self.env.now)
                 return request
+            except InvariantViolation:
+                # Sanitizer findings must surface, never be filed away as
+                # "request failed" — a swallowed violation turns a broken
+                # conservation ledger into a plausible-looking run.
+                raise
             except Exception as err:  # failed request: record, do not crash the client
                 request.failed = True
                 request.failure_reason = f"{type(err).__name__}: {err}"

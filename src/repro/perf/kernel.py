@@ -105,8 +105,10 @@ def bench_acquire_release(n: int) -> Tuple[int, float]:
     def worker(env: Environment):
         for _ in range(n):
             req = pool.acquire()
-            yield req
-            pool.release(req)
+            try:
+                yield req
+            finally:
+                pool.release(req)
 
     env.process(worker(env))
     start = perf_counter()  # repro: noqa[DCM001] -- benchmark timing

@@ -1,0 +1,14 @@
+"""Blocking OS calls inside simulation code (DCM009).
+
+Only fires when the file lives under ``sim/`` or ``ntier/`` — the tests
+feed this source through ``lint_source`` with such a path.
+"""
+import subprocess
+import time
+
+
+def stall_the_event_loop(env):
+    time.sleep(0.5)
+    subprocess.run(["true"])
+    answer = input("continue? ")
+    return env.now, answer

@@ -1,0 +1,6 @@
+"""Simulation code waits on simulated time, never the OS (DCM009 clean)."""
+
+
+def wait_in_sim_time(env):
+    yield env.timeout(0.5)
+    return env.now

@@ -1,0 +1,26 @@
+"""Catch-all handlers that keep InvariantViolation alive (DCM010 clean)."""
+from repro.errors import InvariantViolation
+
+
+def narrow_catch(run):
+    try:
+        run()
+    except ValueError:
+        return None
+
+
+def reraise_after_logging(run, log):
+    try:
+        run()
+    except Exception as err:
+        log.append(str(err))
+        raise
+
+
+def intercept_violation_first(run, log):
+    try:
+        run()
+    except InvariantViolation:
+        raise
+    except Exception as err:
+        log.append(str(err))

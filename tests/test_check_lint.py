@@ -27,7 +27,9 @@ REPO_SRC = os.path.normpath(
     os.path.join(os.path.dirname(__file__), "..", "src", "repro")
 )
 
-#: rule code -> lines at which its bad fixture must fire.
+#: rule code -> lines at which its bad fixture must fire.  DCM009 is
+#: path-scoped to sim/ and ntier/, so its fixtures are exercised through
+#: ``lint_source`` with a scoped path in TestBlockingScope instead.
 EXPECTED_LINES = {
     "DCM001": [7, 8, 9],
     "DCM002": [8, 9, 10, 11],
@@ -37,14 +39,15 @@ EXPECTED_LINES = {
     "DCM006": [6, 7, 8],
     "DCM007": [7, 8, 9],
     "DCM008": [5],
+    "DCM010": [7, 14, 21],
 }
 
 
 class TestRuleTable:
     def test_every_rule_has_code_name_summary(self):
-        assert len(RULES) == 8
+        assert len(RULES) == 10
         for rule in RULES:
-            assert rule.code.startswith("DCM00")
+            assert rule.code.startswith("DCM0")
             assert rule.name
             assert rule.summary
 
@@ -124,6 +127,60 @@ class TestPathExemptions:
     def test_other_paths_may_not(self):
         diagnostics = lint_source(self.ENVIRON, path="src/repro/sim/core.py")
         assert [d.code for d in diagnostics] == ["DCM006"]
+
+
+class TestBlockingScope:
+    """DCM009 is path-scoped: only sim/ and ntier/ host the event loop."""
+
+    def _fixture_source(self, name):
+        with open(os.path.join(FIXTURES, name)) as fh:
+            return fh.read()
+
+    def test_bad_fixture_fires_under_sim_path(self):
+        source = self._fixture_source("bad_dcm009.py")
+        diagnostics = lint_source(source, path="src/repro/sim/clock.py")
+        assert [d.code for d in diagnostics] == ["DCM009"] * 3
+        assert [d.line for d in diagnostics] == [11, 12, 13]
+
+    def test_bad_fixture_fires_under_ntier_path(self):
+        source = self._fixture_source("bad_dcm009.py")
+        diagnostics = lint_source(source, path="src/repro/ntier/server.py")
+        assert [d.code for d in diagnostics] == ["DCM009"] * 3
+
+    def test_same_source_is_exempt_elsewhere(self):
+        source = self._fixture_source("bad_dcm009.py")
+        assert lint_source(source, path="src/repro/analysis/report.py") == []
+
+    def test_good_fixture_is_clean_in_scope(self):
+        source = self._fixture_source("good_dcm009.py")
+        assert lint_source(source, path="src/repro/sim/clock.py") == []
+
+
+class TestSwallowedInvariant:
+    """DCM010 recognizes the intercept-then-catch-all idiom as safe."""
+
+    def test_catch_all_after_invariant_intercept_is_clean(self):
+        source = (
+            "from repro.errors import InvariantViolation\n"
+            "def drive(run, log):\n"
+            "    try:\n"
+            "        run()\n"
+            "    except InvariantViolation:\n"
+            "        raise\n"
+            "    except Exception as err:\n"
+            "        log.append(str(err))\n"
+        )
+        assert lint_source(source) == []
+
+    def test_catch_all_without_intercept_fires(self):
+        source = (
+            "def drive(run, log):\n"
+            "    try:\n"
+            "        run()\n"
+            "    except Exception as err:\n"
+            "        log.append(str(err))\n"
+        )
+        assert [d.code for d in lint_source(source)] == ["DCM010"]
 
 
 class TestResolution:

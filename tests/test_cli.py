@@ -15,7 +15,6 @@ from repro.analysis.persistence import (
     save_run,
     write_csv,
 )
-from repro.analysis.experiments import run_autoscale_experiment
 from repro.cli import build_parser, main
 from repro.errors import ConfigurationError
 from repro.model import ConcurrencyModel
@@ -166,11 +165,14 @@ class TestCommands:
 
 class TestPersistence:
     def _run(self):
+        from repro.runner import AutoscaleSpec, run
+
         trace = WorkloadTrace((0.0, 15.0, 25.0, 60.0, 90.0), (0.3, 0.3, 0.9, 0.9, 0.4))
-        return run_autoscale_experiment(
-            "dcm", trace, max_users=520, seed=4, demand_scale=SCALE,
-            seeded_models=scaled_models(),
+        spec = AutoscaleSpec(
+            controller="dcm", trace=trace, max_users=520, seed=4,
+            demand_scale=SCALE, models=scaled_models(),
         )
+        return run(spec, jobs=1, cache=False).value
 
     def test_csv_roundtrip(self, tmp_path):
         path = str(tmp_path / "t.csv")

@@ -3,7 +3,10 @@
 These exercise the exact code paths the benchmarks parameterise — at
 reduced durations/scales so the whole file runs in well under a minute.
 ``demand_scale=8`` shrinks capacities 8x (optimal concurrencies unchanged),
-letting tiny user populations saturate tiers.
+letting tiny user populations saturate tiers.  Every experiment goes
+through the engine (:func:`repro.runner.run` on a frozen spec); the
+``jobs=1, cache=False`` calls reproduce the removed serial wrappers
+bit-for-bit.
 """
 
 import pytest
@@ -12,19 +15,27 @@ from repro.analysis.experiments import (
     DB_TRAINING_LEVELS,
     TRAINING_LEVELS,
     build_system,
-    jmeter_sweep,
     measure_steady_state,
-    run_autoscale_experiment,
-    stress_tier_sweep,
-    train_tier_model,
-    validation_curves,
 )
 from repro.errors import ConfigurationError
 from repro.model import ConcurrencyModel
 from repro.ntier import HardwareConfig, SoftResourceConfig
+from repro.runner import (
+    AutoscaleSpec,
+    StressSpec,
+    SweepSpec,
+    TrainingSpec,
+    ValidationSpec,
+    run,
+)
 from repro.workload import JMeterGenerator, WorkloadTrace
 
 SCALE = 8.0
+
+
+def _run(spec):
+    """Serial, uncached engine execution (the historical wrapper contract)."""
+    return run(spec, jobs=1, cache=False).value
 
 
 def scaled_models():
@@ -62,9 +73,10 @@ class TestBuildAndMeasure:
 
 class TestStressSweep:
     def test_mysql_knee_shape(self):
-        points = stress_tier_sweep(
-            "db", (2, 36, 300), seed=3, demand_scale=SCALE, warmup=2.0, duration=6.0
-        )
+        points = _run(StressSpec(
+            tier="db", concurrencies=(2, 36, 300), seed=3,
+            demand_scale=SCALE, warmup=2.0, duration=6.0,
+        ))
         xput = {p.target_concurrency: p.throughput for p in points}
         # Knee region beats both extremes (Fig 2a shape).
         assert xput[36] > xput[2]
@@ -74,26 +86,27 @@ class TestStressSweep:
             assert p.measured_concurrency == pytest.approx(p.target_concurrency, rel=0.1)
 
     def test_tomcat_stress(self):
-        points = stress_tier_sweep(
-            "app", (20, 200), seed=3, demand_scale=SCALE, warmup=2.0, duration=6.0
-        )
+        points = _run(StressSpec(
+            tier="app", concurrencies=(20, 200), seed=3,
+            demand_scale=SCALE, warmup=2.0, duration=6.0,
+        ))
         xput = {p.target_concurrency: p.throughput for p in points}
         assert xput[20] > xput[200]
 
     def test_invalid_tier_and_concurrency(self):
         with pytest.raises(ConfigurationError):
-            stress_tier_sweep("web", (5,))
+            StressSpec(tier="web", concurrencies=(5,))
         with pytest.raises(ConfigurationError):
-            stress_tier_sweep("db", (0,))
+            StressSpec(tier="db", concurrencies=(0,))
 
 
 class TestTraining:
     def test_training_recovers_knee_band(self):
-        outcome = train_tier_model(
-            "db", seed=5, demand_scale=SCALE,
+        outcome = _run(TrainingSpec(
+            tier="db", seed=5, demand_scale=SCALE,
             levels=(1, 2, 4, 8, 16, 24, 36, 50, 70, 90, 110),
             warmup=2.0, duration=8.0,
-        )
+        ))
         assert outcome.fit.r_squared > 0.85
         assert 20 <= outcome.fit.model.optimal_concurrency_int() <= 60
         assert outcome.tier == "db"
@@ -106,27 +119,31 @@ class TestTraining:
 
     def test_unknown_tier_rejected(self):
         with pytest.raises(ConfigurationError):
-            train_tier_model("web")
+            TrainingSpec(tier="web")
 
 
 class TestJmeterSweepAndValidation:
     def test_sweep_points_monotone_users(self):
-        points = jmeter_sweep(
-            (5, 40), seed=2, demand_scale=SCALE, warmup=2.0, duration=5.0
-        )
+        points = _run(SweepSpec(
+            users_levels=(5, 40), seed=2, demand_scale=SCALE,
+            warmup=2.0, duration=5.0,
+        ))
         assert [p.users for p in points] == [5, 40]
         assert points[1].steady.throughput > points[0].steady.throughput
 
     def test_validation_curves_structure(self):
-        curves = validation_curves(
-            HardwareConfig(1, 1, 1),
-            [SoftResourceConfig(1000, 20, 80), SoftResourceConfig(1000, 200, 80)],
+        curves = _run(ValidationSpec(
+            hardware=HardwareConfig(1, 1, 1),
+            soft_configs=(
+                SoftResourceConfig(1000, 20, 80),
+                SoftResourceConfig(1000, 200, 80),
+            ),
             user_levels=(450, 900),
             seed=2,
             demand_scale=SCALE,
             warmup=2.0,
             duration=6.0,
-        )
+        ))
         assert len(curves) == 2
         optimal, oversized = curves
         assert optimal.users == (450, 900)
@@ -143,45 +160,46 @@ class TestAutoscaleRunner:
         )
 
     def test_ec2_run_end_to_end(self):
-        run = run_autoscale_experiment(
-            "ec2", self._trace(), max_users=520, seed=4, demand_scale=SCALE,
-            seeded_models=scaled_models(),
-        )
-        assert run.controller_name == "ec2"
-        assert run.duration == 140.0
-        assert len(run.request_log) > 500
-        assert run.vm_seconds >= 3 * 140.0  # at least the initial 1/1/1
+        outcome = _run(AutoscaleSpec(
+            controller="ec2", trace=self._trace(), max_users=520, seed=4,
+            demand_scale=SCALE, models=scaled_models(),
+        ))
+        assert outcome.controller_name == "ec2"
+        assert outcome.duration == 140.0
+        assert len(outcome.request_log) > 500
+        assert outcome.vm_seconds >= 3 * 140.0  # at least the initial 1/1/1
         # Scale-out happened under the burst.
-        assert max(c for _t, c in run.tier_vm_timeline("db")) >= 2
-        assert run.app_agent is None  # hardware-only: no APP-agent
+        assert max(c for _t, c in outcome.tier_vm_timeline("db")) >= 2
+        assert outcome.app_agent is None  # hardware-only: no APP-agent
 
     def test_dcm_run_applies_concurrency_management(self):
-        run = run_autoscale_experiment(
-            "dcm", self._trace(), max_users=520, seed=4, demand_scale=SCALE,
-            seeded_models=scaled_models(),
-        )
-        assert run.app_agent is not None
-        applies = [a for a in run.app_agent.actions if a.action == "apply"]
+        outcome = _run(AutoscaleSpec(
+            controller="dcm", trace=self._trace(), max_users=520, seed=4,
+            demand_scale=SCALE, models=scaled_models(),
+        ))
+        assert outcome.app_agent is not None
+        applies = [a for a in outcome.app_agent.actions if a.action == "apply"]
         assert applies, "DCM must re-allocate soft resources"
         # The initial plan pins the DB connection total near the knee.
-        assert run.system.soft.db_connections <= 80
+        assert outcome.system.soft.db_connections <= 80
         # Records are retrievable per tier for the Fig 5 series.
-        assert run.records("db")
-        assert run.collector.servers("app")
+        assert outcome.records("db")
+        assert outcome.collector.servers("app")
 
     def test_unknown_controller_rejected(self):
         with pytest.raises(ConfigurationError):
-            run_autoscale_experiment(
-                "magic", self._trace(), max_users=10, seeded_models=scaled_models()
+            AutoscaleSpec(
+                controller="magic", trace=self._trace(), max_users=10,
+                models=scaled_models(),
             )
 
     def test_runs_are_deterministic_per_seed(self):
         kwargs = dict(
-            trace=self._trace(), max_users=260, seed=9, demand_scale=SCALE,
-            seeded_models=scaled_models(),
+            controller="dcm", trace=self._trace(), max_users=260, seed=9,
+            demand_scale=SCALE, models=scaled_models(),
         )
-        a = run_autoscale_experiment("dcm", **kwargs)
-        b = run_autoscale_experiment("dcm", **kwargs)
+        a = _run(AutoscaleSpec(**kwargs))
+        b = _run(AutoscaleSpec(**kwargs))
         assert len(a.request_log) == len(b.request_log)
         assert a.request_log[:50] == b.request_log[:50]
         assert a.tier_vm_timeline("db") == b.tier_vm_timeline("db")

@@ -2,13 +2,19 @@
 
 import pytest
 
-from repro.analysis.experiments import run_autoscale_experiment
 from repro.control import PredictiveDCMController, TrendForecaster
 from repro.errors import ConfigurationError
 from repro.model import ConcurrencyModel
+from repro.runner import AutoscaleSpec, run
 from repro.workload import WorkloadTrace
 
 SCALE = 8.0
+
+
+def run_autoscale(controller, trace, **kwargs):
+    """Serial, uncached engine run (the removed wrapper's contract)."""
+    spec = AutoscaleSpec(controller=controller, trace=trace, **kwargs)
+    return run(spec, jobs=1, cache=False).value
 
 
 def scaled_models():
@@ -79,10 +85,10 @@ class TestPredictiveController:
     def test_predictive_scales_earlier_than_reactive(self):
         common = dict(
             trace=self._ramp_trace(), max_users=560, seed=6,
-            demand_scale=SCALE, seeded_models=scaled_models(),
+            demand_scale=SCALE, models=scaled_models(),
         )
-        reactive = run_autoscale_experiment("dcm", **common)
-        predictive = run_autoscale_experiment("predictive", **common)
+        reactive = run_autoscale("dcm", **common)
+        predictive = run_autoscale("predictive", **common)
 
         def first_scaleout(run, tier):
             times = [t for t, c in run.tier_vm_timeline(tier) if c > 1]
@@ -103,9 +109,9 @@ class TestPredictiveController:
         )
 
     def test_predictive_inherits_concurrency_management(self):
-        run = run_autoscale_experiment(
+        run = run_autoscale(
             "predictive", self._ramp_trace(), max_users=560, seed=6,
-            demand_scale=SCALE, seeded_models=scaled_models(),
+            demand_scale=SCALE, models=scaled_models(),
         )
         applies = [a for a in run.app_agent.actions if a.action == "apply"]
         assert applies, "level 2 must still re-allocate soft resources"
@@ -113,9 +119,9 @@ class TestPredictiveController:
 
     def test_no_predictive_fire_on_flat_load(self):
         flat = WorkloadTrace((0.0, 100.0), (0.3, 0.3))
-        run = run_autoscale_experiment(
+        run = run_autoscale(
             "predictive", flat, max_users=560, seed=6,
-            demand_scale=SCALE, seeded_models=scaled_models(),
+            demand_scale=SCALE, models=scaled_models(),
         )
         assert run.controller.predictive_scaleouts == 0
         assert len(run.system.active_servers("db")) == 1

@@ -5,7 +5,6 @@ import os
 
 import pytest
 
-from repro.analysis.experiments import jmeter_sweep, stress_tier_sweep
 from repro.control import ScalingPolicy
 from repro.errors import ConfigurationError
 from repro.model import ConcurrencyModel
@@ -69,21 +68,16 @@ class TestDeterminism:
         assert parallel.telemetry.jobs == 4
         assert parallel.telemetry.cache_misses == 3
 
-    def test_engine_matches_legacy_wrapper(self):
-        engine = run(SWEEP, jobs=1, cache=False).value
-        with pytest.warns(DeprecationWarning):
-            legacy = jmeter_sweep(
-                (5, 12, 25), seed=2, demand_scale=SCALE,
-                warmup=1.5, duration=4.0,
-            )
-        assert engine == legacy
+    def test_sweep_repeats_bit_identically(self):
+        first = run(SWEEP, jobs=1, cache=False).value
+        second = run(SWEEP, jobs=1, cache=False).value
+        assert first == second
 
-    def test_stress_wrapper_warns_and_matches(self):
+    def test_stress_repeats_bit_identically(self):
         spec = StressSpec(tier="db", concurrencies=(2, 36), seed=1, duration=4.0)
-        engine = run(spec, jobs=1, cache=False).value
-        with pytest.warns(DeprecationWarning):
-            legacy = stress_tier_sweep("db", (2, 36), seed=1, duration=4.0)
-        assert engine == legacy
+        first = run(spec, jobs=1, cache=False).value
+        second = run(spec, jobs=1, cache=False).value
+        assert first == second
 
 
 class TestCache:
