@@ -26,6 +26,14 @@ made of:
     Fig 5 race — the same scenario the same-seed digest regression test
     pins bit-for-bit (see :func:`fig5_scenario` / :func:`autoscale_digest`).
 
+A separate *scale* section exercises the million-user path (ROADMAP
+item 1): ``fig5-100k`` / ``fig5-1m`` replay the Large Variation trace over
+a :class:`~repro.workload.batched.BatchedPopulation` under the calendar-
+queue scheduler at 10⁵ and 10⁶ users respectively (see
+:func:`fig5_scale_scenario`).  The 10⁶ variant is the acceptance run the
+committed baseline records — a full Large Variation trace at a million
+users in minutes, impossible with per-user sessions.
+
 Wall-clock reads in this module are benchmark telemetry only — they are
 what is being *measured* — and never feed back into simulation results,
 hence the ``DCM001`` suppressions.
@@ -37,7 +45,7 @@ import gc
 import hashlib
 import json
 from time import perf_counter  # repro: noqa[DCM001] -- benchmark timing is the product here
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.sim import Environment, Resource
 
@@ -61,6 +69,13 @@ FIG5_SEED = 0
 FIG5_DEMAND_SCALE = 8.0
 FIG5_TRACE = (300.0, 150.0, 0.3, 0.9)  # sine_trace(duration, period, lo, hi)
 FIG5_MAX_USERS = 185
+
+#: Populations for the batched Large-Variation scale benches.
+FIG5_1M_USERS = 1_000_000
+FIG5_100K_USERS = 100_000
+#: The 100k variant caps its horizon so CI's quick gate stays seconds-fast
+#: (the full Large Variation trace is 600 simulated seconds).
+FIG5_100K_DURATION = 60.0
 
 
 def bench_event_dispatch(n: int) -> Tuple[int, float]:
@@ -199,6 +214,53 @@ def bench_fig5(quick: bool) -> Tuple[int, float]:
     run = run_fig5(spec)
     elapsed = perf_counter() - start  # repro: noqa[DCM001] -- benchmark timing
     return run.system.env._seq, elapsed
+
+
+def fig5_scale_scenario(max_users: int, duration: Optional[float] = None,
+                        seed: int = 0):
+    """A Large-Variation replay at ``max_users`` via the million-user path:
+    batched aggregate population + calendar-queue scheduler, no monitoring
+    (pure workload/kernel pressure)."""
+    from repro.scenario import ScenarioSpec
+    from repro.workload import large_variation
+
+    return ScenarioSpec(
+        hardware="1/1/1",
+        soft="1000/100/80",
+        seed=seed,
+        monitoring=False,
+        scheduler="calendar",
+        workload="batched-trace",
+        max_users=max_users,
+        think_time=3.0,
+        trace=large_variation(),
+        batches=8,
+        window=1000,
+        duration=duration,
+    )
+
+
+def bench_fig5_scale(max_users: int,
+                     duration: Optional[float] = None) -> Tuple[int, float]:
+    """Run one batched Large-Variation replay; ops = kernel events."""
+    from repro.scenario import Deployment
+
+    spec = fig5_scale_scenario(max_users, duration)
+    start = perf_counter()  # repro: noqa[DCM001] -- benchmark timing
+    with Deployment(spec) as dep:
+        dep.run()
+    elapsed = perf_counter() - start  # repro: noqa[DCM001] -- benchmark timing
+    return dep.env._seq, elapsed
+
+
+def bench_fig5_100k() -> Tuple[int, float]:
+    """The CI-sized scale bench: 10⁵ users, 60 s horizon."""
+    return bench_fig5_scale(FIG5_100K_USERS, FIG5_100K_DURATION)
+
+
+def bench_fig5_1m() -> Tuple[int, float]:
+    """The acceptance-sized scale bench: 10⁶ users, full 600 s trace."""
+    return bench_fig5_scale(FIG5_1M_USERS)
 
 
 #: name -> callable(ops_count) used by the suite runner; fig5 is special

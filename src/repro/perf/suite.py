@@ -9,7 +9,7 @@ report it emits is a stable, machine-comparable JSON document:
 .. code-block:: json
 
     {
-      "schema": "repro-bench-kernel/1",
+      "schema": "repro-bench-kernel/2",
       "quick": false,
       "python": "3.11.7",
       "platform": "Linux-...",
@@ -19,7 +19,13 @@ report it emits is a stable, machine-comparable JSON document:
                                         "ops_per_sec": 952000.0}, ...},
         "armed":    {...}
       },
-      "headline": {"event_throughput": 952000.0, "normalized": 39.5}
+      "scale": {
+        "fig5-100k": {"ops": 1700000, "seconds": 14.8,
+                      "ops_per_sec": 115000.0},
+        "fig5-1m":   {"...": "full mode only"}
+      },
+      "headline": {"event_throughput": 952000.0, "normalized": 39.5,
+                   "scale_normalized": 0.0049}
     }
 
 ``headline.event_throughput`` is the disarmed ``event-dispatch`` rate —
@@ -27,6 +33,14 @@ the kernel's raw dispatch speed.  ``headline.normalized`` divides it by
 the calibration rate, yielding a machine-independent figure CI can gate
 on: a slower runner lowers both numerator and denominator, so only a
 *kernel* regression moves the ratio.
+
+Schema v2 adds the ``scale`` section: batched Large-Variation replays on
+the million-user path (calendar-queue scheduler + batched populations,
+sanitizer disarmed).  ``fig5-100k`` runs in every mode and backs the CI
+gate via ``headline.scale_normalized``; ``fig5-1m`` — the full 10⁶-user,
+600-simulated-second trace — runs in full mode only and is the committed
+baseline's proof that a million-user Large Variation trace completes in
+minutes.
 
 Wall-clock reads here are the measurement itself and never feed a
 simulation, hence the ``DCM001`` suppressions.
@@ -45,7 +59,8 @@ from repro.errors import ConfigurationError
 from repro.perf import kernel
 
 #: Schema tag; bump when the report layout changes incompatibly.
-SCHEMA = "repro-bench-kernel/1"
+#: v2 added the "scale" section and headline.scale_normalized.
+SCHEMA = "repro-bench-kernel/2"
 
 #: Best-of repetitions for the micro scenarios (full, quick).
 REPS = (5, 3)
@@ -85,8 +100,17 @@ def run_suite(quick: bool = False) -> Dict[str, Any]:
                 rows[name] = _best_of(fn, kernel.SIZES[name][idx], reps=reps)
             rows["fig5-autoscale"] = _best_of(kernel.bench_fig5, quick, reps=1)
             suites[label] = rows
+    # Million-user-path benches run disarmed only (production config): the
+    # CI-sized 100k variant always, the 10⁶ acceptance variant in full mode.
+    with check_config.override(False):
+        scale: Dict[str, Any] = {
+            "fig5-100k": _best_of(kernel.bench_fig5_100k, reps=1)
+        }
+        if not quick:
+            scale["fig5-1m"] = _best_of(kernel.bench_fig5_1m, reps=1)
     calibration = calibrate(CALIBRATION_OPS[idx])
     throughput = suites["disarmed"]["event-dispatch"]["ops_per_sec"]
+    scale_rate = scale["fig5-100k"]["ops_per_sec"]
     return {
         "schema": SCHEMA,
         "quick": quick,
@@ -94,9 +118,11 @@ def run_suite(quick: bool = False) -> Dict[str, Any]:
         "platform": platform.platform(),
         "calibration_mops": round(calibration, 3),
         "suites": suites,
+        "scale": scale,
         "headline": {
             "event_throughput": round(throughput, 1),
             "normalized": round(throughput / (calibration * 1e6), 6),
+            "scale_normalized": round(scale_rate / (calibration * 1e6), 6),
         },
     }
 
@@ -110,6 +136,9 @@ def render_report(report: Dict[str, Any]) -> str:
         for name, row in report["suites"][label].items():
             rows.append([label, name, f"{row['ops_per_sec']:,.0f}",
                          f"{row['seconds']:.3f}", row["ops"]])
+    for name, row in report.get("scale", {}).items():
+        rows.append(["scale", name, f"{row['ops_per_sec']:,.0f}",
+                     f"{row['seconds']:.3f}", row["ops"]])
     rows.append(["-", "calibration (Mops/s)",
                  f"{report['calibration_mops']:,.3f}", "-", "-"])
     rows.append(["-", "normalized throughput",
@@ -143,7 +172,10 @@ def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
 
     Gates on the *normalized* event throughput (dispatch rate divided by
     the host's calibration rate) so a slower CI runner does not read as a
-    kernel regression; ``tolerance`` is the allowed fractional drop.
+    kernel regression; ``tolerance`` is the allowed fractional drop.  When
+    both reports carry the v2 ``scale_normalized`` headline (the
+    ``fig5-100k`` million-user-path rate, identical in quick and full
+    mode), it is gated the same way.
     """
     problems: List[str] = []
     base = baseline["headline"]["normalized"]
@@ -154,6 +186,16 @@ def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
             f"normalized event throughput regressed: {cur:.3f} < "
             f"{floor:.3f} (baseline {base:.3f} - {tolerance:.0%})"
         )
+    base_scale = baseline["headline"].get("scale_normalized")
+    cur_scale = current["headline"].get("scale_normalized")
+    if base_scale is not None and cur_scale is not None:
+        scale_floor = base_scale * (1.0 - tolerance)
+        if cur_scale < scale_floor:
+            problems.append(
+                f"normalized fig5-100k scale throughput regressed: "
+                f"{cur_scale:.4f} < {scale_floor:.4f} "
+                f"(baseline {base_scale:.4f} - {tolerance:.0%})"
+            )
     return problems
 
 

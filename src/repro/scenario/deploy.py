@@ -58,15 +58,18 @@ def build_system(
     balancer_policy: str = "least_conn",
     mysql_contention: Optional[ContentionModel] = None,
     tomcat_contention: Optional[ContentionModel] = None,
+    scheduler: str = "heap",
 ) -> Tuple[Environment, NTierSystem]:
     """One-call construction of an environment + n-tier system.
 
     ``mysql_contention`` / ``tomcat_contention`` override the calibrated
     ground-truth contention models when given (``None`` keeps the
     defaults) — the thrash ablation runs the substrate with the quadratic
-    law only.
+    law only.  ``scheduler`` picks the kernel's pending-event structure
+    (``heap`` / ``calendar``); same-seed runs are bit-identical under
+    either.
     """
-    env = Environment()
+    env = Environment(scheduler=scheduler)
     streams = RandomStreams(seed)
     cat = catalog or browse_only_catalog(
         demand_distribution=demand_distribution, demand_scale=demand_scale
@@ -115,6 +118,7 @@ class Deployment:
             balancer_policy=spec.balancer_policy,
             mysql_contention=spec.mysql_contention,
             tomcat_contention=spec.tomcat_contention,
+            scheduler=spec.scheduler,
         )
         self.streams: RandomStreams = self.system.streams
 

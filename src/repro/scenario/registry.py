@@ -17,7 +17,8 @@ are built last; generators with a ``start()`` method are started by
 construction (RUBBoS) need no ``start``.
 
 Built-in keys: controllers ``static`` / ``ec2`` / ``dcm`` /
-``predictive``; workloads ``jmeter`` / ``rubbos`` / ``trace``.
+``predictive``; workloads ``jmeter`` / ``rubbos`` / ``trace`` /
+``batched`` / ``batched-trace``.
 """
 
 from __future__ import annotations
@@ -35,7 +36,12 @@ from repro.control import (
 from repro.errors import ConfigurationError
 from repro.model import OnlineModelEstimator
 from repro.registry import Registry
-from repro.workload import JMeterGenerator, RubbosGenerator, TraceDrivenGenerator
+from repro.workload import (
+    BatchedPopulation,
+    JMeterGenerator,
+    RubbosGenerator,
+    TraceDrivenGenerator,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.scenario.deploy import Deployment
@@ -218,4 +224,40 @@ def _build_trace(deployment: "Deployment") -> object:
         spec.trace,
         max_users=spec.max_users,
         think_time=spec.think_time,
+    )
+
+
+@register_workload("batched")
+def _build_batched(deployment: "Deployment") -> object:
+    spec = deployment.spec
+    return BatchedPopulation(
+        deployment.env,
+        deployment.system,
+        users=spec.users,
+        think_time=spec.think_time,
+        batches=spec.batches,
+        window=spec.window,
+    )
+
+
+@register_workload("batched-trace")
+def _build_batched_trace(deployment: "Deployment") -> object:
+    """Trace replay over a batched aggregate population — the million-user
+    path: the replayer retargets integer counters instead of a session
+    fleet, so a 10⁶-user Large Variation trace holds no per-user state."""
+    spec = deployment.spec
+    population = BatchedPopulation(
+        deployment.env,
+        deployment.system,
+        users=0,
+        think_time=spec.think_time,
+        batches=spec.batches,
+        window=spec.window,
+    )
+    return TraceDrivenGenerator(
+        deployment.env,
+        deployment.system,
+        spec.trace,
+        max_users=spec.max_users,
+        population=population,
     )

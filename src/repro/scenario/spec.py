@@ -25,6 +25,8 @@ from repro.faults import FaultSpec, PolicyConfig, fault_from_json_obj
 from repro.model.service_time import ConcurrencyModel
 from repro.ntier.contention import ContentionModel
 from repro.ntier.softconfig import HardwareConfig, SoftResourceConfig
+from repro.sim.core import SCHEDULERS
+from repro.workload.batched import DEFAULT_BATCHES
 from repro.workload.traces import WorkloadTrace
 
 
@@ -35,10 +37,12 @@ def _canonical_json(obj: Any) -> str:
 
 #: Schema tag written by :meth:`ScenarioSpec.to_json_obj`.  v1 payloads
 #: (written before the fault subsystem) carry no ``schema`` key and no
-#: ``faults``/``resilience`` keys; they are accepted unchanged.
-SCHEMA = "repro-scenario/2"
+#: ``faults``/``resilience`` keys; v2 payloads predate the scheduler and
+#: batched-workload fields.  Both are accepted unchanged — the new fields
+#: default to the old behaviour (binary heap, unbatched populations).
+SCHEMA = "repro-scenario/3"
 
-_ACCEPTED_SCHEMAS = ("repro-scenario/1", SCHEMA)
+_ACCEPTED_SCHEMAS = ("repro-scenario/1", "repro-scenario/2", SCHEMA)
 
 
 def _enc_contention(model: Optional[ContentionModel]) -> Optional[Dict[str, Any]]:
@@ -93,8 +97,13 @@ class ScenarioSpec:
       ``policy``, ``models``, ``online_refit``, ``preparation_periods``
       and ``target_servers`` parameterise the built-in controllers.
     * **Workload** — ``workload`` is a registry key (``jmeter`` /
-      ``rubbos`` / ``trace`` built in); ``users`` feeds the closed-loop
-      generators, ``trace`` + ``max_users`` the trace replayer.
+      ``rubbos`` / ``trace`` / ``batched`` / ``batched-trace`` built in);
+      ``users`` feeds the closed-loop generators, ``trace`` +
+      ``max_users`` the trace replayers, and ``batches`` / ``window``
+      the batched aggregate populations (million-user scale).
+    * **Kernel** — ``scheduler`` picks the pending-event structure
+      (``heap`` or ``calendar``); event ordering is identical under
+      either, so this is a pure performance knob.
     * **Duration** — explicit ``duration`` or, when ``None``, the trace's
       own length.
 
@@ -130,12 +139,17 @@ class ScenarioSpec:
     preparation_periods: Optional[Tuple[Tuple[str, float], ...]] = None
     target_servers: Optional[Tuple[Tuple[str, int], ...]] = None
 
+    # -- kernel --------------------------------------------------------------
+    scheduler: str = "heap"
+
     # -- workload ------------------------------------------------------------
     workload: Optional[str] = None
     users: int = 100
     max_users: int = 100
     think_time: float = 3.0
     trace: Optional[WorkloadTrace] = None
+    batches: int = DEFAULT_BATCHES
+    window: Optional[int] = None
 
     # -- faults & resilience -------------------------------------------------
     faults: Tuple[FaultSpec, ...] = ()
@@ -181,8 +195,22 @@ class ScenarioSpec:
             resolve_controller(self.controller)  # fail fast on unknown keys
         if self.workload is not None:
             resolve_workload(self.workload)
-        if self.workload == "trace" and self.trace is None:
-            raise ConfigurationError("workload 'trace' requires a trace")
+        if self.workload in ("trace", "batched-trace") and self.trace is None:
+            raise ConfigurationError(
+                f"workload {self.workload!r} requires a trace"
+            )
+        if self.scheduler not in SCHEDULERS:
+            raise ConfigurationError(
+                f"unknown scheduler {self.scheduler!r}; pick from {SCHEDULERS}"
+            )
+        if self.batches < 1:
+            raise ConfigurationError(
+                f"batches must be >= 1, got {self.batches}"
+            )
+        if self.window is not None and self.window < 1:
+            raise ConfigurationError(
+                f"window must be >= 1 (or None), got {self.window}"
+            )
         if self.partitions < 1:
             raise ConfigurationError(
                 f"partitions must be >= 1, got {self.partitions}"
@@ -253,11 +281,14 @@ class ScenarioSpec:
             else dict(self.preparation_periods),
             "target_servers": None if self.target_servers is None
             else dict(self.target_servers),
+            "scheduler": self.scheduler,
             "workload": self.workload,
             "users": self.users,
             "max_users": self.max_users,
             "think_time": self.think_time,
             "trace": _enc_trace(self.trace),
+            "batches": self.batches,
+            "window": self.window,
             "faults": [f.to_json_obj() for f in self.faults],
             "resilience": [p.to_json_obj() for p in self.resilience],
             "duration": self.duration,
@@ -308,11 +339,14 @@ class ScenarioSpec:
             else dict(obj["preparation_periods"]),
             target_servers=None if obj.get("target_servers") is None
             else dict(obj["target_servers"]),
+            scheduler=obj.get("scheduler", "heap"),
             workload=obj.get("workload"),
             users=obj["users"],
             max_users=obj["max_users"],
             think_time=obj["think_time"],
             trace=_dec_trace(obj.get("trace")),
+            batches=obj.get("batches", DEFAULT_BATCHES),
+            window=obj.get("window"),
             faults=tuple(
                 fault_from_json_obj(o) for o in obj.get("faults", ())
             ),

@@ -1,0 +1,229 @@
+"""Calendar-queue event scheduler (Brown 1988) for the simulation kernel.
+
+A calendar queue spreads pending events over an array of *buckets*, each
+covering one ``width``-second slice of a repeating *year* of
+``bucket_count * width`` seconds — exactly a desk calendar: an event on
+June 12th of any year goes on the June 12th page.  Dequeueing scans pages
+starting from "today"; each page holds so few events (the structure resizes
+to keep occupancy near one event per bucket) that both enqueue and dequeue
+are amortised O(1), versus O(log n) for a binary heap.  That is the classic
+fix for heap-bound discrete-event kernels once event counts reach the
+millions (ROADMAP item 1).
+
+Entries are the kernel's heap tuples ``(when, priority, seq, event)`` and
+each bucket keeps its entries in sorted tuple order, so the dequeue sequence
+is *identical* to the binary heap's — same-seed runs produce bit-identical
+digests under either scheduler (``tests/test_scheduler_equivalence.py``).
+
+Two departures from the textbook structure, both driven by this kernel:
+
+**Lazy deletion.**  Interrupting a not-yet-started :class:`~repro.sim.events.
+Process` defuses its queued first-resume placeholder but leaves the entry in
+the queue (removing an arbitrary entry from a priority structure is O(n)).
+The scan drops such dead entries when they surface at a bucket head and
+reports each one through ``on_purge`` so :class:`~repro.sim.core.Environment`
+can keep its live-event accounting exact.
+
+**Truncation-consistent windows.**  Bucket membership and the "does this
+head belong to the current year?" test both use ``int(when / width)``.
+Because truncation is monotone, the preimages of successive bucket numbers
+partition the time axis into ordered disjoint intervals even when floating
+point rounds ``when / width`` at a window boundary, so the first in-year head
+found by the scan is always the global minimum — there is no rounding path
+that reorders two events relative to the heap.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Any, Callable, List, Optional, Tuple
+
+#: A scheduled entry exactly as the kernel heaps it.
+Entry = Tuple[float, int, int, Any]
+
+#: Floor for the adaptive bucket width; prevents a degenerate zero-width
+#: calendar when a resize sample consists of simultaneous events.
+MIN_WIDTH = 1e-9
+
+#: How many of the earliest entries a resize samples to estimate event
+#: spacing (Brown samples near the head; far-future outliers would skew a
+#: whole-queue span).
+_SAMPLE = 64
+
+
+def _is_dead(event: Any) -> bool:
+    # Still-PENDING entries are, by kernel construction, Process first-resume
+    # placeholders; one whose process was defused will never run.
+    return event._state == 0 and getattr(event, "_defused", False)
+
+
+class CalendarQueue:
+    """An adaptive calendar queue holding kernel event entries.
+
+    Parameters
+    ----------
+    bucket_count:
+        Initial (and minimum) number of buckets; kept a power of two and
+        doubled/halved as the population crosses ``2 * buckets`` /
+        ``buckets // 2``.
+    bucket_width:
+        Initial seconds-per-bucket; re-estimated from observed event spacing
+        at every resize.
+    on_purge:
+        Called once per lazily-deleted dead entry (see module docstring).
+    max_bucket_count:
+        Upper bound on the bucket array, a memory guard for pathological
+        populations.
+    """
+
+    __slots__ = (
+        "_buckets",
+        "_nbuckets",
+        "_width",
+        "_count",
+        "_floor",
+        "_peeked",
+        "_min_buckets",
+        "_max_buckets",
+        "on_purge",
+    )
+
+    def __init__(
+        self,
+        bucket_count: int = 8,
+        bucket_width: float = 1.0,
+        on_purge: Optional[Callable[[Entry], None]] = None,
+        max_bucket_count: int = 1 << 20,
+    ) -> None:
+        if bucket_count < 1:
+            raise ValueError(f"bucket_count must be >= 1, got {bucket_count}")
+        if not bucket_width > 0.0:
+            raise ValueError(f"bucket_width must be > 0, got {bucket_width!r}")
+        self._nbuckets = bucket_count
+        self._width = max(float(bucket_width), MIN_WIDTH)
+        self._buckets: List[List[Entry]] = [[] for _ in range(bucket_count)]
+        self._count = 0
+        self._floor = 0.0
+        self._peeked: Optional[int] = None
+        self._min_buckets = bucket_count
+        self._max_buckets = max_bucket_count
+        self.on_purge = on_purge
+
+    def __len__(self) -> int:
+        """Entries currently stored (live *and* dead-awaiting-purge)."""
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    @property
+    def bucket_count(self) -> int:
+        """Current size of the bucket array (observable for tests/tuning)."""
+        return self._nbuckets
+
+    @property
+    def bucket_width(self) -> float:
+        """Current seconds-per-bucket (observable for tests/tuning)."""
+        return self._width
+
+    # -- scheduling interface (what Environment drives) ---------------------
+    def push(self, entry: Entry) -> None:
+        """Insert ``entry``, keeping its bucket in sorted tuple order."""
+        when = entry[0]
+        if self._count == 0 or when < self._floor:
+            self._floor = when
+        insort(self._buckets[int(when / self._width) % self._nbuckets], entry)
+        self._count += 1
+        self._peeked = None
+        if self._count > 2 * self._nbuckets and self._nbuckets < self._max_buckets:
+            self._resize(self._nbuckets * 2)
+
+    def peek(self) -> Optional[Entry]:
+        """The earliest live entry without removing it, or ``None`` if empty.
+
+        Dead entries surfacing at bucket heads are purged as a side effect.
+        """
+        i = self._locate()
+        if i < 0:
+            return None
+        self._peeked = i
+        return self._buckets[i][0]
+
+    def pop(self) -> Entry:
+        """Remove and return the earliest live entry."""
+        i = self._peeked if self._peeked is not None else self._locate()
+        self._peeked = None
+        if i < 0:
+            raise IndexError("pop from an empty CalendarQueue")
+        entry = self._buckets[i].pop(0)
+        self._count -= 1
+        self._floor = entry[0]
+        if self._count < self._nbuckets // 2 and self._nbuckets > self._min_buckets:
+            self._resize(self._nbuckets // 2)
+        return entry
+
+    # -- internals ----------------------------------------------------------
+    def _purge_head(self, bucket: List[Entry]) -> bool:
+        """Drop dead entries at ``bucket``'s head; True if a live head remains."""
+        while bucket:
+            entry = bucket[0]
+            if not _is_dead(entry[3]):
+                return True
+            bucket.pop(0)
+            self._count -= 1
+            if self.on_purge is not None:
+                self.on_purge(entry)
+        return False
+
+    def _locate(self) -> int:
+        """Bucket index holding the earliest live entry, or -1 if empty.
+
+        One calendar-year scan starting from the bucket containing the last
+        popped time; a head is accepted only if its own bucket number (by the
+        same truncation used for placement) falls within the current year.
+        If the whole year is empty of current entries — the queue is sparse
+        relative to its width — fall back to a direct min over bucket heads.
+        """
+        if self._count == 0:
+            return -1
+        width = self._width
+        nbuckets = self._nbuckets
+        buckets = self._buckets
+        start = int(self._floor / width)
+        for offset in range(nbuckets):
+            bucket = buckets[(start + offset) % nbuckets]
+            if self._purge_head(bucket) and int(bucket[0][0] / width) <= start + offset:
+                return (start + offset) % nbuckets
+        best = -1
+        best_key: Optional[Entry] = None
+        for i, bucket in enumerate(buckets):
+            if self._purge_head(bucket) and (best_key is None or bucket[0] < best_key):
+                best_key = bucket[0]
+                best = i
+        return best
+
+    def _estimate_width(self, ordered: List[Entry]) -> float:
+        """New bucket width from the spacing of the earliest queued events."""
+        k = min(len(ordered), _SAMPLE)
+        if k < 2:
+            return self._width
+        span = ordered[k - 1][0] - ordered[0][0]
+        if span <= 0.0:
+            # Sampled events are simultaneous — no spacing signal; keep the
+            # current width rather than collapsing the calendar.
+            return self._width
+        # Brown's rule of thumb: three times the mean inter-event gap keeps
+        # expected occupancy low without degenerating into one-event years.
+        return max(3.0 * (span / (k - 1)), MIN_WIDTH)
+
+    def _resize(self, nbuckets: int) -> None:
+        ordered = sorted(entry for bucket in self._buckets for entry in bucket)
+        self._width = width = self._estimate_width(ordered)
+        self._nbuckets = nbuckets
+        buckets: List[List[Entry]] = [[] for _ in range(nbuckets)]
+        # Appending in global sorted order keeps every bucket sorted without
+        # per-entry insort.
+        for entry in ordered:
+            buckets[int(entry[0] / width) % nbuckets].append(entry)
+        self._buckets = buckets
+        self._peeked = None

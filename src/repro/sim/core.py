@@ -36,15 +36,34 @@ A still-``PENDING`` event popped off the heap is, by construction, a
 ``Process.__init__``); the dispatch loops recognise it and call
 ``Process._start`` directly.  Consequently only *triggered* events may be
 passed to :meth:`schedule`.
+
+Pluggable schedulers
+--------------------
+The pending-event set behind the environment is pluggable
+(``Environment(scheduler=...)``): the default ``"heap"`` keeps the binary
+heap and its dedicated inlined loops untouched, while ``"calendar"`` swaps
+in :class:`repro.sim.calqueue.CalendarQueue` — amortised O(1) instead of
+O(log n) per event, the scaling fix for million-user populations.  Both
+orderings are identical (entries are the same ``(when, priority, seq,
+event)`` tuples), so same-seed runs are bit-identical under either; the
+``scheduler_equivalence`` audit property and the golden-digest tests hold
+this line.  A scheduler *instance* exposing ``push``/``pop``/``peek``/
+``__len__`` may also be injected directly.
+
+Defused first-resume placeholders (see :meth:`Process.interrupt`) stay in
+the pending set until their timestamp is reached (*lazy deletion*); the
+environment counts them in ``_dead`` so :attr:`queue_size` and :meth:`peek`
+report only live events.
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Any, Generator, Iterable, Optional
+from typing import Any, Generator, Iterable, Optional, Union
 
 from repro.check import config as _checks
 from repro.errors import InvariantViolation, SimulationError
+from repro.sim.calqueue import CalendarQueue
 from repro.sim.events import (
     NORMAL,
     PENDING,
@@ -56,6 +75,11 @@ from repro.sim.events import (
     all_of,
     any_of,
 )
+
+_INF = float("inf")
+
+#: Registry-style names accepted by ``Environment(scheduler=...)``.
+SCHEDULERS = ("heap", "calendar")
 
 #: Cached ``config.active("clock")``; re-resolved whenever the sanitizer
 #: configuration changes.
@@ -85,14 +109,47 @@ class Environment:
     ----------
     initial_time:
         Simulated time at which the clock starts (seconds).
+    scheduler:
+        Pending-event structure: ``"heap"`` (default binary heap, dedicated
+        inlined dispatch loops), ``"calendar"`` (adaptive
+        :class:`~repro.sim.calqueue.CalendarQueue`, amortised O(1) per
+        event), or a scheduler instance exposing
+        ``push``/``pop``/``peek``/``__len__``.  Event ordering — and hence
+        every same-seed digest — is identical across schedulers.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        scheduler: Union[str, Any] = "heap",
+    ) -> None:
         self._now = float(initial_time)
-        self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
+        #: Defused-but-still-queued entries awaiting lazy deletion.
+        self._dead = 0
         self._active_proc: Optional[Process] = None
         self._active_event: Optional[Event] = None
+        self._heap: Optional[list[tuple[float, int, int, Event]]]
+        if scheduler is None or scheduler == "heap":
+            self._heap = []
+            self._scheduler = None
+        elif scheduler == "calendar":
+            self._heap = None
+            self._scheduler = CalendarQueue(on_purge=self._note_purge)
+        elif all(hasattr(scheduler, a) for a in ("push", "pop", "peek", "__len__")):
+            self._heap = None
+            self._scheduler = scheduler
+            if hasattr(scheduler, "on_purge"):
+                scheduler.on_purge = self._note_purge
+        else:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; pick from {SCHEDULERS} "
+                "or pass an instance with push/pop/peek/__len__"
+            )
+
+    def _note_purge(self, _entry: Any) -> None:
+        """Scheduler callback: one lazily-deleted dead entry left the queue."""
+        self._dead -= 1
 
     # -- clock & introspection ----------------------------------------------
     @property
@@ -112,8 +169,14 @@ class Environment:
 
     @property
     def queue_size(self) -> int:
-        """Number of events currently scheduled on the heap."""
-        return len(self._heap)
+        """Number of *live* events currently scheduled.
+
+        Defused first-resume placeholders awaiting lazy deletion are
+        excluded — callers see only events that can still fire.
+        """
+        heap = self._heap
+        stored = len(heap) if heap is not None else len(self._scheduler)
+        return stored - self._dead
 
     # -- event construction ---------------------------------------------------
     def event(self) -> Event:
@@ -138,21 +201,58 @@ class Environment:
 
     # -- scheduling -----------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
-        """Place a *triggered* ``event`` on the heap ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        """Place a *triggered* ``event`` on the queue ``delay`` seconds from now.
+
+        ``delay`` must be finite and non-negative: a negative delay would
+        schedule into the past, and NaN/inf delays (which sail past a plain
+        ``delay < 0`` guard because every NaN comparison is false) would
+        silently corrupt the ordering invariant of the pending-event set.
+        """
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(
+                f"cannot schedule into the past or with a non-finite delay "
+                f"(delay={delay!r})"
+            )
         self._seq += 1
-        heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        entry = (self._now + delay, priority, self._seq, event)
+        heap = self._heap
+        if heap is None:
+            self._scheduler.push(entry)
+        else:
+            heappush(heap, entry)
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next *live* scheduled event, or ``inf`` if none remain.
+
+        Dead entries (defused first-resume placeholders) at the front of the
+        queue are purged rather than reported, so the returned time is one at
+        which simulation state can actually change.
+        """
+        heap = self._heap
+        if heap is None:
+            head = self._scheduler.peek()
+            return head[0] if head is not None else _INF
+        while heap:
+            head = heap[0]
+            event = head[3]
+            if event._state == PENDING and getattr(event, "_defused", False):
+                heappop(heap)
+                self._dead -= 1
+                continue
+            return head[0]
+        return _INF
 
     def step(self) -> None:
         """Process exactly one event, advancing the clock to its fire time."""
-        if not self._heap:
-            raise SimulationError("step() on an empty event heap")
-        when, _prio, _seq, event = heappop(self._heap)
+        heap = self._heap
+        if heap is None:
+            if self._scheduler.peek() is None:
+                raise SimulationError("step() on an empty event queue")
+            when, _prio, _seq, event = self._scheduler.pop()
+        else:
+            if not heap:
+                raise SimulationError("step() on an empty event heap")
+            when, _prio, _seq, event = heappop(heap)
         if when < self._now and _CLOCK_CHECK:
             raise _clock_violation(self._now, when)
         self._now = when
@@ -176,17 +276,26 @@ class Environment:
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.
 
-        ``until`` may be ``None`` (run until the heap drains), a number (run
+        ``until`` may be ``None`` (run until the queue drains), a number (run
         until that simulated time), or an :class:`Event` (run until it has
         been processed; its value is returned, and a failed event re-raises
         its exception).
+
+        The time bound is **inclusive**: events scheduled exactly at
+        ``until`` execute before the call returns, and the clock lands on
+        ``until`` afterwards.  This boundary is pinned by tests for every
+        dispatch loop (heap fast/bounded and scheduler-generic) so
+        alternative schedulers cannot drift from it.  ``until=inf`` is
+        equivalent to unbounded; NaN is rejected.
         """
         stop_event: Optional[Event] = None
-        stop_time = float("inf")
+        stop_time = _INF
         if isinstance(until, Event):
             stop_event = until
         elif until is not None:
             stop_time = float(until)
+            if stop_time != stop_time:  # NaN: every comparison below would lie
+                raise SimulationError("run(until=nan) is not a simulated time")
             if stop_time < self._now:
                 raise SimulationError(
                     f"run(until={stop_time}) is in the past (now={self._now})"
@@ -197,6 +306,8 @@ class Environment:
         # per-event stop checks.  Both loops are semantically identical to
         # step(); event states are the literal PENDING=0 / PROCESSED=2.
         heap = self._heap
+        if heap is None:
+            return self._run_scheduler(stop_event, stop_time)
         pop = heappop
         clock_check = _CLOCK_CHECK  # resolved once per run() entry
         now = self._now
@@ -266,5 +377,61 @@ class Environment:
                 raise stop_event._value
             return stop_event._value
         if stop_time != float("inf") and self._now < stop_time:
+            self._now = stop_time
+        return None
+
+    def _run_scheduler(self, stop_event: Optional[Event], stop_time: float) -> Any:
+        """Dispatch loop for pluggable schedulers (calendar queue, injected).
+
+        Semantically identical to the heap loops in :meth:`run` — same
+        inclusive ``until`` boundary, same PENDING-placeholder handling, same
+        failed-process surfacing — but driven through the generic
+        ``peek``/``pop`` interface.  ``peek`` purges dead entries, so this
+        loop never dispatches a defused placeholder (the heap loops instead
+        let ``Process._start`` no-op on them; neither path runs user code,
+        keeping the two observationally identical).
+        """
+        sched = self._scheduler
+        clock_check = _CLOCK_CHECK  # resolved once per run() entry
+        now = self._now
+        while True:
+            if stop_event is not None and stop_event._state == 2:
+                break
+            head = sched.peek()
+            if head is None:
+                break
+            if head[0] > stop_time:
+                self._now = stop_time
+                return None
+            when, _prio, _seq, event = sched.pop()
+            if clock_check and when < now:
+                self._now = now
+                raise _clock_violation(now, when)
+            now = when
+            if event._state == 0:
+                self._now = now
+                event._start()
+                continue
+            event._state = 2
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                self._now = now
+                self._active_event = event
+                for callback in callbacks:
+                    callback(event)
+                self._active_event = None
+            elif not event._ok and isinstance(event, Process):
+                self._now = now
+                raise event._value
+        self._now = now
+
+        if stop_event is not None:
+            if stop_event._state != PROCESSED:
+                raise SimulationError("run() ended before its `until` event fired")
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        if stop_time != _INF and self._now < stop_time:
             self._now = stop_time
         return None

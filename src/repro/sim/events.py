@@ -28,6 +28,11 @@ its slots inline rather than chaining ``super().__init__``, and
 of the public properties.  A new :class:`Process` consumes one heap entry
 (its own first resume, scheduled directly) and allocates **no**
 initialisation event.
+
+Every direct push site honours the environment's pluggable scheduler: when
+``env._heap`` is ``None`` the entry goes through ``env._scheduler.push``
+instead (see :mod:`repro.sim.calqueue`); the default heap mode pays only a
+single extra ``is None`` test per push.
 """
 
 from __future__ import annotations
@@ -36,6 +41,8 @@ from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
+
+_INF = float("inf")
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.sim.core import Environment
@@ -115,7 +122,11 @@ class Event:
         self._state = TRIGGERED
         env = self.env
         env._seq = seq = env._seq + 1
-        heappush(env._heap, (env._now, priority, seq, self))
+        heap = env._heap
+        if heap is None:
+            env._scheduler.push((env._now, priority, seq, self))
+        else:
+            heappush(heap, (env._now, priority, seq, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -129,7 +140,11 @@ class Event:
         self._state = TRIGGERED
         env = self.env
         env._seq = seq = env._seq + 1
-        heappush(env._heap, (env._now, priority, seq, self))
+        heap = env._heap
+        if heap is None:
+            env._scheduler.push((env._now, priority, seq, self))
+        else:
+            heappush(heap, (env._now, priority, seq, self))
         return self
 
     # -- internal -----------------------------------------------------------
@@ -146,8 +161,13 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay: {delay!r}")
+        # Single chained comparison rejects negative, NaN *and* inf delays:
+        # a bare ``delay < 0`` lets NaN through (every NaN comparison is
+        # false) and a NaN timestamp silently corrupts queue ordering.
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(
+                f"negative or non-finite timeout delay: {delay!r}"
+            )
         # Inline Event.__init__ plus direct heap insertion: timeouts are the
         # single most allocated event type, so they skip two method calls.
         self.env = env
@@ -157,7 +177,11 @@ class Timeout(Event):
         self._state = TRIGGERED
         self.delay = delay
         env._seq = seq = env._seq + 1
-        heappush(env._heap, (env._now + delay, NORMAL, seq, self))
+        heap = env._heap
+        if heap is None:
+            env._scheduler.push((env._now + delay, NORMAL, seq, self))
+        else:
+            heappush(heap, (env._now + delay, NORMAL, seq, self))
 
 
 class _InitSentinel:
@@ -205,7 +229,11 @@ class Process(Event):
         # sequence-number consumption matches the old init-event scheme
         # exactly, so same-seed event ordering is unchanged.
         env._seq = seq = env._seq + 1
-        heappush(env._heap, (env._now, URGENT, seq, self))
+        heap = env._heap
+        if heap is None:
+            env._scheduler.push((env._now, URGENT, seq, self))
+        else:
+            heappush(heap, (env._now, URGENT, seq, self))
 
     @property
     def is_alive(self) -> bool:
@@ -247,20 +275,32 @@ class Process(Event):
             self._target = None
         else:
             # Not yet started: defuse the queued first resume so the
-            # generator is not started *and* interrupted in one step.
+            # generator is not started *and* interrupted in one step.  The
+            # placeholder entry stays queued for lazy deletion; the
+            # environment's dead count keeps peek()/queue_size truthful.
             self._defused = True
+            env._dead += 1
         wakeup = Event(env)
         wakeup._ok = False
         wakeup._value = Interrupt(cause)
         wakeup._state = TRIGGERED
         wakeup.callbacks.append(self._resume)
         env._seq = seq = env._seq + 1
-        heappush(env._heap, (env._now, URGENT, seq, wakeup))
+        heap = env._heap
+        if heap is None:
+            env._scheduler.push((env._now, URGENT, seq, wakeup))
+        else:
+            heappush(heap, (env._now, URGENT, seq, wakeup))
 
     # -- internal -----------------------------------------------------------
     def _start(self) -> None:
         """First resume, invoked by the kernel's dispatch loop."""
-        if not self._defused:
+        if self._defused:
+            # The dead placeholder just left the queue: settle the lazy-
+            # deletion ledger (calendar-queue purges go through on_purge
+            # instead and never reach here).
+            self.env._dead -= 1
+        else:
             self._resume(_INIT)
 
     def _resume(self, event: Event) -> None:

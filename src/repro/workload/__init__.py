@@ -12,6 +12,7 @@ from repro.workload.burstiness import (
     index_of_dispersion,
     mmpp2_trace,
 )
+from repro.workload.batched import DEFAULT_BATCHES, BatchedPopulation
 from repro.workload.jmeter import JMeterGenerator
 from repro.workload.rubbos import DEFAULT_THINK_TIME, RubbosGenerator
 from repro.workload.servlets import (
@@ -33,6 +34,8 @@ from repro.workload.traces import (
 )
 
 __all__ = [
+    "BatchedPopulation",
+    "DEFAULT_BATCHES",
     "DEFAULT_THINK_TIME",
     "JMeterGenerator",
     "MYSQL_MEAN_DEMAND",

@@ -38,6 +38,13 @@ class TraceDrivenGenerator:
         How often the population is retargeted (seconds).
     think_time / streams:
         Forwarded to the underlying :class:`RubbosGenerator`.
+    population:
+        A pre-built population to retarget instead of the default
+        :class:`RubbosGenerator` — anything exposing ``users`` /
+        ``set_users`` / ``stop``, e.g. a
+        :class:`~repro.workload.batched.BatchedPopulation` for
+        million-user traces.  When given, ``think_time``/``streams``
+        are ignored (the population was already configured).
     """
 
     def __init__(
@@ -49,6 +56,7 @@ class TraceDrivenGenerator:
         update_interval: float = 1.0,
         think_time: float = DEFAULT_THINK_TIME,
         streams: Optional[RandomStreams] = None,
+        population=None,
     ) -> None:
         if max_users < 1:
             raise ConfigurationError(f"max_users must be >= 1, got {max_users}")
@@ -58,7 +66,7 @@ class TraceDrivenGenerator:
         self.trace = trace
         self.max_users = int(max_users)
         self.update_interval = update_interval
-        self.population = RubbosGenerator(
+        self.population = population if population is not None else RubbosGenerator(
             env, system, users=0, think_time=think_time, streams=streams
         )
         self._applied: List[Tuple[float, int]] = []

@@ -71,6 +71,7 @@ class TestProperties:
             "seed_permutation",
             "store_conservation",
             "scenario_roundtrip",
+            "scheduler_equivalence",
             "fault_conservation",
         }
         for prop in PROPERTIES.values():

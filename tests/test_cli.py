@@ -243,8 +243,9 @@ class TestPerfCommand:
         row = {"ops": 100, "seconds": 0.001, "ops_per_sec": 100_000.0}
         scenarios = ("event-dispatch", "timeout-churn", "acquire-release",
                      "condition-fanin", "fig5-autoscale")
+        from repro.perf import suite
         return {
-            "schema": "repro-bench-kernel/1",
+            "schema": suite.SCHEMA,
             "quick": True,
             "python": "0",
             "platform": "test",
@@ -268,8 +269,9 @@ class TestPerfCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "kernel microbenchmarks" in out
+        from repro.perf import suite
         data = json.loads(open(out_path).read())
-        assert data["schema"] == "repro-bench-kernel/1"
+        assert data["schema"] == suite.SCHEMA
 
     def test_perf_gate_passes_within_tolerance(self, capsys, tmp_path,
                                                fake_suite):

@@ -26,13 +26,15 @@ def tiny_suite(monkeypatch):
     monkeypatch.setattr(suite, "REPS", (1, 1))
     monkeypatch.setattr(suite, "CALIBRATION_OPS", (10_000, 10_000))
     monkeypatch.setattr(kernel, "bench_fig5", lambda quick: (1_000, 0.01))
+    monkeypatch.setattr(kernel, "bench_fig5_100k", lambda: (2_000, 0.01))
+    monkeypatch.setattr(kernel, "bench_fig5_1m", lambda: (20_000, 0.1))
 
 
-def _report(normalized, throughput=1_000_000.0):
-    return {
-        "schema": suite.SCHEMA,
-        "headline": {"event_throughput": throughput, "normalized": normalized},
-    }
+def _report(normalized, throughput=1_000_000.0, scale_normalized=None):
+    headline = {"event_throughput": throughput, "normalized": normalized}
+    if scale_normalized is not None:
+        headline["scale_normalized"] = scale_normalized
+    return {"schema": suite.SCHEMA, "headline": headline}
 
 
 class TestRunSuite:
@@ -49,6 +51,13 @@ class TestRunSuite:
                 assert row["ops_per_sec"] > 0
         assert report["headline"]["event_throughput"] > 0
         assert report["headline"]["normalized"] > 0
+        assert report["headline"]["scale_normalized"] > 0
+        assert set(report["scale"]) == {"fig5-100k"}  # quick: no fig5-1m
+
+    def test_full_mode_includes_fig5_1m(self, tiny_suite):
+        report = suite.run_suite(quick=False)
+        assert set(report["scale"]) == {"fig5-100k", "fig5-1m"}
+        assert report["scale"]["fig5-1m"]["ops"] == 20_000
 
     def test_render_mentions_every_scenario(self, tiny_suite):
         text = suite.render_report(suite.run_suite(quick=True))
@@ -88,3 +97,18 @@ class TestCompareReports:
                                      tolerance=0.4) == []
         assert suite.compare_reports(_report(0.55), _report(1.0),
                                      tolerance=0.4)
+
+    def test_scale_regression_detected(self):
+        problems = suite.compare_reports(
+            _report(1.0, scale_normalized=0.5),
+            _report(1.0, scale_normalized=1.0),
+        )
+        assert len(problems) == 1
+        assert "fig5-100k" in problems[0]
+
+    def test_scale_gate_skipped_without_baseline_scale(self):
+        # A v2 current report vs a scale-less baseline: only the event
+        # throughput is gated.
+        assert suite.compare_reports(
+            _report(1.0, scale_normalized=0.5), _report(1.0)
+        ) == []

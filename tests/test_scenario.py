@@ -143,7 +143,9 @@ class TestSpecValidation:
 class TestRegistries:
     def test_builtin_keys_present(self):
         assert controller_names() == ["dcm", "ec2", "predictive", "static"]
-        assert workload_names() == ["jmeter", "rubbos", "trace"]
+        assert workload_names() == [
+            "batched", "batched-trace", "jmeter", "rubbos", "trace"
+        ]
 
     def test_resolve_returns_factory(self):
         assert resolve_controller("dcm").name == "dcm"

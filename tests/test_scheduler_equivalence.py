@@ -1,0 +1,94 @@
+"""Heap vs calendar-queue schedulers must be observationally identical.
+
+The calendar queue (``repro.sim.calqueue``) pops entries in the exact
+tuple order the binary heap does, so *any* same-seed run — not just
+statistically similar, but bit-for-bit — must produce the same trace
+under either scheduler.  Pinned here three ways:
+
+* a randomized kernel stress mixing timeouts across five orders of
+  magnitude of time scale with same-step interrupts (the lazy-deletion
+  path);
+* the Fig-5 golden digest of ``tests/test_kernel_digest.py`` reproduced
+  under ``scheduler="calendar"``;
+* a full scenario deployment compared digest-for-digest (the same check
+  the ``scheduler_equivalence`` audit property fuzzes).
+"""
+
+import hashlib
+import json
+from dataclasses import replace
+
+from repro.check import config as check_config
+from repro.perf import autoscale_digest, run_fig5
+from repro.perf.kernel import fig5_scenario
+from repro.scenario import Deployment, ScenarioSpec
+from repro.sim import Environment
+from tests.test_kernel_digest import GOLDEN
+
+
+def _stress_trace(scheduler: str, seed: int) -> list:
+    """A workload built to shake out ordering bugs: timeouts spanning
+    1e-3..1e3 seconds (exercises bucket-width adaptation and the sparse
+    fallback) plus same-step interrupts (exercises lazy deletion)."""
+    import random
+
+    rng = random.Random(seed)
+    env = Environment(scheduler=scheduler)
+    trace = []
+
+    def worker(env, wid):
+        try:
+            for i in range(rng.randint(1, 6)):
+                scale = 10.0 ** rng.randint(-3, 3)
+                yield env.timeout(rng.uniform(0.0, scale))
+                trace.append((round(env.now, 9), wid, i))
+        except BaseException as exc:  # Interrupt
+            trace.append((round(env.now, 9), wid, repr(exc)))
+            raise
+
+    def chaos(env):
+        for round_no in range(40):
+            procs = []
+            for k in range(5):
+                proc = env.process(worker(env, (round_no, k)))
+                # Observe failures so interrupted workers don't surface
+                # their Interrupt out of run().
+                proc.callbacks.append(lambda ev: None)
+                procs.append(proc)
+            for proc in procs:
+                if rng.random() < 0.2 and proc.is_alive:
+                    proc.interrupt("die")  # same-step: defuses first resume
+            yield env.timeout(rng.uniform(0.0, 50.0))
+
+    env.process(chaos(env))
+    env.run()
+    trace.append(("end", env.now, env._seq))
+    return trace
+
+
+class TestKernelStressEquivalence:
+    def test_traces_bit_identical(self):
+        for seed in (0, 1, 2):
+            assert _stress_trace("heap", seed) == _stress_trace("calendar", seed)
+
+
+class TestGoldenDigestUnderCalendar:
+    def test_fig5_digest_matches_heap_golden(self):
+        spec = replace(fig5_scenario(), scheduler="calendar")
+        with check_config.override(False):
+            assert autoscale_digest(run_fig5(spec)) == GOLDEN
+
+
+def _scenario_digest(scheduler: str) -> str:
+    spec = ScenarioSpec(seed=5, users=25, duration=8.0, workload="batched",
+                        batches=3, scheduler=scheduler)
+    with Deployment(spec) as dep:
+        dep.run()
+    log = json.dumps(dep.system.request_log, sort_keys=True,
+                     separators=(",", ":"))
+    return hashlib.sha256(log.encode("utf-8")).hexdigest()
+
+
+class TestScenarioEquivalence:
+    def test_batched_scenario_digests_match(self):
+        assert _scenario_digest("heap") == _scenario_digest("calendar")
