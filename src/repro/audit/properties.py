@@ -32,6 +32,11 @@ satisfy by construction:
   arrivals = completions + failures even across a crash, and no
   completed request duplicates committed database work (the retry
   idempotency guard).
+* ``shard_conservation`` — with the MySQL tier sharded (consistent-hash
+  ring, primary + replicas per shard), every routed request lands on
+  exactly one shard member and is accounted, the ring is deterministic,
+  and the books still balance across a primary crash + replica failover
+  and a mid-run scale-out onto the hottest shard.
 
 Properties are registered in :data:`PROPERTIES`; the fuzzer draws
 scenarios from each property's ``generate`` and the shrinker minimises
@@ -763,6 +768,135 @@ def _check_faults(params: Dict[str, Any], seed: int, **_: Any) -> PropertyResult
 
 
 # ---------------------------------------------------------------------------
+# shard_conservation
+# ---------------------------------------------------------------------------
+
+def _gen_shards(rng: np.random.Generator) -> Dict[str, Any]:
+    return {
+        "shards": int(rng.integers(2, 4)),
+        "replicas": int(rng.integers(0, 3)),
+        "zipf": round(float(rng.uniform(0.8, 1.5)), 2),
+        "with_cache": bool(rng.integers(0, 2)),
+        "write_fraction": round(float(rng.uniform(0.0, 0.3)), 2),
+        "users": int(rng.integers(20, 61)),
+        "duration": round(float(rng.uniform(8.0, 16.0)), 2),
+        "crash_at": round(float(rng.uniform(1.0, 5.0)), 2),
+        "rebalance_at": round(float(rng.uniform(5.0, 7.0)), 2),
+    }
+
+
+def _check_shards(params: Dict[str, Any], seed: int, **_: Any) -> PropertyResult:
+    """Sharded-tier conservation: every request the router sends to a shard
+    arrives at exactly one of its members and is accounted (completed or
+    failed) — across a primary crash + replica failover and a mid-run
+    scale-out that lands on the hottest shard — and the consistent-hash
+    ring routes each key to exactly one live shard."""
+    from repro.faults import ShardPrimaryCrash
+    from repro.ntier import CacheSpec, ShardingSpec
+    from repro.scenario import Deployment, ScenarioSpec
+
+    shards = int(params["shards"])
+    replicas = int(params["replicas"])
+    zipf = float(params["zipf"])
+    sharding = ShardingSpec(shards=shards, replicas=replicas, zipf=zipf)
+    cache = CacheSpec(zipf=zipf) if bool(params.get("with_cache")) else None
+    duration = float(params["duration"])
+    spec = ScenarioSpec(
+        hardware="1/2/1",
+        seed=seed,
+        monitoring=False,
+        workload="rubbos",
+        users=int(params["users"]),
+        think_time=1.0,
+        duration=duration,
+        sharding=sharding,
+        cache=cache,
+        write_fraction=float(params.get("write_fraction", 0.0)),
+        faults=(ShardPrimaryCrash(at=float(params["crash_at"]), shard=0),),
+    )
+    failures: List[str] = []
+    if ScenarioSpec.from_json(spec.to_json()) != spec:
+        failures.append("sharded ScenarioSpec JSON round-trip changed it")
+
+    dep = Deployment(spec)
+    system = dep.system
+    router = system.db_balancer
+    # Mid-run scale-out: the new MySQL joins the hottest shard as a
+    # replica, so the router's membership churns while requests are in
+    # flight on both sides of the change.
+    dep.run(until=min(float(params["rebalance_at"]), duration))
+    added = system.add_mysql()
+    dep.run(until=duration)
+    dep.stop()
+
+    def quiet() -> bool:
+        return system.inflight == 0 and all(
+            s.outstanding == 0 and s.inflight == 0
+            for s in system.all_servers() + system.removed_servers
+        )
+
+    deadline = dep.env.now + _FAULT_GRACE
+    while not quiet() and dep.env.now < deadline:
+        dep.env.run(until=min(dep.env.now + 5.0, deadline))
+    if not quiet():
+        failures.append(
+            f"system did not quiesce within {_FAULT_GRACE}s grace "
+            f"(client inflight={system.inflight})"
+        )
+
+    completed = system.completed_count()
+    failed = len(system.failure_log)
+    shed = len(system.shed_log)
+    if system.submitted != completed + failed + shed:
+        failures.append(
+            f"request conservation violated: submitted={system.submitted} != "
+            f"completed={completed} + failed={failed} + shed={shed}"
+        )
+
+    stats = router.shard_stats()
+    for sid, st in stats.items():
+        if st["routed"] != st["arrivals"]:
+            failures.append(
+                f"shard {sid}: routed {st['routed']} requests but members "
+                f"saw {st['arrivals']} arrivals — the router lost or "
+                "duplicated a dispatch"
+            )
+        if st["routed"] != st["completed"] + st["failed"]:
+            failures.append(
+                f"shard {sid}: routed={st['routed']} != completed="
+                f"{st['completed']} + failed={st['failed']} after quiesce"
+            )
+    total_routed = sum(st["routed"] for st in stats.values())
+    if total_routed != router.dispatches:
+        failures.append(
+            f"router dispatched {router.dispatches} but shards account "
+            f"{total_routed}"
+        )
+    if added.shard is None:
+        failures.append(f"mid-run {added.name} was not assigned to a shard")
+
+    # Ring sanity: every key in the population resolves to exactly one of
+    # the configured shards, deterministically.
+    for key in range(0, sharding.keys, max(1, sharding.keys // 97)):
+        sid = router.ring.lookup(key)
+        if sid != router.ring.lookup(key) or not 0 <= sid < shards:
+            failures.append(f"ring lookup unstable or out of range for {key}")
+            break
+
+    return PropertyResult(
+        passed=not failures,
+        failures=failures,
+        details={
+            "submitted": system.submitted,
+            "completed": completed,
+            "failed": failed,
+            "per_shard_routed": {sid: st["routed"] for sid, st in stats.items()},
+            "hit_rate": None if system.cache is None else system.cache.hit_rate(),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -830,6 +964,21 @@ PROPERTIES: Dict[str, AuditProperty] = {
             floors={"users": 5, "duration": 2.0, "demand_scale": 1.0,
                     "batches": 1},
             weight=1.5,
+        ),
+        AuditProperty(
+            name="shard_conservation",
+            generate=_gen_shards,
+            check=_check_shards,
+            floors={
+                "shards": 2,
+                "replicas": 0,
+                "zipf": 0.5,
+                "users": 10,
+                "duration": 4.0,
+                "crash_at": 0.5,
+                "rebalance_at": 1.0,
+            },
+            weight=2.0,
         ),
         AuditProperty(
             name="fault_conservation",

@@ -19,6 +19,11 @@ Three fast end-to-end probes, all run with every sanitizer domain armed:
     pipeline + EC2 controller + RUBBoS users) built, run, and torn down
     under the sanitizer; teardown must leave no live agent/controller
     processes behind.
+``stateful``
+    A cached + sharded deployment (cache-aside tier, 2 consistent-hash
+    shards each primary + replica, read/write mix) run under the
+    sanitizer; the cache must take hits, every shard must conserve
+    routed = completed + failed, and writes must reach shard primaries.
 
 All imports of the heavyweight packages happen inside the functions so
 ``repro.check`` stays importable before (and by) ``sim``/``ntier``/``runner``.
@@ -140,6 +145,54 @@ def _scenario_check(seed: int, demand_scale: float) -> SmokeOutcome:
     )
 
 
+def _stateful_check(seed: int, demand_scale: float) -> SmokeOutcome:
+    from repro.ntier import CacheSpec, ShardingSpec
+    from repro.scenario import Deployment, ScenarioSpec
+
+    spec = ScenarioSpec(
+        hardware="1/2/1",
+        seed=seed,
+        demand_scale=demand_scale,
+        monitoring=False,
+        workload="rubbos",
+        users=20,
+        think_time=1.0,
+        duration=10.0,
+        cache=CacheSpec(),
+        sharding=ShardingSpec(shards=2, replicas=1),
+        write_fraction=0.15,
+    )
+    with Deployment(spec) as dep:
+        dep.run()
+    system = dep.system
+    # Settle in-flight closed-loop requests so the books can balance.
+    dep.env.run(until=dep.env.now + 30.0)
+    stats = system.db_balancer.shard_stats()
+    problems: List[str] = []
+    if system.completed_count() <= 0:
+        problems.append("no requests completed")
+    if system.cache.hit_rate() <= 0.0:
+        problems.append("cache took no hits")
+    for sid, st in stats.items():
+        if st["routed"] != st["completed"] + st["failed"]:
+            problems.append(
+                f"shard {sid} leaked: routed={st['routed']} != "
+                f"completed={st['completed']} + failed={st['failed']}"
+            )
+    writes = sum(
+        s.completions for s in system.tier_servers("db") if s.role == "primary"
+    )
+    if writes <= 0:
+        problems.append("no queries reached a shard primary")
+    if problems:
+        return SmokeOutcome("stateful", False, "; ".join(problems))
+    return SmokeOutcome(
+        "stateful", True,
+        f"cache hit rate {system.cache.hit_rate():.2f}, shards routed "
+        f"{[st['routed'] for st in stats.values()]}, books balance",
+    )
+
+
 def run_smoke(seed: int = 0, demand_scale: float = 1.0) -> List[SmokeOutcome]:
     """Run every smoke check with all sanitizer domains armed."""
     outcomes: List[SmokeOutcome] = []
@@ -156,4 +209,8 @@ def run_smoke(seed: int = 0, demand_scale: float = 1.0) -> List[SmokeOutcome]:
             outcomes.append(_scenario_check(seed, demand_scale))
         except InvariantViolation as err:
             outcomes.append(SmokeOutcome("scenario", False, str(err)))
+        try:
+            outcomes.append(_stateful_check(seed, demand_scale))
+        except InvariantViolation as err:
+            outcomes.append(SmokeOutcome("stateful", False, str(err)))
     return outcomes

@@ -142,11 +142,45 @@ class VMAgent:
     # -- scale in -------------------------------------------------------------------
     def choose_victim(self, tier: str) -> "TierServer":
         """Pick the server to remove: the most recently added accepting one
-        (LIFO keeps the oldest, warmest servers in place)."""
+        (LIFO keeps the oldest, warmest servers in place).
+
+        On a sharded db tier LIFO alone is topology-blind: removing a
+        shard's last member black-holes its key range, and removing a
+        primary forces a failover.  So shard-carrying candidates are
+        filtered — never the last member of a shard, replicas before
+        primaries — with LIFO order preserved within each preference
+        level.  When every shard is down to one member the tier is at its
+        sharded floor and this raises :class:`ControlError` (the
+        controller logs ``scale_in_failed`` and moves on), because each
+        shard owns a key range no other server can serve.  Unsharded
+        tiers (``shard is None`` everywhere) take the plain LIFO path
+        unchanged.
+        """
         candidates = self.system.active_servers(tier)
         if len(candidates) < 2:
             raise ControlError(f"tier {tier!r} cannot shrink below one server")
-        return candidates[-1]
+        shard_sizes: dict = {}
+        for server in candidates:
+            sid = getattr(server, "shard", None)
+            if sid is not None:
+                shard_sizes[sid] = shard_sizes.get(sid, 0) + 1
+
+        def eligible(server: "TierServer", spare_primary: bool) -> bool:
+            sid = getattr(server, "shard", None)
+            if sid is None:
+                return True
+            if shard_sizes.get(sid, 0) < 2:
+                return False
+            return not (spare_primary and getattr(server, "role", "") == "primary")
+
+        for spare_primary in (True, False):
+            for server in reversed(candidates):
+                if eligible(server, spare_primary):
+                    return server
+        raise ControlError(
+            f"tier {tier!r} is at its sharded floor (one server per shard); "
+            "no scale-in victim"
+        )
 
     def scale_in(self, tier: str, server: Optional["TierServer"] = None) -> Process:
         """Drain a server, remove it, and terminate its VM.

@@ -86,12 +86,18 @@ class DCMController(BaseAutoScaleController):
         return max(0.3, min(0.75, conc_sum / busy_sum))
 
     def compute_plan(self) -> AllocationPlan:
-        """The allocation for the *current* accepting topology."""
+        """The allocation for the *current* accepting topology.
+
+        True server counts, no clamping: a full-tier outage (zero accepting
+        servers) makes the planner raise ``ModelError``, and ``reallocate``
+        skips the period — planning "per server" load against a phantom
+        server sized the pools for a topology that does not exist.
+        """
         return self.planner.plan(
             tomcat_model=self.estimator.model("app"),
             mysql_model=self.estimator.model("db"),
-            app_servers=max(1, len(self.system.active_servers("app"))),
-            db_servers=max(1, len(self.system.active_servers("db"))),
+            app_servers=len(self.system.active_servers("app")),
+            db_servers=len(self.system.active_servers("db")),
             active_fraction=self.measured_active_fraction(),
         )
 

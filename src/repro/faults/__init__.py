@@ -24,6 +24,7 @@ from repro.faults.spec import (
     BrokerOutage,
     FaultSpec,
     LatencySpike,
+    ShardPrimaryCrash,
     SlowNode,
     TierPartition,
     VMCrash,
@@ -40,6 +41,7 @@ __all__ = [
     "InjectionEvent",
     "LatencySpike",
     "PolicyConfig",
+    "ShardPrimaryCrash",
     "SlowNode",
     "TierPartition",
     "VMCrash",

@@ -86,8 +86,13 @@ class PolicyConfig:
 # ---------------------------------------------------------------------------
 
 def _base_dispatch(env, balancer, request, kwargs):
-    """The innermost link: the historical pick + handle pair."""
-    server = balancer.pick()
+    """The innermost link: the historical pick + handle pair.
+
+    Goes through ``pick_for`` so key-aware balancers (the shard router)
+    route each attempt on the request key — a retry after a primary
+    failover must find the *new* primary, not replay a stale choice.
+    """
+    server = balancer.pick_for(request)
     result = yield server.handle(request, **kwargs)
     return result
 

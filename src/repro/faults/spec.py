@@ -117,6 +117,59 @@ class VMCrash(FaultSpec):
         return (f"crashed {server.name} ({killed} interactions killed)", None)
 
 
+@FAULTS.register("shard_primary_crash")
+@dataclass(frozen=True)
+class ShardPrimaryCrash(FaultSpec):
+    """Abrupt death of one shard's MySQL primary, with replica failover.
+
+    The primary crashes exactly like :class:`VMCrash` (in-flight
+    interactions fail, the VM terminates, the monitor agent is dropped);
+    the shard router then promotes the first accepting replica to primary
+    so subsequent writes keep a destination.  A shard with no replica is
+    left primary-less — its writes raise ``TopologyError`` until a scale-out
+    lands on it, which is exactly the degraded mode the resilience policies
+    (retry/breaker) are there to absorb.  A no-op on unsharded deployments.
+    """
+
+    kind = "shard_primary_crash"
+
+    shard: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.shard < 0:
+            raise ConfigurationError(f"shard must be >= 0, got {self.shard}")
+
+    def apply(self, deployment: "Deployment") -> ApplyResult:
+        router = deployment.system.db_balancer
+        shard_count = getattr(router, "shards", 0)
+        if not shard_count:
+            return ("db tier is unsharded; primary crash is a no-op", None)
+        if self.shard >= shard_count:
+            return (
+                f"no shard {self.shard} (have 0..{shard_count - 1})", None
+            )
+        primary = router.shard(self.shard).primary
+        if primary is None or not primary.accepting:
+            return (f"shard {self.shard} has no accepting primary", None)
+        killed = primary.crash("shard_primary_crash fault")
+        deployment.system.remove(primary)
+        if deployment.vm_agent is not None:
+            deployment.vm_agent.handle_crash(primary)
+        elif deployment.fleet is not None:
+            deployment.fleet.reconcile()
+        promoted = router.promote(self.shard)
+        tail = (
+            f"promoted {promoted.name}" if promoted is not None
+            else "no replica to promote"
+        )
+        return (
+            f"crashed {primary.name} (shard {self.shard}, "
+            f"{killed} interactions killed); {tail}",
+            None,
+        )
+
+
 @FAULTS.register("tier_partition")
 @dataclass(frozen=True)
 class TierPartition(FaultSpec):

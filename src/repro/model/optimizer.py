@@ -28,7 +28,7 @@ from typing import Optional
 
 from repro.errors import ModelError
 from repro.model.service_time import ConcurrencyModel
-from repro.ntier.softconfig import SoftResourceConfig
+from repro.ntier.softconfig import DEFAULT_MAX_CONNECTIONS, SoftResourceConfig
 
 #: Default safety margin over the theoretical optimum.
 DEFAULT_HEADROOM = 1.1
@@ -115,10 +115,17 @@ class AllocationPlanner:
         threads = self._clamp(self.headroom * tomcat_knee / fraction)
         total_connections = self.headroom * mysql_knee * db_servers
         per_tomcat_connections = self._clamp(total_connections / app_servers)
+        # Per-MySQL cap: must admit the worst case of every upstream pool
+        # concentrating on one server, or it silently truncates the plan.
+        # The stock default is kept whenever it already suffices.
+        max_connections = max(
+            DEFAULT_MAX_CONNECTIONS, app_servers * per_tomcat_connections
+        )
         soft = SoftResourceConfig(
             apache_threads=self.apache_threads,
             tomcat_threads=threads,
             db_connections=per_tomcat_connections,
+            max_connections=max_connections,
         )
         return AllocationPlan(
             soft=soft,

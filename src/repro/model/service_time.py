@@ -96,6 +96,32 @@ class ConcurrencyModel:
             raise ModelError("Eq (8) denominator non-positive; fit is degenerate")
         return self.gamma * servers / denom
 
+    # -- stateful-tier adjustments ----------------------------------------------
+    def with_cache_hit_rate(self, hit_rate: float) -> "ConcurrencyModel":
+        """Effective db-tier curve when a cache absorbs ``hit_rate`` of visits.
+
+        Our fitted samples are HTTP-normalised: S*(N) aggregates the db work
+        *per HTTP request*.  A cache hit skips all of a request's queries,
+        so the expected per-request db service time scales by the miss
+        fraction ``(1 - h)`` uniformly — ``s0``, ``alpha`` and ``beta`` all
+        shrink by it, while ``gamma`` (load-balancing efficiency) and the
+        tier label are untouched.  Consequences the DCM estimator consumes
+        unchanged: the knee ``N_b = sqrt((s0 - alpha)/beta)`` is invariant
+        (both numerator terms scale by the same factor), and ``X_max``
+        grows by ``1/(1 - h)`` — a warm cache raises HTTP capacity without
+        moving the per-server concurrency optimum.
+        """
+        if not 0.0 <= hit_rate < 1.0:
+            raise ModelError(f"hit_rate must be in [0, 1), got {hit_rate}")
+        miss = 1.0 - hit_rate
+        return ConcurrencyModel(
+            s0=self.s0 * miss,
+            alpha=self.alpha * miss,
+            beta=self.beta * miss,
+            gamma=self.gamma,
+            tier=self.tier,
+        )
+
     # -- presentation ---------------------------------------------------------------
     def rescaled(self, gamma: float) -> "ConcurrencyModel":
         """Re-express the same curve under a different gamma convention.

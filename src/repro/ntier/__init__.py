@@ -8,6 +8,7 @@ balancers, the ground-truth concurrency-contention law, and the
 
 from repro.ntier.apache import ApacheServer
 from repro.ntier.balancer import Balancer
+from repro.ntier.cache import CACHE_CONTENTION, CacheServer, CacheSpec, CacheTier
 from repro.ntier.connpool import ConnectionPool
 from repro.ntier.contention import (
     APACHE_CONTENTION,
@@ -18,7 +19,17 @@ from repro.ntier.contention import (
 from repro.ntier.mysql import MySQLServer
 from repro.ntier.request import DemandProfile, Interaction, Request
 from repro.ntier.server import TierServer
-from repro.ntier.softconfig import HardwareConfig, SoftResourceConfig
+from repro.ntier.sharding import (
+    ConsistentHashRing,
+    Shard,
+    ShardingSpec,
+    ShardRouter,
+)
+from repro.ntier.softconfig import (
+    DEFAULT_MAX_CONNECTIONS,
+    HardwareConfig,
+    SoftResourceConfig,
+)
 from repro.ntier.threadpool import ThreadPool
 from repro.ntier.tomcat import TomcatServer
 from repro.ntier.topology import NTierSystem
@@ -27,8 +38,14 @@ __all__ = [
     "APACHE_CONTENTION",
     "ApacheServer",
     "Balancer",
+    "CACHE_CONTENTION",
+    "CacheServer",
+    "CacheSpec",
+    "CacheTier",
     "ConnectionPool",
+    "ConsistentHashRing",
     "ContentionModel",
+    "DEFAULT_MAX_CONNECTIONS",
     "DemandProfile",
     "HardwareConfig",
     "Interaction",
@@ -36,6 +53,9 @@ __all__ = [
     "MySQLServer",
     "NTierSystem",
     "Request",
+    "Shard",
+    "ShardRouter",
+    "ShardingSpec",
     "SoftResourceConfig",
     "TOMCAT_CONTENTION",
     "ThreadPool",

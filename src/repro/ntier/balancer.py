@@ -73,6 +73,12 @@ class Balancer:
         self.imbalance = imbalance
         self._rng = rng
         self._backends: List["TierServer"] = []
+        # Monotonic registration order, used as the least_conn tie-break.
+        # Breaking ties on the *name* sorts lexicographically ("tomcat-10"
+        # before "tomcat-2"), silently reordering ties once a tier reaches
+        # ten servers; the numeric join index never does.
+        self._reg_index: dict = {}
+        self._reg_seq = 0
         # Round-robin cursor: the *last picked* backend plus a numeric
         # fallback position, so the rotation survives membership churn
         # (see ``pick``) instead of taking a modulo over a shifting list.
@@ -107,6 +113,8 @@ class Balancer:
         if server in self._backends:
             raise TopologyError(f"{server.name} already behind {self.name}")
         self._backends.append(server)
+        self._reg_index[server] = self._reg_seq
+        self._reg_seq += 1
 
     def remove(self, server: "TierServer") -> None:
         """Deregister a backend entirely (it should be drained first)."""
@@ -114,6 +122,7 @@ class Balancer:
             self._backends.remove(server)
         except ValueError:
             raise TopologyError(f"{server.name} is not behind {self.name}") from None
+        self._reg_index.pop(server, None)
 
     # -- picking ------------------------------------------------------------------
     def pick(self) -> "TierServer":
@@ -155,8 +164,19 @@ class Balancer:
             self._rr_index = idx + 1
             return chosen
         if self.policy == "least_conn":
-            return min(candidates, key=lambda b: (b.outstanding, b.name))
+            reg = self._reg_index
+            return min(candidates, key=lambda b: (b.outstanding, reg.get(b, 0)))
         return candidates[int(self._rng.integers(len(candidates)))]
+
+    def pick_for(self, request) -> "TierServer":
+        """Choose a backend for ``request``.
+
+        The plain balancer ignores the request (all backends are
+        interchangeable); key-aware subclasses (the shard router) route on
+        ``request.key``.  Dispatch and the resilience chains go through this
+        hook so retries re-route each attempt.
+        """
+        return self.pick()
 
     @property
     def dispatches(self) -> int:
@@ -194,7 +214,7 @@ class Balancer:
         ``pick()`` + ``yield handle()`` pair, keeping digests bit-identical.
         """
         if self._chain is None:
-            server = self.pick()
+            server = self.pick_for(request)
             result = yield server.handle(request, **kwargs)
             return result
         return (yield from self._chain(env, self, request, kwargs))

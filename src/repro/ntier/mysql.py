@@ -36,9 +36,29 @@ class MySQLServer(TierServer):
         name: str,
         max_connections: int = 400,
         contention: ContentionModel = MYSQL_CONTENTION,
+        role: str = "standalone",
+        shard: "int | None" = None,
     ) -> None:
         super().__init__(env, name, contention)
         self.max_connections = int(max_connections)
+        #: ``standalone`` (unsharded multi-master), ``primary`` or
+        #: ``replica``.  The shard router reads these; the plain balancer
+        #: ignores them.
+        self.role = role
+        #: Shard index this server belongs to (``None`` when unsharded, or
+        #: until the shard router auto-assigns a scale-out server).
+        self.shard = shard
+
+    def set_max_connections(self, size: int) -> None:
+        """Resize the connection cap (soft-config resize path).
+
+        Raising the cap admits queued-out load immediately; lowering it only
+        gates *new* queries — in-flight ones run to completion, as a live
+        ``SET GLOBAL max_connections`` would behave.
+        """
+        if size < 1:
+            raise CapacityError(f"{self.name}: max_connections must be >= 1")
+        self.max_connections = int(size)
 
     @property
     def active_queries(self) -> int:
@@ -71,4 +91,6 @@ class MySQLServer(TierServer):
                 "max_connections": float(self.max_connections),
             }
         )
+        if self.shard is not None:
+            snap["shard"] = float(self.shard)
         return snap

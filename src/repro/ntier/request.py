@@ -76,6 +76,15 @@ class Request:
     failed: bool = False
     failure_reason: str = ""
     interactions: Optional[List[Interaction]] = None
+    #: Application data key this request touches (``None`` for keyless
+    #: workloads — the paper's browse-only mix has no notion of identity).
+    #: Stateful tiers route on it: the cache tier keys its entries and the
+    #: shard router maps it onto the consistent-hash ring.
+    key: Optional[int] = None
+    #: Whether this request mutates its key (write servlets).  Writes go to
+    #: the shard primary and invalidate the cache entry; reads may hit any
+    #: replica.
+    is_write: bool = False
     #: DB transactions committed on behalf of this request (incremented by
     #: MySQL at query *completion*).  The retry policy's idempotency guard
     #: reads it: a request whose commit count moved since the failed attempt

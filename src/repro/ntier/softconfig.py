@@ -18,7 +18,14 @@ from repro.errors import ConfigurationError
 
 @dataclass(frozen=True)
 class HardwareConfig:
-    """``#W/#A/#D`` — servers per tier (web / app / db)."""
+    """``#W/#A/#D`` — servers per tier (web / app / db).
+
+    Counts may be zero: ``NTierSystem.hardware`` reports the *live*
+    accepting topology, and a full-tier outage (e.g. a ``tier_partition``
+    fault) genuinely leaves zero accepting servers.  Initial topologies
+    still need at least one server per tier — :meth:`parse` (the spec
+    entry point) and ``NTierSystem`` construction enforce that.
+    """
 
     web: int
     app: int
@@ -26,8 +33,8 @@ class HardwareConfig:
 
     def __post_init__(self) -> None:
         for tier, count in (("web", self.web), ("app", self.app), ("db", self.db)):
-            if count < 1:
-                raise ConfigurationError(f"{tier} tier needs >= 1 server, got {count}")
+            if count < 0:
+                raise ConfigurationError(f"{tier} tier count must be >= 0, got {count}")
 
     @classmethod
     def parse(cls, text: str) -> "HardwareConfig":
@@ -39,15 +46,22 @@ class HardwareConfig:
             web, app, db = (int(p) for p in parts)
         except ValueError as err:
             raise ConfigurationError(f"non-integer tier count in {text!r}") from err
+        for tier, count in (("web", web), ("app", app), ("db", db)):
+            if count < 1:
+                raise ConfigurationError(f"{tier} tier needs >= 1 server, got {count}")
         return cls(web, app, db)
 
     def __str__(self) -> str:
         return f"{self.web}/{self.app}/{self.db}"
 
 
+#: Stock-MySQL-style wide default for ``max_connections`` (see MySQLServer).
+DEFAULT_MAX_CONNECTIONS = 400
+
+
 @dataclass(frozen=True)
 class SoftResourceConfig:
-    """``#W_T/#A_T/#A_C`` — the three concurrency-controlling soft resources.
+    """``#W_T/#A_T/#A_C`` — the concurrency-controlling soft resources.
 
     Attributes
     ----------
@@ -60,11 +74,20 @@ class SoftResourceConfig:
         modified RUBBoS so all servlets share one pool per Tomcat; the
         maximum concurrency reaching MySQL is therefore
         ``app_servers * db_connections``).
+    max_connections:
+        Per-MySQL-server connection cap.  Not a paper knob (MySQL keeps a
+        wide default), but it *bounds* DCM's db-side allocation: the upstream
+        pools cannot push more than ``max_connections`` queries into one
+        server, so the resize path must carry it or a plan larger than the
+        construction-time cap is silently truncated.  The canonical 3-part
+        ``#W_T/#A_T/#A_C`` notation is kept for the default cap; a 4th
+        ``/`` part expresses an explicit override.
     """
 
     apache_threads: int
     tomcat_threads: int
     db_connections: int
+    max_connections: int = DEFAULT_MAX_CONNECTIONS
 
     #: The paper's default allocation (assigned after the class definition).
     DEFAULT: ClassVar["SoftResourceConfig"]
@@ -74,6 +97,7 @@ class SoftResourceConfig:
             ("apache_threads", self.apache_threads),
             ("tomcat_threads", self.tomcat_threads),
             ("db_connections", self.db_connections),
+            ("max_connections", self.max_connections),
         ):
             if size < 1:
                 raise ConfigurationError(f"{label} must be >= 1, got {size}")
@@ -81,31 +105,49 @@ class SoftResourceConfig:
     @classmethod
     def parse(cls, text: str) -> "SoftResourceConfig":
         """Parse ``"1000/100/80"`` (also accepts ``-`` separators as in the
-        paper's prose, e.g. ``"1000-100-80"``)."""
+        paper's prose, e.g. ``"1000-100-80"``).  A 4th part sets the
+        per-MySQL ``max_connections`` cap: ``"1000/100/80/600"``."""
         norm = text.strip().replace("-", "/")
         parts = norm.split("/")
-        if len(parts) != 3:
-            raise ConfigurationError(f"expected '#W_T/#A_T/#A_C', got {text!r}")
+        if len(parts) not in (3, 4):
+            raise ConfigurationError(
+                f"expected '#W_T/#A_T/#A_C[/max_conn]', got {text!r}"
+            )
         try:
-            wt, at, ac = (int(p) for p in parts)
+            sizes = [int(p) for p in parts]
         except ValueError as err:
             raise ConfigurationError(f"non-integer pool size in {text!r}") from err
-        return cls(wt, at, ac)
+        if len(sizes) == 3:
+            sizes.append(DEFAULT_MAX_CONNECTIONS)
+        return cls(*sizes)
 
     def with_tomcat_threads(self, n: int) -> "SoftResourceConfig":
         """Copy with a different per-Tomcat thread pool size."""
-        return SoftResourceConfig(self.apache_threads, n, self.db_connections)
+        return SoftResourceConfig(
+            self.apache_threads, n, self.db_connections, self.max_connections
+        )
 
     def with_db_connections(self, n: int) -> "SoftResourceConfig":
         """Copy with a different per-Tomcat DB connection pool size."""
-        return SoftResourceConfig(self.apache_threads, self.tomcat_threads, n)
+        return SoftResourceConfig(
+            self.apache_threads, self.tomcat_threads, n, self.max_connections
+        )
+
+    def with_max_connections(self, n: int) -> "SoftResourceConfig":
+        """Copy with a different per-MySQL connection cap."""
+        return SoftResourceConfig(
+            self.apache_threads, self.tomcat_threads, self.db_connections, n
+        )
 
     def max_db_concurrency(self, app_servers: int) -> int:
         """Maximum request-processing concurrency reaching the DB tier."""
         return self.db_connections * app_servers
 
     def __str__(self) -> str:
-        return f"{self.apache_threads}/{self.tomcat_threads}/{self.db_connections}"
+        base = f"{self.apache_threads}/{self.tomcat_threads}/{self.db_connections}"
+        if self.max_connections == DEFAULT_MAX_CONNECTIONS:
+            return base
+        return f"{base}/{self.max_connections}"
 
 
 SoftResourceConfig.DEFAULT = SoftResourceConfig(1000, 100, 80)

@@ -19,7 +19,7 @@ executing servlet code occupy the CPU and contribute to its contention level.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.ntier.balancer import Balancer
 from repro.ntier.connpool import ConnectionPool
@@ -30,6 +30,7 @@ from repro.ntier.threadpool import ThreadPool
 from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.ntier.cache import CacheTier
     from repro.sim.core import Environment
 
 #: Fraction of a servlet's Tomcat CPU demand executed before its DB queries
@@ -50,11 +51,16 @@ class TomcatServer(TierServer):
         threads: int = 100,
         db_connections: int = 80,
         contention: ContentionModel = TOMCAT_CONTENTION,
+        cache: "Optional[CacheTier]" = None,
     ) -> None:
         super().__init__(env, name, contention)
         self.threads = ThreadPool(env, threads, name=f"{name}.threads")
         self.db_pool = ConnectionPool(env, db_connections, name=f"{name}.dbconnp")
         self.db_balancer = db_balancer
+        #: Cache-aside tier consulted before the db-query loop (``None`` in
+        #: cacheless deployments — that path is event-identical to the
+        #: pre-cache servers, which the golden digests pin).
+        self.cache = cache
 
     def _process(
         self, request: Request, started_holder: list, **kwargs: Any
@@ -66,14 +72,27 @@ class TomcatServer(TierServer):
             started_holder[0] = self.env.now
             demand = request.demand.tomcat
             yield self.cpu.execute(demand * _PRE_QUERY_SPLIT)
-            for query_demand in request.demand.db_queries:
-                conn = yield from self.db_pool.checkout()
-                try:
-                    yield from self.db_balancer.dispatch(
-                        self.env, request, demand=query_demand
-                    )
-                finally:
-                    self.db_pool.checkin(conn)
+            use_cache = self.cache is not None and request.key is not None
+            hit = False
+            if use_cache and not request.is_write:
+                hit = yield from self.cache.lookup(request)
+            if not hit:
+                # A hit bypasses the whole app→db hop: no connection is
+                # checked out and no query dispatched, so the db tier sees
+                # only the miss fraction of the HTTP arrival rate.
+                for query_demand in request.demand.db_queries:
+                    conn = yield from self.db_pool.checkout()
+                    try:
+                        yield from self.db_balancer.dispatch(
+                            self.env, request, demand=query_demand
+                        )
+                    finally:
+                        self.db_pool.checkin(conn)
+                if use_cache:
+                    if request.is_write:
+                        yield from self.cache.invalidate(request)
+                    else:
+                        yield from self.cache.insert(request)
             yield self.cpu.execute(demand * (1.0 - _PRE_QUERY_SPLIT))
         finally:
             self.threads.checkin(thread)

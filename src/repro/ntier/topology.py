@@ -17,9 +17,15 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.errors import InvariantViolation, RequestShed, TopologyError
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    RequestShed,
+    TopologyError,
+)
 from repro.ntier.apache import ApacheServer
 from repro.ntier.balancer import Balancer
+from repro.ntier.cache import CacheServer, CacheSpec, CacheTier
 from repro.ntier.contention import (
     APACHE_CONTENTION,
     MYSQL_CONTENTION,
@@ -28,10 +34,12 @@ from repro.ntier.contention import (
 )
 from repro.ntier.mysql import MySQLServer
 from repro.ntier.request import Request
+from repro.ntier.sharding import ShardingSpec, ShardRouter
 from repro.ntier.softconfig import HardwareConfig, SoftResourceConfig
 from repro.ntier.tomcat import TomcatServer
 from repro.sim.events import Event
 from repro.sim.rng import RandomStreams
+from repro.workload.keys import ZipfKeySampler
 from repro.workload.servlets import ServletCatalog, browse_only_catalog
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,6 +66,14 @@ class NTierSystem:
     balancer_policy / imbalance:
         Passed to the app- and db-tier balancers; ``imbalance`` produces the
         sub-linear multi-server scaling behind the paper's γ.
+    cache / sharding:
+        Optional stateful-tier configurations.  ``cache`` inserts a
+        cache-aside tier between Tomcat and MySQL; ``sharding`` replaces the
+        multi-master db balancer with a :class:`ShardRouter` (the db tier
+        then holds ``shards * (1 + replicas)`` servers and ``hardware.db``
+        is superseded).  Either one makes the workload *keyed* (a seeded
+        Zipf stream assigns ``request.key``).  Both ``None`` reproduces the
+        historical construction sequence bit-for-bit.
     """
 
     def __init__(
@@ -72,11 +88,24 @@ class NTierSystem:
         apache_contention: ContentionModel = APACHE_CONTENTION,
         tomcat_contention: ContentionModel = TOMCAT_CONTENTION,
         mysql_contention: ContentionModel = MYSQL_CONTENTION,
+        cache: Optional[CacheSpec] = None,
+        sharding: Optional[ShardingSpec] = None,
     ) -> None:
+        for tier, count in (
+            ("web", hardware.web), ("app", hardware.app), ("db", hardware.db)
+        ):
+            # HardwareConfig itself allows zero (the live `hardware` property
+            # reports outages truthfully); an *initial* topology cannot.
+            if count < 1:
+                raise ConfigurationError(
+                    f"initial {tier} tier needs >= 1 server, got {count}"
+                )
         self.env = env
         self.streams = streams or RandomStreams(0)
         self.soft = soft
         self.catalog = catalog or browse_only_catalog()
+        self.cache_spec = cache
+        self.sharding = sharding
         self._contention = {
             "web": apache_contention,
             "app": tomcat_contention,
@@ -92,14 +121,45 @@ class NTierSystem:
             imbalance=imbalance,
             rng=self.streams.stream("balancer.app"),
         )
-        self.db_balancer = Balancer(
-            "lb-db",
-            policy=balancer_policy,
-            imbalance=imbalance,
-            rng=self.streams.stream("balancer.db"),
-        )
+        if sharding is None:
+            self.db_balancer: Balancer = Balancer(
+                "lb-db",
+                policy=balancer_policy,
+                imbalance=imbalance,
+                rng=self.streams.stream("balancer.db"),
+            )
+        else:
+            self.db_balancer = ShardRouter(
+                "lb-db",
+                sharding,
+                policy=balancer_policy,
+                imbalance=imbalance,
+                rng=self.streams.stream("balancer.db"),
+                shard_stream=lambda sid: self.streams.stream(
+                    f"balancer.db.shard-{sid}"
+                ),
+            )
 
-        self._counters = {"web": 0, "app": 0, "db": 0}
+        # Keyed workloads: either stateful tier implies a key per request,
+        # drawn from its own named stream so keyless digests never move.
+        self._key_sampler: Optional[ZipfKeySampler] = None
+        if cache is not None or sharding is not None:
+            kspec = cache if cache is not None else sharding
+            if (
+                cache is not None
+                and sharding is not None
+                and (cache.keys, cache.zipf) != (sharding.keys, sharding.zipf)
+            ):
+                raise ConfigurationError(
+                    "cache and sharding describe different keyed workloads: "
+                    f"keys/zipf {cache.keys}/{cache.zipf} vs "
+                    f"{sharding.keys}/{sharding.zipf}"
+                )
+            self._key_sampler = ZipfKeySampler(
+                kspec.keys, kspec.zipf, self.streams.stream("workload.keys")
+            )
+
+        self._counters = {"web": 0, "app": 0, "db": 0, "cache": 0}
         # Request accounting for the analysis layer.
         self.request_log: List[Tuple[float, float]] = []
         self.failure_log: List[float] = []
@@ -113,8 +173,31 @@ class NTierSystem:
         # conservation audits can still sum their counters.
         self.removed_servers: List = []
 
-        for _ in range(hardware.db):
-            self.add_mysql()
+        # Cache tier first: Tomcats hold a reference to it at construction.
+        self.cache: Optional[CacheTier] = None
+        if cache is not None:
+            nodes = [
+                CacheServer(
+                    env,
+                    self._next_name("cache"),
+                    capacity=cache.capacity,
+                    ttl=cache.ttl,
+                    op_demand=cache.op_demand,
+                )
+                for _ in range(cache.servers)
+            ]
+            self.cache = CacheTier(env, cache, nodes)
+
+        if sharding is None:
+            for _ in range(hardware.db):
+                self.add_mysql()
+        else:
+            # hardware.db is superseded: the sharded tier's size is fixed by
+            # its own geometry, one primary plus N replicas per shard.
+            for sid in range(sharding.shards):
+                self.add_mysql(role="primary", shard=sid)
+                for _ in range(sharding.replicas):
+                    self.add_mysql(role="replica", shard=sid)
         for _ in range(hardware.app):
             self.add_tomcat()
         for _ in range(hardware.web):
@@ -123,7 +206,7 @@ class NTierSystem:
     # -- construction helpers -----------------------------------------------------
     def _next_name(self, tier: str) -> str:
         self._counters[tier] += 1
-        prefix = {"web": "apache", "app": "tomcat", "db": "mysql"}[tier]
+        prefix = {"web": "apache", "app": "tomcat", "db": "mysql", "cache": "cache"}[tier]
         return f"{prefix}-{self._counters[tier]}"
 
     def add_apache(self, threads: Optional[int] = None) -> ApacheServer:
@@ -158,17 +241,35 @@ class NTierSystem:
                 db_connections if db_connections is not None else self.soft.db_connections
             ),
             contention=self._contention["app"],
+            cache=self.cache,
         )
         self.app_balancer.add(server)
         return server
 
-    def add_mysql(self, max_connections: int = 400) -> MySQLServer:
-        """Create and register a new MySQL server (db tier)."""
+    def add_mysql(
+        self,
+        max_connections: Optional[int] = None,
+        role: str = "standalone",
+        shard: Optional[int] = None,
+    ) -> MySQLServer:
+        """Create and register a new MySQL server (db tier).
+
+        Defaults the connection cap to the system's current soft config (so
+        resized caps carry over to scale-out servers).  ``role`` / ``shard``
+        matter only behind a :class:`ShardRouter`; a server joining a
+        sharded tier without them becomes a replica of the hottest shard.
+        """
         server = MySQLServer(
             self.env,
             self._next_name("db"),
-            max_connections=max_connections,
+            max_connections=(
+                max_connections
+                if max_connections is not None
+                else self.soft.max_connections
+            ),
             contention=self._contention["db"],
+            role=role,
+            shard=shard,
         )
         self.db_balancer.add(server)
         return server
@@ -190,22 +291,38 @@ class NTierSystem:
         return self.balancer(tier).eligible()
 
     def all_servers(self) -> list:
-        """Every registered server across all tiers."""
-        return [s for tier in TIERS for s in self.tier_servers(tier)]
+        """Every registered server across all tiers (cache nodes included)."""
+        servers = [s for tier in TIERS for s in self.tier_servers(tier)]
+        if self.cache is not None:
+            servers.extend(self.cache.nodes)
+        return servers
 
     @property
     def hardware(self) -> HardwareConfig:
-        """Current accepting-server counts as a ``#W/#A/#D`` config."""
+        """Current accepting-server counts as a ``#W/#A/#D`` config.
+
+        Counts are reported *truthfully*: a full-tier outage shows as 0, not
+        a clamped 1 — controllers dividing load by a phantom server computed
+        per-server demand with the wrong denominator (and the allocation
+        planner now rejects zero-server topologies explicitly).
+        """
         return HardwareConfig(
-            max(1, len(self.active_servers("web"))),
-            max(1, len(self.active_servers("app"))),
-            max(1, len(self.active_servers("db"))),
+            len(self.active_servers("web")),
+            len(self.active_servers("app")),
+            len(self.active_servers("db")),
         )
 
     def visit_ratios(self) -> Dict[str, float]:
         """The paper's V_m per tier for this system's servlet mix — what the
-        model estimator needs to convert HTTP throughput to per-tier visits."""
-        return self.catalog.visit_ratios()
+        model estimator needs to convert HTTP throughput to per-tier visits.
+
+        With a cache tier, db visits shrink to the *measured* miss fraction:
+        ``V_db = (1 - hit_rate) * V_db_catalog`` (0 hits recorded means the
+        catalogue ratio, so a cold system matches the cacheless one)."""
+        ratios = self.catalog.visit_ratios()
+        if self.cache is not None:
+            ratios["db"] *= max(0.0, 1.0 - self.cache.hit_rate())
+        return ratios
 
     # -- scaling operations (used by actuators) -----------------------------------------
     def drain(self, server) -> Event:
@@ -219,13 +336,20 @@ class NTierSystem:
         self.removed_servers.append(server)
 
     def apply_soft_config(self, soft: SoftResourceConfig) -> None:
-        """Resize every live server's pools to ``soft`` (APP-agent bulk op)."""
+        """Resize every live server's pools to ``soft`` (APP-agent bulk op).
+
+        The db tier is resized too: leaving ``max_connections`` at its
+        construction-time value silently capped any db-side allocation
+        larger than the cap — the soft config now carries it end to end.
+        """
         self.soft = soft
         for server in self.tier_servers("web"):
             server.threads.resize(soft.apache_threads)
         for server in self.tier_servers("app"):
             server.threads.resize(soft.tomcat_threads)
             server.db_pool.resize(soft.db_connections)
+        for server in self.tier_servers("db"):
+            server.set_max_connections(soft.max_connections)
 
     # -- request entry point ----------------------------------------------------------
     def submit(self, servlet_name: Optional[str] = None) -> Tuple[Request, Event]:
@@ -240,7 +364,18 @@ class NTierSystem:
         else:
             servlet = self.catalog[servlet_name]
         demand = servlet.sample_demand(rng, self.catalog.demand_distribution)
-        request = Request(servlet=servlet, created=self.env.now, demand=demand)
+        if self._key_sampler is not None:
+            key: Optional[int] = self._key_sampler.sample()
+            is_write = servlet.category == "write"
+        else:
+            key, is_write = None, False
+        request = Request(
+            servlet=servlet,
+            created=self.env.now,
+            demand=demand,
+            key=key,
+            is_write=is_write,
+        )
         self.submitted += 1
         if self.audit_requests is not None:
             self.audit_requests.append(request)

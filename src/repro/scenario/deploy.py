@@ -39,11 +39,13 @@ from repro.faults import FaultInjector, build_chain
 from repro.model import OnlineModelEstimator
 from repro.monitor import METRICS_TOPIC, MetricCollector, MonitorFleet
 from repro.ntier import HardwareConfig, NTierSystem, SoftResourceConfig
+from repro.ntier.cache import CacheSpec
 from repro.ntier.contention import ContentionModel
+from repro.ntier.sharding import ShardingSpec
 from repro.scenario.registry import resolve_controller, resolve_workload
 from repro.scenario.spec import ScenarioSpec
 from repro.sim import Environment, RandomStreams
-from repro.workload import browse_only_catalog
+from repro.workload import browse_only_catalog, read_write_catalog
 from repro.workload.servlets import ServletCatalog
 
 
@@ -59,6 +61,8 @@ def build_system(
     mysql_contention: Optional[ContentionModel] = None,
     tomcat_contention: Optional[ContentionModel] = None,
     scheduler: str = "heap",
+    cache: Optional[CacheSpec] = None,
+    sharding: Optional[ShardingSpec] = None,
 ) -> Tuple[Environment, NTierSystem]:
     """One-call construction of an environment + n-tier system.
 
@@ -67,7 +71,11 @@ def build_system(
     defaults) — the thrash ablation runs the substrate with the quadratic
     law only.  ``scheduler`` picks the kernel's pending-event structure
     (``heap`` / ``calendar``); same-seed runs are bit-identical under
-    either.
+    either.  ``cache`` adds a cache-aside tier in front of MySQL;
+    ``sharding`` replaces ``hardware.db`` with consistent-hash shards of
+    one primary + N read replicas behind a :class:`ShardRouter`.  Both are
+    ``None`` by default, which keeps stateless topologies — and their
+    golden digests — bit-identical.
     """
     env = Environment(scheduler=scheduler)
     streams = RandomStreams(seed)
@@ -79,6 +87,10 @@ def build_system(
         overrides["mysql_contention"] = mysql_contention
     if tomcat_contention is not None:
         overrides["tomcat_contention"] = tomcat_contention
+    if cache is not None:
+        overrides["cache"] = cache
+    if sharding is not None:
+        overrides["sharding"] = sharding
     system = NTierSystem(
         env,
         streams,
@@ -108,6 +120,16 @@ class Deployment:
         self.duration = spec.effective_duration()
         self.policy: ScalingPolicy = spec.policy or ScalingPolicy()
 
+        # The browse-only catalogue stays the default; a non-zero
+        # write_fraction opts into the read/write mix (writes route to shard
+        # primaries and invalidate cache entries).
+        catalog = None
+        if spec.write_fraction > 0.0:
+            catalog = read_write_catalog(
+                write_fraction=spec.write_fraction,
+                demand_distribution=spec.demand_distribution,
+                demand_scale=spec.demand_scale,
+            )
         self.env, self.system = build_system(
             hardware=spec.hardware,
             soft=spec.soft,
@@ -115,10 +137,13 @@ class Deployment:
             demand_scale=spec.demand_scale,
             demand_distribution=spec.demand_distribution,
             imbalance=spec.imbalance,
+            catalog=catalog,
             balancer_policy=spec.balancer_policy,
             mysql_contention=spec.mysql_contention,
             tomcat_contention=spec.tomcat_contention,
             scheduler=spec.scheduler,
+            cache=spec.cache,
+            sharding=spec.sharding,
         )
         self.streams: RandomStreams = self.system.streams
 

@@ -23,7 +23,9 @@ from repro.control.policy import ScalingPolicy
 from repro.errors import ConfigurationError, SchemaError
 from repro.faults import FaultSpec, PolicyConfig, fault_from_json_obj
 from repro.model.service_time import ConcurrencyModel
+from repro.ntier.cache import CacheSpec
 from repro.ntier.contention import ContentionModel
+from repro.ntier.sharding import ShardingSpec
 from repro.ntier.softconfig import HardwareConfig, SoftResourceConfig
 from repro.sim.core import SCHEDULERS
 from repro.workload.batched import DEFAULT_BATCHES
@@ -38,11 +40,18 @@ def _canonical_json(obj: Any) -> str:
 #: Schema tag written by :meth:`ScenarioSpec.to_json_obj`.  v1 payloads
 #: (written before the fault subsystem) carry no ``schema`` key and no
 #: ``faults``/``resilience`` keys; v2 payloads predate the scheduler and
-#: batched-workload fields.  Both are accepted unchanged — the new fields
-#: default to the old behaviour (binary heap, unbatched populations).
-SCHEMA = "repro-scenario/3"
+#: batched-workload fields; v3 payloads predate the stateful tiers
+#: (``cache`` / ``sharding`` / ``write_fraction``).  All are accepted
+#: unchanged — the new fields default to the old behaviour (binary heap,
+#: unbatched populations, no cache, single unsharded MySQL tier).
+SCHEMA = "repro-scenario/4"
 
-_ACCEPTED_SCHEMAS = ("repro-scenario/1", "repro-scenario/2", SCHEMA)
+_ACCEPTED_SCHEMAS = (
+    "repro-scenario/1",
+    "repro-scenario/2",
+    "repro-scenario/3",
+    SCHEMA,
+)
 
 
 def _enc_contention(model: Optional[ContentionModel]) -> Optional[Dict[str, Any]]:
@@ -88,6 +97,13 @@ class ScenarioSpec:
     * **Topology / substrate** — ``hardware``, ``soft``, ``seed``,
       ``demand_scale``, ``demand_distribution``, ``imbalance``,
       ``balancer_policy``, and optional contention-law overrides.
+    * **Stateful tiers** — optional ``cache`` (a
+      :class:`~repro.ntier.cache.CacheSpec`: cache-aside tier in front of
+      MySQL) and ``sharding`` (a
+      :class:`~repro.ntier.sharding.ShardingSpec`: consistent-hash shards,
+      each a primary plus read replicas, replacing ``hardware.db``);
+      ``write_fraction`` > 0 swaps the browse-only servlet catalogue for
+      the read/write mix so invalidations and primary-routed writes occur.
     * **Monitoring pipeline** — ``monitoring`` gates the whole
       agents → Kafka → collector chain; ``partitions``,
       ``sample_interval``, and ``collector_history`` tune it.
@@ -124,6 +140,11 @@ class ScenarioSpec:
     balancer_policy: str = "least_conn"
     mysql_contention: Optional[ContentionModel] = None
     tomcat_contention: Optional[ContentionModel] = None
+
+    # -- stateful tiers (schema v4) ------------------------------------------
+    cache: Optional[CacheSpec] = None
+    sharding: Optional[ShardingSpec] = None
+    write_fraction: float = 0.0
 
     # -- monitoring pipeline -------------------------------------------------
     monitoring: bool = True
@@ -165,6 +186,37 @@ class ScenarioSpec:
             object.__setattr__(self, "hardware", HardwareConfig.parse(self.hardware))
         if isinstance(self.soft, str):
             object.__setattr__(self, "soft", SoftResourceConfig.parse(self.soft))
+        if isinstance(self.cache, dict):
+            object.__setattr__(self, "cache", CacheSpec.from_json_obj(self.cache))
+        if isinstance(self.sharding, dict):
+            object.__setattr__(
+                self, "sharding", ShardingSpec.from_json_obj(self.sharding)
+            )
+        if self.cache is not None and not isinstance(self.cache, CacheSpec):
+            raise ConfigurationError(
+                f"cache must be a CacheSpec (or None), got {self.cache!r}"
+            )
+        if self.sharding is not None and not isinstance(self.sharding, ShardingSpec):
+            raise ConfigurationError(
+                f"sharding must be a ShardingSpec (or None), got {self.sharding!r}"
+            )
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ConfigurationError(
+                f"write_fraction must be in [0, 1], got {self.write_fraction}"
+            )
+        if (
+            self.cache is not None
+            and self.sharding is not None
+            and (self.cache.keys, self.cache.zipf)
+            != (self.sharding.keys, self.sharding.zipf)
+        ):
+            # NTierSystem enforces this too; failing here keeps the error at
+            # the spec boundary where the JSON author can see it.
+            raise ConfigurationError(
+                "cache and sharding must agree on the key population: "
+                f"cache has (keys={self.cache.keys}, zipf={self.cache.zipf}), "
+                f"sharding has (keys={self.sharding.keys}, zipf={self.sharding.zipf})"
+            )
         if isinstance(self.models, dict):
             object.__setattr__(self, "models", tuple(sorted(self.models.items())))
         if isinstance(self.preparation_periods, dict):
@@ -267,6 +319,10 @@ class ScenarioSpec:
             "balancer_policy": self.balancer_policy,
             "mysql_contention": _enc_contention(self.mysql_contention),
             "tomcat_contention": _enc_contention(self.tomcat_contention),
+            "cache": None if self.cache is None else self.cache.to_json_obj(),
+            "sharding": None if self.sharding is None
+            else self.sharding.to_json_obj(),
+            "write_fraction": self.write_fraction,
             "monitoring": self.monitoring,
             "partitions": self.partitions,
             "sample_interval": self.sample_interval,
@@ -324,6 +380,11 @@ class ScenarioSpec:
             balancer_policy=obj["balancer_policy"],
             mysql_contention=_dec_contention(obj.get("mysql_contention")),
             tomcat_contention=_dec_contention(obj.get("tomcat_contention")),
+            cache=None if obj.get("cache") is None
+            else CacheSpec.from_json_obj(obj["cache"]),
+            sharding=None if obj.get("sharding") is None
+            else ShardingSpec.from_json_obj(obj["sharding"]),
+            write_fraction=obj.get("write_fraction", 0.0),
             monitoring=obj["monitoring"],
             partitions=obj["partitions"],
             sample_interval=obj["sample_interval"],

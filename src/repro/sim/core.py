@@ -58,6 +58,7 @@ report only live events.
 
 from __future__ import annotations
 
+import os
 from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, Optional, Union
 
@@ -115,13 +116,17 @@ class Environment:
         :class:`~repro.sim.calqueue.CalendarQueue`, amortised O(1) per
         event), or a scheduler instance exposing
         ``push``/``pop``/``peek``/``__len__``.  Event ordering — and hence
-        every same-seed digest — is identical across schedulers.
+        every same-seed digest — is identical across schedulers.  ``None``
+        (the default) resolves through the ``REPRO_SCHEDULER`` environment
+        variable, falling back to ``"heap"`` — this is how CI runs the
+        whole suite under the calendar queue without touching call sites;
+        code that must pin an ordering structure passes it explicitly.
     """
 
     def __init__(
         self,
         initial_time: float = 0.0,
-        scheduler: Union[str, Any] = "heap",
+        scheduler: Union[str, Any, None] = None,
     ) -> None:
         self._now = float(initial_time)
         self._seq = 0
@@ -130,7 +135,9 @@ class Environment:
         self._active_proc: Optional[Process] = None
         self._active_event: Optional[Event] = None
         self._heap: Optional[list[tuple[float, int, int, Event]]]
-        if scheduler is None or scheduler == "heap":
+        if scheduler is None:
+            scheduler = os.environ.get("REPRO_SCHEDULER", "heap")  # repro: noqa[DCM006]
+        if scheduler == "heap":
             self._heap = []
             self._scheduler = None
         elif scheduler == "calendar":

@@ -14,6 +14,7 @@ from repro.workload.burstiness import (
 )
 from repro.workload.batched import DEFAULT_BATCHES, BatchedPopulation
 from repro.workload.jmeter import JMeterGenerator
+from repro.workload.keys import ZipfKeySampler
 from repro.workload.rubbos import DEFAULT_THINK_TIME, RubbosGenerator
 from repro.workload.servlets import (
     MYSQL_MEAN_DEMAND,
@@ -46,6 +47,7 @@ __all__ = [
     "TraceDrivenGenerator",
     "UserSession",
     "WorkloadTrace",
+    "ZipfKeySampler",
     "arrival_counts",
     "browse_only_catalog",
     "read_write_catalog",

@@ -73,6 +73,7 @@ class TestProperties:
             "scenario_roundtrip",
             "scheduler_equivalence",
             "fault_conservation",
+            "shard_conservation",
         }
         for prop in PROPERTIES.values():
             assert prop.weight > 0

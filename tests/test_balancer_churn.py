@@ -1,0 +1,125 @@
+"""Property fuzz: the round-robin cursor under membership churn.
+
+The rotation is anchored to the *last picked backend* (with a numeric
+fallback position for when that backend leaves the pool), so drains,
+crashes and fresh joins must never double-pick a survivor or starve one.
+The properties below drive a balancer through arbitrary interleavings of
+picks, adds, removes and accepting-flag flips, then check the two
+invariants that define a correct rotation:
+
+* a pick only ever lands on an accepting backend, and
+* once membership settles, one full cycle of picks visits every eligible
+  backend exactly once — no matter what churn preceded it.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.ntier import Balancer
+
+
+class _StubBackend:
+    def __init__(self, name):
+        self.name = name
+        self.accepting = True
+        self.outstanding = 0
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return self.name
+
+
+#: One churn step: (op, operand-selector).  Selectors are drawn as raw
+#: integers and reduced modulo the live pool size at application time, so
+#: shrinking stays well-behaved.
+_OPS = st.tuples(
+    st.sampled_from(["pick", "add", "remove", "flip"]),
+    st.integers(min_value=0, max_value=99),
+)
+
+
+def _apply(balancer, names, pool, op, selector):
+    """Apply one churn step; returns the picked backend (or None)."""
+    if op == "pick":
+        try:
+            return balancer.pick()
+        except TopologyError:
+            assert not balancer.eligible()
+            return None
+    if op == "add":
+        backend = _StubBackend(f"tomcat-{next(names)}")
+        pool.append(backend)
+        balancer.add(backend)
+        return None
+    live = list(balancer.backends)
+    if not live:
+        return None
+    target = live[selector % len(live)]
+    if op == "remove":
+        pool.remove(target)
+        balancer.remove(target)
+    else:  # flip
+        target.accepting = not target.accepting
+    return None
+
+
+@settings(max_examples=200, deadline=None)
+@given(initial=st.integers(min_value=1, max_value=6), ops=st.lists(_OPS, max_size=40))
+def test_picks_only_land_on_accepting_backends(initial, ops):
+    balancer = Balancer("lb-app", policy="round_robin")
+    names = itertools.count(1)
+    pool = []
+    for _ in range(initial):
+        backend = _StubBackend(f"tomcat-{next(names)}")
+        pool.append(backend)
+        balancer.add(backend)
+    for op, selector in ops:
+        picked = _apply(balancer, names, pool, op, selector)
+        if picked is not None:
+            assert picked.accepting
+            assert picked in balancer.backends
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    initial=st.integers(min_value=2, max_value=6),
+    ops=st.lists(_OPS, max_size=40),
+    cycles=st.integers(min_value=1, max_value=3),
+)
+def test_rotation_is_fair_once_membership_settles(initial, ops, cycles):
+    """After arbitrary churn, K full cycles hit every survivor exactly K times."""
+    balancer = Balancer("lb-app", policy="round_robin")
+    names = itertools.count(1)
+    pool = []
+    for _ in range(initial):
+        backend = _StubBackend(f"tomcat-{next(names)}")
+        pool.append(backend)
+        balancer.add(backend)
+    for op, selector in ops:
+        _apply(balancer, names, pool, op, selector)
+    eligible = balancer.eligible()
+    if not eligible:
+        return
+    counts = {backend.name: 0 for backend in eligible}
+    for _ in range(cycles * len(eligible)):
+        counts[balancer.pick().name] += 1
+    assert counts == {backend.name: cycles for backend in eligible}
+
+
+@settings(max_examples=100, deadline=None)
+@given(remove_at=st.integers(min_value=0, max_value=4), n=st.integers(3, 6))
+def test_removing_the_last_picked_backend_does_not_skip_its_successor(remove_at, n):
+    """The regression the numeric fallback exists for: when the cursor's
+    anchor leaves the pool, the next pick is the backend that now occupies
+    the departed one's slot — nobody is skipped."""
+    balancer = Balancer("lb-app", policy="round_robin")
+    pool = [_StubBackend(f"tomcat-{i}") for i in range(n)]
+    for backend in pool:
+        balancer.add(backend)
+    for _ in range(remove_at + 1):
+        last = balancer.pick()
+    successor = pool[(pool.index(last) + 1) % n]
+    balancer.remove(last)
+    assert balancer.pick() is successor

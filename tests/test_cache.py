@@ -1,0 +1,237 @@
+"""The cache tier: node semantics, tier placement, and system wiring.
+
+Covers the cache-aside contract end to end: LRU/TTL mechanics on one
+node, consistent-hash placement across nodes, hits bypassing the whole
+db-query hop inside :class:`~repro.ntier.topology.NTierSystem`, the
+miss-fraction adjustment to the model's effective S*(N), and the spec's
+JSON round-trip.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, ModelError
+from repro.model.service_time import ConcurrencyModel
+from repro.ntier import CacheServer, CacheSpec, NTierSystem
+from repro.ntier.cache import CacheTier
+from repro.ntier.request import DemandProfile, Request
+from repro.sim import Environment, RandomStreams
+
+
+def _request(env, key, is_write=False, queries=1):
+    return Request(
+        servlet=None,
+        created=env.now,
+        demand=DemandProfile(
+            apache=1e-5,
+            tomcat=1e-5,
+            db_queries=tuple([1e-5] * queries),
+        ),
+        key=key,
+        is_write=is_write,
+    )
+
+
+def _drive(env, node, op, key):
+    out = []
+
+    def flow():
+        yield node.handle(_request(env, key), op=op, key=key, out=out)
+
+    env.process(flow())
+    env.run()
+    return out
+
+
+class TestCacheServer:
+    def test_miss_then_hit(self):
+        env = Environment()
+        node = CacheServer(env, "cache-1", capacity=8)
+        assert _drive(env, node, "get", 7) == []
+        _drive(env, node, "put", 7)
+        assert _drive(env, node, "get", 7) == [7]
+        assert node.hits == 1 and node.misses == 1
+        assert node.hit_rate() == 0.5
+
+    def test_lru_eviction_order(self):
+        env = Environment()
+        node = CacheServer(env, "cache-1", capacity=2)
+        for key in (1, 2):
+            _drive(env, node, "put", key)
+        _drive(env, node, "get", 1)  # refresh key 1
+        _drive(env, node, "put", 3)  # evicts key 2, the least recent
+        assert node.evictions == 1
+        assert _drive(env, node, "get", 2) == []
+        assert _drive(env, node, "get", 1) == [1]
+        assert _drive(env, node, "get", 3) == [3]
+
+    def test_ttl_expiry(self):
+        env = Environment()
+        node = CacheServer(env, "cache-1", capacity=8, ttl=1.0)
+        _drive(env, node, "put", 5)
+        env.run(until=env.now + 2.0)
+        assert _drive(env, node, "get", 5) == []
+        assert node.expirations == 1
+
+    def test_invalidation(self):
+        env = Environment()
+        node = CacheServer(env, "cache-1", capacity=8)
+        _drive(env, node, "put", 9)
+        _drive(env, node, "delete", 9)
+        assert node.invalidations == 1
+        assert _drive(env, node, "get", 9) == []
+        # Deleting an absent key is not an invalidation.
+        _drive(env, node, "delete", 9)
+        assert node.invalidations == 1
+
+    def test_operations_are_accounted_interactions(self):
+        env = Environment()
+        node = CacheServer(env, "cache-1", capacity=8)
+        _drive(env, node, "put", 1)
+        _drive(env, node, "get", 1)
+        assert node.arrivals == 2
+        assert node.completions == 2
+        snap = node.snapshot()
+        assert snap["cache_hits"] == 1.0
+        assert snap["cache_entries"] == 1.0
+
+
+class TestCacheTier:
+    def test_placement_is_deterministic_and_total(self):
+        env = Environment()
+        spec = CacheSpec(servers=3)
+        nodes = [
+            CacheServer(env, f"cache-{i}", capacity=spec.capacity)
+            for i in range(3)
+        ]
+        tier = CacheTier(env, spec, nodes)
+        owners = {key: tier.node_for(key).name for key in range(200)}
+        assert owners == {key: tier.node_for(key).name for key in range(200)}
+        assert set(owners.values()) == {n.name for n in nodes}
+
+    def test_node_count_must_match_spec(self):
+        env = Environment()
+        with pytest.raises(ConfigurationError):
+            CacheTier(env, CacheSpec(servers=2), [CacheServer(env, "c", 8)])
+
+    def test_lookup_insert_roundtrip(self):
+        env = Environment()
+        spec = CacheSpec(servers=2)
+        nodes = [
+            CacheServer(env, f"cache-{i}", capacity=spec.capacity)
+            for i in range(2)
+        ]
+        tier = CacheTier(env, spec, nodes)
+        results = []
+
+        def flow():
+            request = _request(env, 42)
+            results.append((yield from tier.lookup(request)))
+            yield from tier.insert(request)
+            results.append((yield from tier.lookup(request)))
+            yield from tier.invalidate(request)
+            results.append((yield from tier.lookup(request)))
+
+        env.process(flow())
+        env.run()
+        assert results == [False, True, False]
+        assert tier.stats()["invalidations"] == 1.0
+
+
+class TestSystemWiring:
+    def test_hits_bypass_the_db_tier(self):
+        env = Environment()
+        system = NTierSystem(env, RandomStreams(3), cache=CacheSpec())
+        requests = [system.submit()[0] for _ in range(300)]
+        env.run(until=60.0)
+        assert system.completed_count() == 300
+        hits = int(system.cache.stats()["hits"])
+        assert hits > 0
+        # A hit skips the request's entire db-query loop — such a request
+        # never even starts a db query.  Every miss runs all its queries.
+        hit_requests = [r for r in requests if r.db_started == 0]
+        assert len(hit_requests) == hits
+        db_arrivals = sum(s.arrivals for s in system.tier_servers("db"))
+        assert db_arrivals == sum(
+            len(r.demand.db_queries) for r in requests if r.db_started > 0
+        )
+
+    def test_visit_ratio_scales_with_miss_fraction(self):
+        env = Environment()
+        system = NTierSystem(env, RandomStreams(3), cache=CacheSpec())
+        base = system.visit_ratios()["db"]
+        for _ in range(300):
+            system.submit()
+        env.run(until=60.0)
+        hit_rate = system.cache.hit_rate()
+        assert hit_rate > 0
+        assert system.visit_ratios()["db"] == pytest.approx(
+            base * (1.0 - hit_rate)
+        )
+
+    def test_writes_invalidate(self):
+        env = Environment()
+        from repro.workload.servlets import read_write_catalog
+
+        system = NTierSystem(
+            env,
+            RandomStreams(3),
+            catalog=read_write_catalog(write_fraction=0.5),
+            cache=CacheSpec(),
+        )
+        for _ in range(300):
+            system.submit()
+        env.run(until=60.0)
+        stats = system.cache.stats()
+        assert stats["invalidations"] > 0
+
+    def test_unconfigured_system_has_no_cache(self):
+        env = Environment()
+        system = NTierSystem(env, RandomStreams(3))
+        assert system.cache is None
+        for _ in range(10):
+            system.submit()
+        env.run(until=10.0)
+        assert system.completed_count() == 10
+
+
+class TestModelAdjustment:
+    def test_knee_invariant_capacity_scales(self):
+        model = ConcurrencyModel(s0=7.19e-3, alpha=5.04e-3, beta=1.65e-6, tier="db")
+        warm = model.with_cache_hit_rate(0.75)
+        assert warm.optimal_concurrency() == pytest.approx(
+            model.optimal_concurrency()
+        )
+        assert warm.max_throughput() == pytest.approx(model.max_throughput() / 0.25)
+        assert warm.service_time(10) == pytest.approx(0.25 * model.service_time(10))
+
+    def test_zero_hit_rate_is_identity(self):
+        model = ConcurrencyModel(s0=1e-2, alpha=1e-3, beta=1e-6, tier="db")
+        assert model.with_cache_hit_rate(0.0) == model
+
+    def test_hit_rate_bounds(self):
+        model = ConcurrencyModel(s0=1e-2, alpha=1e-3, beta=1e-6)
+        with pytest.raises(ModelError):
+            model.with_cache_hit_rate(1.0)
+        with pytest.raises(ModelError):
+            model.with_cache_hit_rate(-0.1)
+
+
+class TestCacheSpec:
+    def test_json_roundtrip(self):
+        spec = CacheSpec(servers=2, capacity=512, ttl=5.0, keys=1000, zipf=0.9)
+        assert CacheSpec.from_json_obj(spec.to_json_obj()) == spec
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"servers": 0},
+            {"capacity": 0},
+            {"ttl": -1.0},
+            {"op_demand": 0.0},
+            {"keys": 0},
+            {"zipf": -0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CacheSpec(**kwargs)

@@ -1,0 +1,157 @@
+"""Regression tests for the three topology/balancer bugfixes.
+
+* **Phantom-server clamp** — ``NTierSystem.hardware`` used to clamp every
+  tier count to ``max(1, n)``; a full-tier outage showed as a healthy
+  1-server tier and the planner divided load by a server that did not
+  exist.  The property now reports true counts and the planner rejects
+  zero-server topologies loudly.
+* **Lexicographic tie-break** — ``least_conn`` broke ties on the backend
+  *name*, sorting ``"tomcat-10"`` before ``"tomcat-2"`` and silently
+  reordering equal-load picks once a tier reached ten servers.  Ties now
+  break on the numeric registration index.
+* **Stale db connection cap** — ``apply_soft_config`` resized the Tomcat
+  pools but never the per-MySQL ``max_connections`` cap, so a DCM plan
+  larger than the construction-time cap was silently truncated at the db
+  tier.  The cap is now a fourth soft-resource field carried end to end.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, ModelError
+from repro.model.optimizer import AllocationPlanner
+from repro.model.service_time import ConcurrencyModel
+from repro.ntier import Balancer, NTierSystem
+from repro.ntier.softconfig import (
+    DEFAULT_MAX_CONNECTIONS,
+    HardwareConfig,
+    SoftResourceConfig,
+)
+from repro.sim import Environment, RandomStreams
+
+
+def _models():
+    return {
+        "app": ConcurrencyModel(s0=9.94e-3, alpha=4.24e-3, beta=2.64e-6, tier="app"),
+        "db": ConcurrencyModel(s0=7.19e-3, alpha=5.04e-3, beta=1.65e-6, tier="db"),
+    }
+
+
+class _StubBackend:
+    def __init__(self, name, outstanding=0):
+        self.name = name
+        self.accepting = True
+        self.outstanding = outstanding
+
+
+class TestHardwareTruthfulness:
+    """S1: no more ``max(1, n)`` phantom servers."""
+
+    def test_full_tier_outage_reports_zero(self):
+        env = Environment()
+        system = NTierSystem(env, RandomStreams(1), hardware=HardwareConfig(1, 2, 1))
+        assert system.hardware == HardwareConfig(1, 2, 1)
+        for server in list(system.tier_servers("app")):
+            server.crash("test")
+        assert system.hardware.app == 0
+        assert str(system.hardware) == "1/0/1"
+
+    def test_hardware_config_allows_zero_but_parse_does_not(self):
+        assert HardwareConfig(1, 0, 1).app == 0
+        with pytest.raises(ConfigurationError):
+            HardwareConfig.parse("1/0/1")
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(1, -1, 1)
+
+    def test_planner_rejects_zero_server_topologies(self):
+        models = _models()
+        planner = AllocationPlanner()
+        with pytest.raises(ModelError):
+            planner.plan(
+                tomcat_model=models["app"],
+                mysql_model=models["db"],
+                app_servers=0,
+                db_servers=1,
+            )
+        with pytest.raises(ModelError):
+            planner.plan(
+                tomcat_model=models["app"],
+                mysql_model=models["db"],
+                app_servers=2,
+                db_servers=0,
+            )
+
+
+class TestLeastConnTieBreak:
+    """S2: equal-load ties follow registration order, not name sort."""
+
+    def test_two_digit_names_do_not_jump_the_queue(self):
+        balancer = Balancer("lb-app", policy="least_conn")
+        # Registration order 9, 10, 11, 2 — the lexicographic minimum is
+        # "tomcat-10", the correct tie-break winner is "tomcat-9".
+        for n in (9, 10, 11, 2):
+            balancer.add(_StubBackend(f"tomcat-{n}"))
+        assert balancer.pick().name == "tomcat-9"
+
+    def test_load_still_dominates_the_tie_break(self):
+        balancer = Balancer("lb-app", policy="least_conn")
+        first = _StubBackend("tomcat-1", outstanding=5)
+        second = _StubBackend("tomcat-2", outstanding=1)
+        balancer.add(first)
+        balancer.add(second)
+        assert balancer.pick() is second
+
+    def test_tie_break_survives_churn(self):
+        balancer = Balancer("lb-app", policy="least_conn")
+        backends = [_StubBackend(f"tomcat-{n}") for n in (1, 2, 3)]
+        for b in backends:
+            balancer.add(b)
+        balancer.remove(backends[0])
+        # Registration indices are retired with the backend, not reused:
+        # the earliest *surviving* registrant wins the tie.
+        assert balancer.pick() is backends[1]
+        rejoined = _StubBackend("tomcat-1")
+        balancer.add(rejoined)
+        # A re-joined name goes to the back of the queue.
+        assert balancer.pick() is backends[1]
+
+
+class TestMaxConnectionsResize:
+    """S3: the db tier resizes with the soft config."""
+
+    def test_four_part_parse_and_str(self):
+        soft = SoftResourceConfig.parse("1000/100/80/600")
+        assert soft.max_connections == 600
+        assert str(soft) == "1000/100/80/600"
+        default = SoftResourceConfig.parse("1000/100/80")
+        assert default.max_connections == DEFAULT_MAX_CONNECTIONS
+        assert str(default) == "1000/100/80"
+        assert default.with_max_connections(600) == soft
+
+    def test_apply_soft_config_resizes_db_caps(self):
+        env = Environment()
+        system = NTierSystem(env, RandomStreams(1), hardware=HardwareConfig(1, 2, 2))
+        target = SoftResourceConfig(1000, 120, 90, 720)
+        system.apply_soft_config(target)
+        for server in system.tier_servers("db"):
+            assert server.max_connections == 720
+        assert system.soft.max_connections == 720
+
+    def test_planner_caps_cover_the_concentration_worst_case(self):
+        models = _models()
+        plan = AllocationPlanner().plan(
+            tomcat_model=models["app"],
+            mysql_model=models["db"],
+            app_servers=4,
+            db_servers=2,
+        )
+        soft = plan.soft
+        # Every upstream pool concentrating on one MySQL must fit its cap.
+        assert soft.max_connections >= 4 * soft.db_connections
+        assert soft.max_connections >= DEFAULT_MAX_CONNECTIONS
+
+    def test_new_mysql_servers_inherit_the_live_cap(self):
+        env = Environment()
+        system = NTierSystem(env, RandomStreams(1), hardware=HardwareConfig(1, 1, 1))
+        system.apply_soft_config(SoftResourceConfig(1000, 100, 80, 640))
+        added = system.add_mysql()
+        assert added.max_connections == 640
