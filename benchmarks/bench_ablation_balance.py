@@ -1,97 +1,18 @@
 """Ablation: γ(K) — load balancing, skew, and the connection tar-pit.
 
-Eq (4) introduces γ as "the correction parameter to the linear increase of
-servers in the bottleneck tier", attributing it to "the load imbalancing
-problem among servers".  This ablation measures a 2-MySQL tier's capacity
-under (policy × pool sizing × persistent skew) and surfaces three effects:
-
-1. **least-conn self-corrects**: with outstanding-based balancing, even a
-   heavy sticky-session skew costs little — new work routes around the
-   loaded server; γ stays ≈ 1.
-2. **round-robin pays for skew**: blind alternation lets a persistent
-   favourite accumulate concurrency past the knee; γ degrades with skew.
-3. **the tar-pit**: round-robin + *oversized* pools is unstable even with
-   zero skew — once one MySQL drifts past the thrash knee it slows,
-   holds connections longer, and (because the per-Tomcat pools are shared
-   across DB backends) progressively captures the whole pool while the
-   other server starves.  This is the classic slow-backend/connection-pool
-   pathology, emerging here from the paper's own concurrency physics —
-   and one more consequence of not capping concurrency the way DCM does.
+Lab shim — see :func:`benchmarks.analyses.ablation_balance` for the
+(policy × pool sizing × skew) grid and the three asserted effects
+(least-conn self-corrects, round-robin pays for skew, the oversized-pool
+tar-pit); ``benchmarks/suite.json`` carries the manifest entry.
 """
 
 import pytest
 
-from benchmarks.common import emit, once, run_specs
-from repro.analysis.tables import render_table
-from repro.ntier import SoftResourceConfig
-from repro.runner import SteadySpec
+from benchmarks.common import lab_experiment, once
 
 pytestmark = pytest.mark.slow
-
-SKEWS = (0.0, 0.2, 0.5)
-USERS = 7200
-CONFIGS = (
-    ("least_conn, sized (24/Tomcat)", "least_conn", 24),
-    ("round_robin, sized (24/Tomcat)", "round_robin", 24),
-    ("round_robin, default (80/Tomcat)", "round_robin", 80),
-)
-
-GRID = [
-    (label, policy, conns, w)
-    for label, policy, conns in CONFIGS
-    for w in SKEWS
-]
-
-SPECS = [
-    SteadySpec(
-        hardware="1/3/2",
-        soft=SoftResourceConfig(1000, 100, conns),
-        users=USERS, workload="rubbos", think_time=3.0,
-        seed=13, warmup=6.0, duration=12.0,
-        imbalance=w, balancer_policy=policy,
-    )
-    for _label, policy, conns, w in GRID
-]
-
-
-def run_sweep():
-    values = run_specs(SPECS)
-    return {
-        (label, w): (res.steady.throughput, list(res.server_busy["db"]))
-        for (label, _policy, _conns, w), res in zip(GRID, values)
-    }
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_gamma_vs_imbalance(benchmark):
-    results = once(benchmark, run_sweep)
-    rows = []
-    for label, _policy, _conns in CONFIGS:
-        balanced = results[(label, 0.0)][0]
-        for w in SKEWS:
-            xput, concs = results[(label, w)]
-            rows.append(
-                [label, w, xput, xput / balanced,
-                 f"{concs[0]:.0f}/{concs[-1]:.0f}"]
-            )
-    text = render_table(
-        ["configuration", "skew", "X (req/s)", "eff vs own balanced", "db conc lo/hi"],
-        rows,
-        title="Ablation: 2-MySQL capacity vs balancing policy, pool sizing, skew",
-    )
-    emit("ablation_balance", text)
-
-    lc_sized = {w: results[("least_conn, sized (24/Tomcat)", w)][0] for w in SKEWS}
-    rr_sized = {w: results[("round_robin, sized (24/Tomcat)", w)][0] for w in SKEWS}
-    rr_default = {w: results[("round_robin, default (80/Tomcat)", w)][0] for w in SKEWS}
-
-    # (1) least-conn absorbs skew: gamma stays near 1.
-    assert lc_sized[0.5] > 0.90 * lc_sized[0.0]
-    # (2) round-robin pays for skew.
-    assert rr_sized[0.5] < 0.85 * rr_sized[0.0]
-    assert rr_sized[0.2] < 0.97 * rr_sized[0.0]
-    # (3) the tar-pit: oversized pools under round-robin lose badly even
-    # with zero skew, with the concurrency split wildly asymmetric.
-    assert rr_default[0.0] < 0.75 * rr_sized[0.0]
-    lo, hi = results[("round_robin, default (80/Tomcat)", 0.0)][1]
-    assert hi > 3 * max(lo, 1.0)
+    once(benchmark, lambda: lab_experiment("ablation_balance"))

@@ -1,74 +1,16 @@
 """Ablation: sensitivity to the headroom factor over the theoretical knee.
 
-The paper notes the deployed pool size "should be larger than this
-theoretical value because not all threads will be in Active state"; DCM's
-planner multiplies the knee by a headroom factor (default 1.1 — the paper's
-own Fig 5 start of 40 connections over a knee of 36).  This ablation sweeps
-the factor on a 1/2/1 system at saturation: throughput should plateau
-around 0.8-1.3 x knee (the flat top of the MySQL curve) and fall off on
-both sides — under-provisioning starves the DB, large factors walk into
-the thrash region.
+Lab shim — see :func:`benchmarks.analyses.ablation_headroom` and
+``benchmarks/suite.json``.
 """
 
 import pytest
 
-from benchmarks.common import emit, once, run_specs
-from repro.analysis.tables import render_table
-from repro.ntier import SoftResourceConfig
-from repro.runner import SteadySpec
+from benchmarks.common import lab_experiment, once
 
 pytestmark = pytest.mark.slow
-
-HEADROOMS = (0.06, 0.6, 0.8, 1.0, 1.1, 1.3, 2.2, 4.4)
-KNEE = 36
-USERS = 3600
-
-
-def _per_tomcat(h: float) -> int:
-    return max(1, round(h * KNEE / 2))
-
-
-SPECS = [
-    SteadySpec(
-        hardware="1/2/1",
-        soft=SoftResourceConfig(1000, 100, _per_tomcat(h)),
-        users=USERS, workload="rubbos", think_time=3.0,
-        seed=31, warmup=6.0, duration=15.0,
-    )
-    for h in HEADROOMS
-]
-
-
-def run_sweep():
-    values = run_specs(SPECS)
-    return {
-        h: (_per_tomcat(h), res.steady)
-        for h, res in zip(HEADROOMS, values)
-    }
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_headroom_plateau(benchmark):
-    results = once(benchmark, run_sweep)
-    rows = [
-        [h, per_tomcat, 2 * per_tomcat, steady.throughput, steady.mean_response_time]
-        for h, (per_tomcat, steady) in results.items()
-    ]
-    text = render_table(
-        ["headroom", "conns/Tomcat", "max DB conc", "throughput", "mean RT (s)"],
-        rows,
-        title="Ablation: DCM headroom factor over the MySQL knee (1/2/1, saturated)",
-    )
-    emit("ablation_headroom", text)
-
-    xput = {h: steady.throughput for h, (_c, steady) in results.items()}
-    best = max(xput.values())
-    # Plateau: everything in 0.8-1.3 x knee within a few % of the best.
-    for h in (0.8, 1.0, 1.1, 1.3):
-        assert xput[h] > 0.95 * best
-    # Deep under-provisioning starves the tier (the flat top of the MySQL
-    # curve keeps even 0.6 x knee within a few %, so the starvation point
-    # sits very low).
-    assert xput[0.06] < 0.92 * best
-    # Far over-provisioning (4.4 x knee ~ the default 80/Tomcat) thrashes.
-    assert xput[4.4] < 0.88 * best
+    once(benchmark, lambda: lab_experiment("ablation_headroom"))

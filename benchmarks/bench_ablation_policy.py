@@ -1,74 +1,16 @@
 """Ablation: the "quick start / slow turn off" policy vs naive symmetry.
 
-Both the paper and AutoScale (Gandhi et al.) scale *in* only after several
-consecutive low periods to avoid instability under bursty workloads.  This
-ablation runs DCM on the Large Variation trace with the paper's policy
-(3 consecutive low periods) against a naive symmetric policy (1 period):
-the naive variant should churn more VM actions and get caught smaller by
-the flash crowd, hurting tail latency.
+Lab shim — see :func:`benchmarks.analyses.ablation_policy` and
+``benchmarks/suite.json``.
 """
 
 import pytest
 
-from benchmarks.common import emit, ground_truth_models, once, run_specs
-from repro.analysis import stability_report
-from repro.analysis.tables import render_table
-from repro.control import ScalingPolicy
-from repro.runner import AutoscaleSpec
-from repro.workload import large_variation
+from benchmarks.common import lab_experiment, once
 
 pytestmark = pytest.mark.slow
-
-SCALE = 4.0
-MAX_USERS = 1480
-
-VARIANTS = (("slow stop (paper, 3 periods)", 3), ("naive (1 period)", 1))
-
-
-def run_variants():
-    models = ground_truth_models(SCALE)
-    trace = large_variation()
-    specs = [
-        AutoscaleSpec(
-            controller="dcm", trace=trace, max_users=MAX_USERS, seed=7,
-            demand_scale=SCALE, models=models,
-            policy=ScalingPolicy(consecutive_low_periods=lows),
-        )
-        for _label, lows in VARIANTS
-    ]
-    out = {}
-    for (label, _lows), run in zip(VARIANTS, run_specs(specs)):
-        report = stability_report(run.request_log, run.failed, run.duration,
-                                  vm_seconds=run.vm_seconds)
-        scale_events = sum(
-            1 for e in run.controller.events
-            if e.kind in ("scale_out_done", "scale_in_done")
-        )
-        out[label] = (report, scale_events)
-    return out
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_slow_stop_policy(benchmark):
-    results = once(benchmark, run_variants)
-    rows = [
-        [label, report.p95_response_time, report.max_response_time,
-         report.spike_seconds, report.vm_seconds, float(events)]
-        for label, (report, events) in results.items()
-    ]
-    text = render_table(
-        ["policy", "p95 RT", "max RT", "spike s", "VM-seconds", "scale events"],
-        rows,
-        title="Ablation: scale-in conservatism under the Large Variation trace (DCM)",
-    )
-    emit("ablation_policy", text)
-
-    slow, slow_events = results["slow stop (paper, 3 periods)"]
-    naive, naive_events = results["naive (1 period)"]
-    # The naive policy reacts to every dip: at least as many VM actions and
-    # lower VM-seconds (it runs leaner)...
-    assert naive_events >= slow_events
-    assert naive.vm_seconds <= slow.vm_seconds
-    # ... but pays for it in stability when the burst returns.
-    assert naive.spike_seconds >= slow.spike_seconds
-    assert naive.p95_response_time >= 0.95 * slow.p95_response_time
+    once(benchmark, lambda: lab_experiment("ablation_policy"))

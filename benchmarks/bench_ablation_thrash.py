@@ -1,74 +1,16 @@
 """Ablation: the thrash term is what makes over-concurrency *harmful*.
 
-DESIGN.md §2 argues that the paper's quadratic Eq (5) alone prices 160
-connections into one MySQL at only ~3 % below peak, so the dramatic Fig 2(b)
-/ Fig 5 failures require the super-quadratic thrash the real MySQL exhibits.
-This ablation reruns the Fig 2(b) comparison with the thrash term disabled
-(pure Table-I quadratic): naive scale-out should then be roughly *neutral*,
-demonstrating that the substrate's thrash term — not a modelling artefact —
-carries the paper's headline effect.
+Lab shim — see :func:`benchmarks.analyses.ablation_thrash` and
+``benchmarks/suite.json``.
 """
 
 import pytest
 
-from benchmarks.common import emit, once, run_specs
-from repro.analysis.tables import render_table
-from repro.ntier.contention import MYSQL_CONTENTION, TOMCAT_CONTENTION, ContentionModel
-from repro.runner import SteadySpec
+from benchmarks.common import lab_experiment, once
 
 pytestmark = pytest.mark.slow
-
-USERS = 3600
-
-
-def _quadratic(model: ContentionModel) -> ContentionModel:
-    return ContentionModel(s0=model.s0, alpha=model.alpha, beta=model.beta)
-
-
-VARIANTS = ("with thrash", "quadratic only")
-HARDWARES = ("1/1/1", "1/2/1")
-
-
-def _spec(variant: str, hw: str) -> SteadySpec:
-    quad = variant == "quadratic only"
-    return SteadySpec(
-        hardware=hw, soft="1000/100/80", users=USERS, workload="rubbos",
-        think_time=3.0, seed=11, warmup=6.0, duration=15.0,
-        mysql_contention=_quadratic(MYSQL_CONTENTION) if quad else None,
-        tomcat_contention=_quadratic(TOMCAT_CONTENTION) if quad else None,
-    )
-
-
-GRID = [(variant, hw) for variant in VARIANTS for hw in HARDWARES]
-SPECS = [_spec(variant, hw) for variant, hw in GRID]
-
-
-def run_variants():
-    values = run_specs(SPECS)
-    return {key: res.steady.throughput for key, res in zip(GRID, values)}
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_ablation_thrash_term_carries_fig2b(benchmark):
-    results = once(benchmark, run_variants)
-    rows = []
-    for variant in VARIANTS:
-        base = results[(variant, "1/1/1")]
-        naive = results[(variant, "1/2/1")]
-        rows.append([variant, base, naive, 100 * (naive / base - 1)])
-    text = render_table(
-        ["MySQL ground truth", "1/1/1 default", "1/2/1 default", "scale-out delta (%)"],
-        rows,
-        title="Ablation: Fig 2(b) with and without the thrash term",
-    )
-    emit("ablation_thrash", text)
-
-    with_delta = results[("with thrash", "1/2/1")] / results[("with thrash", "1/1/1")] - 1
-    quad_delta = (
-        results[("quadratic only", "1/2/1")] / results[("quadratic only", "1/1/1")] - 1
-    )
-    # With thrash: naive scale-out clearly degrades (the paper's Fig 2(b)).
-    assert with_delta < -0.05
-    # Quadratic only: the degradation (mostly) disappears.
-    assert quad_delta > with_delta + 0.05
-    assert quad_delta > -0.05
+    once(benchmark, lambda: lab_experiment("ablation_thrash"))

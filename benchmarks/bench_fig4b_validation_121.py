@@ -1,68 +1,16 @@
 """Fig 4(b): model validation on 1/2/1 — the optimal DB connection pools.
 
-Paper: with two Tomcats, the model's optimum is **18 connections per
-Tomcat** (each "shares half of the optimal connection pool size" 36) —
-written 1000/100/18 — and it outperforms the other four representative
-allocations including the default 80 (which funnels 160 concurrent queries
-into the single MySQL).
+Lab shim — see :func:`benchmarks.analyses.fig4b` and
+``benchmarks/suite.json``.
 """
 
 import pytest
 
-from benchmarks.common import emit, once, run_spec
-from repro.analysis.tables import render_table
-from repro.ntier import SoftResourceConfig
-from repro.runner import ValidationSpec
+from benchmarks.common import lab_experiment, once
 
 pytestmark = pytest.mark.slow
-
-#: Per-Tomcat DB connection pools; 18 is the model's pick (36 / 2 Tomcats).
-DB_CONNECTIONS = (9, 18, 40, 80, 160)
-USER_LEVELS = (2400, 3200, 4000)
-
-SPEC = ValidationSpec(
-    hardware="1/2/1",
-    soft_configs=tuple(SoftResourceConfig(1000, 100, c) for c in DB_CONNECTIONS),
-    user_levels=USER_LEVELS,
-    seed=0,
-    warmup=6.0,
-    duration=15.0,
-)
-
-
-def run_curves():
-    return run_spec(SPEC)
 
 
 @pytest.mark.benchmark(group="fig4")
 def test_fig4b_optimal_connection_split_wins(benchmark):
-    curves = once(benchmark, run_curves)
-    # Compare under peak workload (see fig4a note).
-    peak = {c.soft.db_connections: c.throughput[-1] for c in curves}
-
-    rows = []
-    for curve in curves:
-        rows.append(
-            [f"{curve.soft} (DB conc <= {2 * curve.soft.db_connections})"]
-            + [f"{x:.0f}" for x in curve.throughput]
-            + [f"{curve.peak_throughput:.0f}"]
-        )
-    text = render_table(
-        ["allocation"] + [f"{u} users" for u in USER_LEVELS] + ["sustained max"],
-        rows,
-        title="Fig 4(b): throughput under RUBBoS workload, 1/2/1, five allocations",
-    )
-    gain = peak[18] / peak[80] - 1
-    text += f"\noptimal(18/Tomcat) vs default(80/Tomcat): {100 * gain:+.1f} %"
-    emit("fig4b_validation_121", text)
-
-    # The model's pick is at the top.
-    assert peak[18] >= 0.98 * max(peak.values())
-    # Default (2 x 80 = 160 into one MySQL) pays the thrash tax.
-    assert peak[18] > 1.10 * peak[80]
-    # Severe over-concurrency is worst.
-    assert peak[160] == min(peak.values())
-    assert peak[80] > peak[160]
-    # Mild under-provisioning (9/Tomcat) cannot *beat* the optimum (the flat
-    # top of the MySQL curve makes it close, as in the paper's Fig 4(b)).
-    assert peak[9] <= 1.02 * peak[18]
+    once(benchmark, lambda: lab_experiment("fig4b"))

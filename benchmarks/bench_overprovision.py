@@ -1,86 +1,17 @@
 """Ablation: static over-provisioning vs DCM — the paper's opening claim.
 
-Introduction: "over-provisioning only for peak workload can waste
-significant amount of computing resources and power."  We make the claim
-measurable: a statically peak-provisioned fleet (3 Tomcats + 3 MySQL,
-DCM-style soft sizing) replays the same Large Variation trace as elastic
-DCM.  Expected: comparable stability — the static fleet has capacity ready
-before every burst — at substantially higher VM cost; DCM buys (nearly) the
-same service for the VM-seconds the trace actually needs.
+Lab shim — see :func:`benchmarks.analyses.overprovision` (one autoscale
+spec + one static-fleet scenario spec in a single manifest entry) and
+``benchmarks/suite.json``.
 """
 
 import pytest
 
-from benchmarks.common import emit, ground_truth_models, once, run_spec
-from repro.analysis import stability_report
-from repro.analysis.tables import render_table
-from repro.runner import AutoscaleSpec
-from repro.scenario import Deployment, ScenarioSpec
-from repro.workload import large_variation
+from benchmarks.common import lab_experiment, once
 
 pytestmark = pytest.mark.slow
-
-SCALE = 4.0
-MAX_USERS = 1480
-SEED = 7
-
-
-def run_static():
-    trace = large_variation()
-    spec = ScenarioSpec(
-        seed=SEED,
-        demand_scale=SCALE,
-        collector_history=700,
-        controller="static",
-        target_servers={"app": 3, "db": 3},
-        models={t: m.rescaled(1.0) for t, m in ground_truth_models(SCALE).items()},
-        workload="trace",
-        trace=trace,
-        max_users=MAX_USERS,
-    )
-    with Deployment(spec) as dep:
-        dep.run()
-    return stability_report(
-        dep.system.request_log, len(dep.system.failure_log), trace.duration,
-        vm_seconds=dep.hypervisor.billing.vm_seconds(trace.duration),
-    )
-
-
-def run_pair():
-    dcm = run_spec(AutoscaleSpec(
-        controller="dcm", trace=large_variation(), max_users=MAX_USERS,
-        seed=SEED, demand_scale=SCALE, models=ground_truth_models(SCALE),
-    ))
-    dcm_report = stability_report(
-        dcm.request_log, dcm.failed, dcm.duration, vm_seconds=dcm.vm_seconds
-    )
-    return dcm_report, run_static()
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_overprovisioning_costs_more_for_equal_service(benchmark):
-    dcm, static = once(benchmark, run_pair)
-    rows = [
-        [label, getattr(dcm, attr), getattr(static, attr)]
-        for label, attr in [
-            ("p95 RT (s)", "p95_response_time"),
-            ("max RT (s)", "max_response_time"),
-            ("seconds in spike", "spike_seconds"),
-            ("SLA violations (frac)", "sla_violation_fraction"),
-            ("mean throughput (req/s)", "throughput_mean"),
-            ("VM-seconds", "vm_seconds"),
-        ]
-    ]
-    text = render_table(
-        ["metric", "DCM (elastic)", "static peak fleet"], rows,
-        title="Over-provisioning vs DCM under the Large Variation trace",
-    )
-    savings = 1 - dcm.vm_seconds / static.vm_seconds
-    text += f"\nDCM VM-seconds savings vs static peak fleet: {100 * savings:.0f} %"
-    emit("ablation_overprovision", text)
-
-    # The static fleet is at least as stable (capacity always ready)...
-    assert static.spike_seconds <= dcm.spike_seconds + 10
-    assert static.throughput_mean == pytest.approx(dcm.throughput_mean, rel=0.05)
-    # ... but pays for peak around the clock: the paper's motivation.
-    assert dcm.vm_seconds < 0.75 * static.vm_seconds
+    once(benchmark, lambda: lab_experiment("overprovision"))

@@ -1,143 +1,17 @@
 """Skewed shards: DCM vs hardware-only scaling with one hot MySQL shard.
 
-The stateful extension of the Fig 5 story.  The MySQL tier is split into
-three consistent-hash shards (primary + replica each) and the key stream
-is strongly Zipf-skewed, so one shard takes a disproportionate share of
-the query traffic.  Hardware-only scaling (the EC2-AutoScale baseline)
-can add MySQL VMs but leaves soft resources at their defaults; DCM also
-re-plans thread/connection pools for the topology it actually has.  The
-cache-aside tier sits in front of both so the comparison is between
-controllers, not between cold and warm caches.
-
-Qualitative shape asserted:
-
-* the Zipf skew is real — the hottest shard takes more than its fair
-  (1/shards) share of routed queries under both controllers;
-* the shard books balance — per shard, routed = member arrivals, and
-  nothing is silently lost across the run;
-* both controllers serve the trace (completed > 0, comparable volume),
-  so the table is a like-for-like comparison.
-
-Runs at demand_scale=4 (quarter capacity & volume; knees unchanged).
+Lab shim — see :func:`benchmarks.analyses.skewed_shards` for the sharded
+scenario specs, the post-run settling, and the shard-book assertions;
+``benchmarks/suite.json`` carries the manifest entry.
 """
 
 import pytest
 
-from benchmarks.common import emit, ground_truth_models, once
-from repro.analysis import stability_report
-from repro.analysis.tables import render_table
-from repro.ntier import CacheSpec, ShardingSpec
-from repro.scenario import Deployment, ScenarioSpec
-from repro.workload import sine_trace
+from benchmarks.common import lab_experiment, once
 
 pytestmark = pytest.mark.slow
-
-SCALE = 4.0
-MAX_USERS = 600
-SEED = 11
-SHARDS = 3
-ZIPF = 1.4
-
-CONTROLLERS = ("dcm", "ec2")
-
-
-def _spec(controller: str) -> ScenarioSpec:
-    trace = sine_trace(duration=240.0, period=120.0, low=0.25, high=1.0)
-    return ScenarioSpec(
-        hardware="1/1/1",
-        seed=SEED,
-        demand_scale=SCALE,
-        controller=controller,
-        models=ground_truth_models(SCALE),
-        workload="trace",
-        trace=trace,
-        max_users=MAX_USERS,
-        sharding=ShardingSpec(shards=SHARDS, replicas=1, zipf=ZIPF),
-        cache=CacheSpec(capacity=1024, zipf=ZIPF),
-        write_fraction=0.1,
-    )
-
-
-def run_pair():
-    out = {}
-    for name in CONTROLLERS:
-        with Deployment(_spec(name)) as dep:
-            dep.run()
-        # Settle in-flight closed-loop sessions so the shard books balance.
-        dep.env.run(until=dep.env.now + 60.0)
-        out[name] = dep
-    return out
 
 
 @pytest.mark.benchmark(group="skewed_shards")
 def test_skewed_shards_dcm_vs_hardware_only(benchmark):
-    deps = once(benchmark, run_pair)
-    reports = {}
-    shard_stats = {}
-    hot_fraction = {}
-    for name, dep in deps.items():
-        system = dep.system
-        reports[name] = stability_report(
-            system.request_log,
-            len(system.failure_log),
-            dep.duration,
-            vm_seconds=dep.hypervisor.billing.vm_seconds(),
-        )
-        stats = system.db_balancer.shard_stats()
-        shard_stats[name] = stats
-        total = sum(st["routed"] for st in stats.values())
-        hottest = system.db_balancer.hottest_shard()
-        hot_fraction[name] = stats[hottest]["routed"] / max(1, total)
-
-    rows = [
-        [label, getattr(reports["dcm"], attr), getattr(reports["ec2"], attr)]
-        for label, attr in [
-            ("mean RT (s)", "mean_response_time"),
-            ("p95 RT (s)", "p95_response_time"),
-            ("max RT (s)", "max_response_time"),
-            ("mean throughput (req/s)", "throughput_mean"),
-            ("completed requests", "completed"),
-            ("VM-seconds", "vm_seconds"),
-        ]
-    ]
-    rows.append([
-        "hot-shard routed fraction",
-        round(hot_fraction["dcm"], 3),
-        round(hot_fraction["ec2"], 3),
-    ])
-    rows.append([
-        "cache hit rate",
-        round(deps["dcm"].system.cache.hit_rate(), 3),
-        round(deps["ec2"].system.cache.hit_rate(), 3),
-    ])
-    text = render_table(
-        ["metric", "DCM", "hardware-only"], rows,
-        title=(
-            f"Skewed shards ({SHARDS} shards, zipf {ZIPF}): "
-            "DCM vs hardware-only scaling"
-        ),
-    )
-    for name, dep in deps.items():
-        text += f"\n\n[{name}] per-shard routing:"
-        for sid, st in shard_stats[name].items():
-            text += (
-                f"\n  shard {sid}: routed={st['routed']:>6} "
-                f"completed={st['completed']:>6} failed={st['failed']:>4} "
-                f"primary={st['primary']}"
-            )
-    emit("skewed_shards", text)
-
-    for name in CONTROLLERS:
-        # --- The skew is real: the hottest shard is over its fair share. ---
-        assert hot_fraction[name] > 1.0 / SHARDS, (
-            f"{name}: hottest shard took {hot_fraction[name]:.3f} "
-            f"<= fair share {1.0 / SHARDS:.3f}"
-        )
-        # --- Shard books balance: routed = arrivals, all accounted. ---
-        for sid, st in shard_stats[name].items():
-            assert st["routed"] == st["arrivals"], (name, sid, st)
-            assert st["routed"] == st["completed"] + st["failed"], (name, sid, st)
-        assert reports[name].completed > 0
-    # --- Like-for-like: both controllers served comparable volume. ---
-    d, e = reports["dcm"], reports["ec2"]
-    assert d.completed > 0.8 * e.completed
+    once(benchmark, lambda: lab_experiment("skewed_shards"))

@@ -1,91 +1,19 @@
 """Table I: concurrency-aware model training and prediction.
 
-Reproduces the paper's training procedure (Section V-A): JMeter sweeps with
-the target tier as bottleneck (Tomcat on 1/1/1, MySQL on 1/2/1), least-
-squares fit of Eq (7), and the Table I row per tier: (S0, alpha, beta, R^2,
-N_b, X_max).  Raw (S0, alpha, beta) are reported both in our gamma=1
-convention and rescaled by the paper's gamma for side-by-side comparison
-(see DESIGN.md §2 on the gamma identifiability).
-
-Also estimates the multi-server scaling correction (the gamma(K)/K
-efficiency) from a 1/2/2 vs 1/2/1 capacity pair.  All four experiments
-(two training sweeps, two capacity probes) run as one engine batch, so a
-worker pool drains the whole point set.
+Lab shim — see :func:`benchmarks.analyses.table1` for the two training
+sweeps, the 1-vs-2-MySQL scaling-correction probes, and the Table I
+assertions; ``benchmarks/suite.json`` carries the manifest entry (all
+four specs run as one engine batch, so a worker pool drains the whole
+point set).
 """
 
 import pytest
 
-from benchmarks.common import PAPER_TABLE1, emit, once, run_specs
-from repro.analysis.tables import render_table
-from repro.model import estimate_scaling_correction
-from repro.runner import SteadySpec, TrainingSpec
+from benchmarks.common import lab_experiment, once
 
 pytestmark = pytest.mark.slow
 
 
-def _capacity_spec(hardware: str, soft: str, users: int) -> SteadySpec:
-    return SteadySpec(
-        hardware=hardware, soft=soft, users=users, workload="rubbos",
-        think_time=3.0, seed=21, warmup=6.0, duration=16.0,
-    )
-
-
-SPECS = [
-    TrainingSpec(tier="app", seed=0),
-    TrainingSpec(tier="db", seed=0),
-    # Scaling correction for the DB tier: optimal soft config, 1 vs 2 MySQL.
-    # The app tier is over-provisioned (2-3 Tomcats) so MySQL stays the
-    # bottleneck in both measurements.
-    _capacity_spec("1/2/1", "1000/100/18", users=3600),
-    _capacity_spec("1/3/2", "1000/100/24", users=7200),
-]
-
-
-def run_training():
-    app, db, cap1, cap2 = run_specs(SPECS)
-    outcomes = {"app": app, "db": db}
-    x1, x2 = cap1.steady.throughput, cap2.steady.throughput
-    gamma_eff = estimate_scaling_correction(x1, x2, 2)
-    return outcomes, (x1, x2, gamma_eff)
-
-
 @pytest.mark.benchmark(group="table1")
 def test_table1_model_training(benchmark):
-    outcomes, (x1, x2, gamma_eff) = once(benchmark, run_training)
-
-    rows = []
-    for tier in ("app", "db"):
-        fit = outcomes[tier].fit
-        paper = PAPER_TABLE1[tier]
-        rescaled = fit.model.rescaled(paper["gamma"])
-        rows += [
-            [f"{tier}: S0 (x paper gamma)", paper["S0"], rescaled.s0],
-            [f"{tier}: alpha (x paper gamma)", paper["alpha"], rescaled.alpha],
-            [f"{tier}: beta (x paper gamma)", paper["beta"], rescaled.beta],
-            [f"{tier}: R^2", paper["R2"], fit.r_squared],
-            [f"{tier}: N_b", paper["N_b"], fit.model.optimal_concurrency_int()],
-            [f"{tier}: X_max (req/s)", paper["Xmax"], fit.model.max_throughput()],
-        ]
-    text = render_table(
-        ["quantity", "paper", "measured"], rows,
-        title="Table I: model training parameters and prediction result",
-    )
-    text += (
-        f"\nDB-tier scaling correction: X(1 MySQL)={x1:.0f}, X(2 MySQL)={x2:.0f}"
-        f" -> gamma-efficiency {gamma_eff:.2f} (1.0 = perfectly linear)"
-    )
-    emit("table1_model_training", text)
-
-    app, db = outcomes["app"].fit, outcomes["db"].fit
-    # Knees: Tomcat ~20, MySQL ~36 (generous bands for measurement noise).
-    assert 16 <= app.model.optimal_concurrency_int() <= 26
-    assert 28 <= db.model.optimal_concurrency_int() <= 52
-    # Fit quality comparable to the paper's 0.96/0.97.
-    assert app.r_squared > 0.93
-    assert db.r_squared > 0.93
-    # Peak predictions near the paper's 946/865 (system envelope may shave
-    # the Tomcat number toward the MySQL ceiling, as in the real testbed).
-    assert app.model.max_throughput() == pytest.approx(946, rel=0.12)
-    assert db.model.max_throughput() == pytest.approx(865, rel=0.08)
-    # Two MySQL servers scale sub-linearly but usefully.
-    assert 0.7 <= gamma_eff <= 1.05
+    once(benchmark, lambda: lab_experiment("table1"))

@@ -1,13 +1,14 @@
-"""Shared plumbing for the benchmark harnesses.
+"""Shared plumbing for the benchmark harnesses — now a lab front-end.
 
-Every benchmark regenerates one of the paper's tables/figures: it builds
-the corresponding :mod:`repro.runner` specs, executes them through the
-experiment engine (process-pool fan-out + on-disk result cache under
-``benchmarks/out/.cache/``), renders the same rows/series the paper
-reports, *asserts the paper's qualitative shape* (who wins, where the knee
-falls, rough factors), and writes the rendered output to
-``benchmarks/out/<name>.txt`` (also echoed to stdout) so EXPERIMENTS.md can
-quote it.
+Every benchmark regenerates one of the paper's tables/figures.  The specs
+and analysis bodies live in :mod:`benchmarks.analyses`, the committed
+``benchmarks/suite.json`` names them as lab experiments, and the
+``bench_*.py`` files are thin pytest shims calling
+:func:`lab_experiment`, which routes through :func:`repro.lab.run_suite`
+(process-pool fan-out + the content-addressed artifact store under
+``benchmarks/out/.cache/``).  Artifacts land in
+``benchmarks/out/<name>.txt``, byte-identical to the pre-lab harnesses at
+any jobs/cache setting.
 
 Engine knobs (environment variables, so ``pytest benchmarks/`` stays the
 invocation):
@@ -16,11 +17,14 @@ invocation):
     Worker processes per engine call (default 1).  Results are
     bit-identical at any value.
 ``REPRO_NO_CACHE``
-    Set (to anything) to disable the result cache.  A warm cache answers
+    Set (to anything) to disable the artifact store.  A warm store answers
     every simulation point from disk, so re-renders are near-instant.
 
-Telemetry is printed to stdout only — never into the emitted artefact, so
-``out/<name>.txt`` stays byte-identical across jobs/cache settings.
+The shims run with ``reanalyze=True`` so the paper-shape assertions in
+:mod:`benchmarks.analyses` really execute on every pytest run (points
+still come from the store); ``repro lab run benchmarks/suite.json``
+additionally reuses stored analysis artifacts, skipping execution
+entirely when nothing changed.
 
 Speed knob: several experiments run at ``demand_scale > 1`` — all CPU
 demands multiplied, capacities divided, optimal concurrencies untouched
@@ -30,14 +34,15 @@ demands multiplied, capacities divided, optimal concurrencies untouched
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Sequence
+import sys
+from typing import Dict
 
 from repro.model import ConcurrencyModel
-from repro.runner import run_many
 
-OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+OUT_DIR = os.path.join(BENCH_DIR, "out")
 CACHE_DIR = os.path.join(OUT_DIR, ".cache")
-os.makedirs(OUT_DIR, exist_ok=True)
+SUITE_PATH = os.path.join(BENCH_DIR, "suite.json")
 
 #: Engine fan-out for every bench (REPRO_JOBS=8 pytest benchmarks/ ...).
 JOBS = max(1, int(os.environ.get("REPRO_JOBS", "1")))
@@ -54,27 +59,31 @@ PAPER_TABLE1 = {
 }
 
 
-def run_specs(specs: Sequence[object]) -> List[object]:
-    """Execute specs through the engine and return their values in order.
+def lab_experiment(name: str):
+    """Run one named suite experiment through the lab, strictly.
 
-    One shared worker pool and cache pass for the whole batch; telemetry
-    goes to stdout (not into any emitted artefact).
+    Loads the committed manifest, narrows it to ``name``, and executes it
+    with ``reanalyze=True`` (assertions always run) and ``strict=True``
+    (the first assertion failure propagates to pytest).  Returns the
+    :class:`repro.lab.SuiteRun`.
     """
-    result = run_many(list(specs), jobs=JOBS, cache=CACHE, cache_dir=CACHE_DIR)
-    print(f"\n{result.telemetry.render()}\n")
-    return result.value
+    from repro.lab import SuiteManifest, run_suite
 
-
-def run_spec(spec: object) -> object:
-    """Execute one spec through the engine (see :func:`run_specs`)."""
-    return run_specs([spec])[0]
-
-
-def emit(name: str, text: str) -> None:
-    """Print a benchmark's rendered output and persist it under out/."""
-    with open(os.path.join(OUT_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
-        fh.write(text + "\n")
-    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n")
+    if BENCH_DIR not in sys.path and os.path.dirname(BENCH_DIR) not in sys.path:
+        sys.path.insert(0, os.path.dirname(BENCH_DIR))
+    manifest = SuiteManifest.load(SUITE_PATH)
+    narrowed = SuiteManifest(
+        name=manifest.name, experiments=(manifest.experiment(name),)
+    )
+    return run_suite(
+        narrowed,
+        out_dir=OUT_DIR,
+        store_dir=CACHE_DIR if CACHE else None,
+        jobs=JOBS,
+        cache=CACHE,
+        reanalyze=True,
+        strict=True,
+    )
 
 
 def ground_truth_models(demand_scale: float = 1.0) -> Dict[str, ConcurrencyModel]:

@@ -1,0 +1,159 @@
+"""Generate the committed ``benchmarks/suite.json`` lab manifest.
+
+The manifest is data, but its source of truth is code: the spec builders
+in :mod:`benchmarks.analyses` (one per paper figure/table) plus the two
+tiny ``quick``-tagged smoke experiments CI runs on every PR.  Re-run this
+script after changing any spec builder::
+
+    PYTHONPATH=src python benchmarks/make_suite.py
+
+``tests/test_lab.py`` asserts the committed file matches
+``build_suite()``, so a drifted manifest fails CI rather than silently
+running stale specs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from benchmarks import analyses as A  # noqa: E402
+from repro.faults import PolicyConfig, VMCrash  # noqa: E402
+from repro.lab import (  # noqa: E402
+    AnalysisStep,
+    ComparisonEntry,
+    ExperimentEntry,
+    SuiteManifest,
+)
+from repro.runner import SteadySpec  # noqa: E402
+from repro.scenario import ScenarioSpec  # noqa: E402
+
+SUITE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "suite.json")
+
+#: (experiment name, spec builder, analysis ref, artifact name, title)
+PAPER_EXPERIMENTS = (
+    ("fig2a", A.fig2a_specs, "benchmarks.analyses:fig2a",
+     "fig2a_mysql_concurrency",
+     "Fig 2(a): MySQL throughput vs request-processing concurrency"),
+    ("fig2b", A.fig2b_specs, "benchmarks.analyses:fig2b",
+     "fig2b_scaleout_degradation",
+     "Fig 2(b): naive hardware-only scale-out degrades throughput"),
+    ("fig4a", A.fig4a_specs, "benchmarks.analyses:fig4a",
+     "fig4a_validation_111",
+     "Fig 4(a): model validation on 1/1/1 (optimal Tomcat threads)"),
+    ("fig4b", A.fig4b_specs, "benchmarks.analyses:fig4b",
+     "fig4b_validation_121",
+     "Fig 4(b): model validation on 1/2/1 (optimal DB connections)"),
+    ("fig5", A.fig5_specs, "benchmarks.analyses:fig5",
+     "fig5_dcm_vs_autoscale",
+     "Fig 5: DCM vs EC2-AutoScale under the Large Variation trace"),
+    ("table1", A.table1_specs, "benchmarks.analyses:table1",
+     "table1_model_training",
+     "Table I: concurrency-aware model training and prediction"),
+    ("kernel", lambda: [], "benchmarks.analyses:kernel",
+     "kernel_microbenchmarks",
+     "Kernel microbenchmarks (simulator speed; volatile)"),
+    ("overprovision", A.overprovision_specs,
+     "benchmarks.analyses:overprovision", "ablation_overprovision",
+     "Ablation: static over-provisioning vs DCM"),
+    ("ablation_policy", A.ablation_policy_specs,
+     "benchmarks.analyses:ablation_policy", "ablation_policy",
+     "Ablation: scale-in conservatism (slow stop vs naive)"),
+    ("ablation_headroom", A.ablation_headroom_specs,
+     "benchmarks.analyses:ablation_headroom", "ablation_headroom",
+     "Ablation: headroom factor over the MySQL knee"),
+    ("ablation_balance", A.ablation_balance_specs,
+     "benchmarks.analyses:ablation_balance", "ablation_balance",
+     "Ablation: gamma(K) vs balancing policy, pool sizing, skew"),
+    ("ablation_thrash", A.ablation_thrash_specs,
+     "benchmarks.analyses:ablation_thrash", "ablation_thrash",
+     "Ablation: the thrash term carries Fig 2(b)"),
+    ("skewed_shards", A.skewed_shards_specs,
+     "benchmarks.analyses:skewed_shards", "skewed_shards",
+     "Skewed shards: DCM vs hardware-only scaling"),
+)
+
+
+def smoke_steady_specs():
+    return [SteadySpec(
+        hardware="1/1/1", soft="1000/100/80", users=100, workload="rubbos",
+        think_time=1.0, seed=5, warmup=2.0, duration=6.0,
+    )]
+
+
+def smoke_resilience_specs():
+    return [ScenarioSpec(
+        hardware="1/2/1", seed=6, demand_scale=4.0, monitoring=True,
+        workload="rubbos", users=30, think_time=1.0, duration=10.0,
+        faults=(VMCrash(at=4.0, tier="app", index=0),),
+        resilience=(
+            PolicyConfig("retry", "app", {"attempts": 2, "base_delay": 0.05}),
+            PolicyConfig("timeout", "app", {"deadline": 2.0}),
+            PolicyConfig("shed", "db", {"max_outstanding": 400}),
+        ),
+    )]
+
+
+def build_suite() -> SuiteManifest:
+    experiments = [
+        ExperimentEntry(
+            name=name,
+            specs=tuple(build()),
+            analyses=(AnalysisStep(analysis=ref, name=artifact),),
+            tags=("paper",),
+            title=title,
+        )
+        for name, build, ref, artifact, title in PAPER_EXPERIMENTS
+    ]
+    experiments += [
+        ExperimentEntry(
+            name="smoke_steady",
+            specs=tuple(smoke_steady_specs()),
+            analyses=(AnalysisStep(analysis="steady_table",
+                                   name="smoke_steady_table"),),
+            tags=("quick",),
+            title="Smoke: one small steady-state point (CI lab-smoke)",
+        ),
+        ExperimentEntry(
+            name="smoke_resilience",
+            specs=tuple(smoke_resilience_specs()),
+            analyses=(AnalysisStep(analysis="scenario_report",
+                                   name="smoke_resilience_report"),),
+            tags=("quick",),
+            title="Smoke: crash scenario with a resilience policy chain",
+        ),
+    ]
+    comparisons = (
+        ComparisonEntry(name="dcm_cost_compare",
+                        experiments=("fig5", "overprovision")),
+        ComparisonEntry(name="smoke_compare",
+                        experiments=("smoke_steady", "smoke_resilience")),
+    )
+    return SuiteManifest(
+        name="dcm-paper-suite",
+        experiments=tuple(experiments),
+        comparisons=comparisons,
+    )
+
+
+def main() -> int:
+    suite = build_suite()
+    # Round-trip guard: the committed JSON must decode back to the same
+    # manifest, or cached artifact keys would drift between code and file.
+    assert SuiteManifest.from_json(suite.to_json()) == suite
+    with open(SUITE_PATH, "w", encoding="utf-8") as fh:
+        fh.write(suite.to_json_pretty())
+    print(f"wrote {SUITE_PATH} "
+          f"({len(suite.experiments)} experiments, "
+          f"{len(suite.comparisons)} comparisons)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

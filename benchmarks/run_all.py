@@ -1,17 +1,18 @@
-"""Driver for the full benchmark suite (tier 2).
+"""Driver for the full benchmark suite (tier 2) — a thin lab front-end.
 
-Runs every ``bench_*.py`` harness through pytest with the engine knobs set
-from the command line instead of raw environment variables::
+Runs the committed manifest (``benchmarks/suite.json``) through
+:func:`repro.lab.run_suite` directly — no pytest subprocess::
 
     python benchmarks/run_all.py --jobs 8            # parallel, warm cache
     python benchmarks/run_all.py --jobs 8 --no-cache # force recompute
-    python benchmarks/run_all.py -k fig5             # one harness
+    python benchmarks/run_all.py -k fig5             # one experiment
+    python benchmarks/run_all.py --tags quick        # the smoke subset
 
-Engine settings travel to the benches via ``REPRO_JOBS`` /
-``REPRO_NO_CACHE`` (read by :mod:`benchmarks.common` at import), so plain
-``pytest benchmarks/`` with those variables exported behaves identically.
 Rendered artefacts land in ``benchmarks/out/`` and are byte-identical at
-any jobs/cache setting; the cache lives in ``benchmarks/out/.cache/``.
+any jobs/cache setting; the content-addressed store lives in
+``benchmarks/out/.cache/`` with one run-index JSON per invocation under
+``.cache/runs/``.  ``repro lab run benchmarks/suite.json`` is the same
+code path with the full CLI surface (diff, gc, stats).
 """
 
 from __future__ import annotations
@@ -28,28 +29,40 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes per engine call (default 1)")
     parser.add_argument("--no-cache", action="store_true",
-                        help="disable the on-disk result cache")
+                        help="disable the content-addressed artifact store")
+    parser.add_argument("--reanalyze", action="store_true",
+                        help="re-run analyses (and their assertions) even "
+                             "when every artifact is already in the store")
     parser.add_argument("-k", dest="keyword", default=None,
-                        help="pytest -k expression to select harnesses")
+                        help="substring to select experiments by name")
+    parser.add_argument("--tags", default=None, metavar="T[,T...]",
+                        help="comma-separated tags to select experiments")
     args = parser.parse_args(argv)
-
-    os.environ["REPRO_JOBS"] = str(args.jobs)
-    if args.no_cache:
-        os.environ["REPRO_NO_CACHE"] = "1"
-    else:
-        os.environ.pop("REPRO_NO_CACHE", None)
 
     bench_dir = os.path.dirname(os.path.abspath(__file__))
     repo_root = os.path.dirname(bench_dir)
-    sys.path.insert(0, os.path.join(repo_root, "src"))
-    sys.path.insert(0, repo_root)
+    for entry in (os.path.join(repo_root, "src"), repo_root):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
 
-    import pytest
+    from repro.lab import SuiteManifest, manifest_roots, run_suite
 
-    pytest_args = [bench_dir, "-m", "slow", "-p", "no:cacheprovider"]
-    if args.keyword:
-        pytest_args += ["-k", args.keyword]
-    return pytest.main(pytest_args)
+    manifest_path = os.path.join(bench_dir, "suite.json")
+    manifest = SuiteManifest.load(manifest_path)
+    out_dir, store_dir = manifest_roots(manifest_path)
+    tags = tuple(t for t in (args.tags or "").split(",") if t)
+
+    suite_run = run_suite(
+        manifest,
+        out_dir=out_dir,
+        store_dir=None if args.no_cache else store_dir,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        reanalyze=args.reanalyze,
+        keyword=args.keyword,
+        tags=tags,
+    )
+    return 0 if suite_run.ok else 1
 
 
 if __name__ == "__main__":

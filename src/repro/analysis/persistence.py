@@ -91,6 +91,22 @@ def run_to_dict(run, bin_width: float = 5.0) -> Dict[str, Any]:
     }
 
 
+def run_artifact(run, bin_width: float = 5.0) -> Dict[str, Any]:
+    """An autoscale run as a lab artifact payload (``type="report"``).
+
+    Wraps :func:`run_to_dict` for the content-addressed store: the full
+    serialised run under ``data`` and the scalar stability-report fields
+    as ``metrics`` so ``repro lab diff`` can show per-metric deltas.
+    """
+    data = run_to_dict(run, bin_width)
+    metrics = {
+        name: float(value)
+        for name, value in data["report"].items()
+        if isinstance(value, (int, float))
+    }
+    return {"data": data, "metrics": metrics, "type": "report"}
+
+
 def save_run(run, path: str, bin_width: float = 5.0) -> None:
     """Write an autoscale run's artefact JSON to ``path``."""
     with open(path, "w") as fh:

@@ -51,6 +51,28 @@ def render_table(
     return "\n".join(lines)
 
 
+def table_artifact(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 3,
+    title: Optional[str] = None,
+    metrics: Optional[dict] = None,
+) -> dict:
+    """A rendered table as a lab artifact payload.
+
+    Pairs the ASCII rendering (``text``, what lands in ``out/*.txt``) with
+    the raw ``headers``/``rows`` under ``data`` so downstream tooling can
+    re-plot without re-parsing the ASCII, plus optional scalar ``metrics``
+    for ``repro lab diff``.
+    """
+    row_list = [list(row) for row in rows]
+    return {
+        "text": render_table(headers, row_list, precision=precision, title=title),
+        "data": {"headers": list(headers), "rows": row_list},
+        "metrics": dict(metrics or {}),
+    }
+
+
 def render_series(
     label: str,
     pairs: Sequence[tuple],

@@ -24,6 +24,10 @@ Three fast end-to-end probes, all run with every sanitizer domain armed:
     shards each primary + replica, read/write mix) run under the
     sanitizer; the cache must take hits, every shard must conserve
     routed = completed + failed, and writes must reach shard primaries.
+``lab``
+    A one-experiment suite manifest round-tripped through JSON, run
+    twice against a throwaway artifact store: the second run must be a
+    100% store hit and ``repro lab diff`` of the two runs must be empty.
 
 All imports of the heavyweight packages happen inside the functions so
 ``repro.check`` stays importable before (and by) ``sim``/``ntier``/``runner``.
@@ -193,6 +197,62 @@ def _stateful_check(seed: int, demand_scale: float) -> SmokeOutcome:
     )
 
 
+def _lab_check(seed: int, demand_scale: float) -> SmokeOutcome:
+    import os
+    import shutil
+    import tempfile
+
+    from repro.lab import (
+        AnalysisStep, ExperimentEntry, SuiteManifest, diff_runs, run_suite,
+    )
+    from repro.runner import SteadySpec
+
+    spec = SteadySpec(
+        users=40,
+        workload="rubbos",
+        seed=seed,
+        demand_scale=demand_scale,
+        warmup=2.0,
+        duration=6.0,
+    )
+    manifest = SuiteManifest(
+        name="lab-smoke",
+        experiments=(ExperimentEntry(
+            name="steady",
+            specs=(spec,),
+            analyses=(AnalysisStep("steady_table"),),
+        ),),
+    )
+    if SuiteManifest.from_json(manifest.to_json()) != manifest:
+        return SmokeOutcome("lab", False, "manifest JSON round-trip drifted")
+    root = tempfile.mkdtemp(prefix="repro-lab-smoke-")
+    try:
+        kwargs = dict(
+            out_dir=os.path.join(root, "out"),
+            store_dir=os.path.join(root, "store"),
+            strict=True,
+            quiet=True,
+        )
+        first = run_suite(manifest, **kwargs)
+        second = run_suite(manifest, **kwargs)
+        if not second.fully_cached:
+            return SmokeOutcome(
+                "lab", False, "repeated run missed the artifact store"
+            )
+        report = diff_runs(second.store, first.index, second.index)
+        if not report.empty:
+            return SmokeOutcome(
+                "lab", False, f"self-diff found deltas: {report.render()}"
+            )
+        return SmokeOutcome(
+            "lab", True,
+            f"manifest round-trips; rerun is a 100% store hit with an "
+            f"empty diff ({report.artifacts_compared} artifact(s))",
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def run_smoke(seed: int = 0, demand_scale: float = 1.0) -> List[SmokeOutcome]:
     """Run every smoke check with all sanitizer domains armed."""
     outcomes: List[SmokeOutcome] = []
@@ -213,4 +273,8 @@ def run_smoke(seed: int = 0, demand_scale: float = 1.0) -> List[SmokeOutcome]:
             outcomes.append(_stateful_check(seed, demand_scale))
         except InvariantViolation as err:
             outcomes.append(SmokeOutcome("stateful", False, str(err)))
+        try:
+            outcomes.append(_lab_check(seed, demand_scale))
+        except InvariantViolation as err:
+            outcomes.append(SmokeOutcome("lab", False, str(err)))
     return outcomes

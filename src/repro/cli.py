@@ -51,6 +51,19 @@ Gives operators the library's main entry points without writing Python:
     written to ``BENCH_kernel.json``.  ``--baseline FILE`` compares the
     machine-normalized event throughput against a committed report and
     exits 1 on a regression beyond ``--tolerance`` (default 25%).
+``lab``
+    Manifest-driven experiment suites on the content-addressed artifact
+    store (:mod:`repro.lab`).  ``repro lab run benchmarks/suite.json -k
+    fig5`` runs a selection of the committed suite, emits the rendered
+    artefacts under ``out/`` beside the manifest, and writes a provenance
+    run index; ``--baseline RUN`` diffs the fresh run against a recorded
+    one (exit 1 on deltas) and ``--save-baseline FILE`` commits the new
+    index.  ``repro lab diff A B`` compares two run indexes (run ids or
+    index paths) artifact by artifact with per-metric deltas and store
+    integrity verification; ``repro lab gc`` sweeps unreachable store
+    objects (stale version, corrupt, orphaned tmp, legacy flat-layout
+    entries) and prunes old runs; ``repro lab stats`` prints store
+    occupancy.
 
 Every simulation command routes through the experiment engine
 (:mod:`repro.runner`): ``--jobs N`` fans points out over N worker
@@ -308,6 +321,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional drop in normalized event throughput "
              "(default 0.25)",
     )
+    p.add_argument(
+        "--store", metavar="DIR",
+        help="also record the report in this lab artifact store "
+             "(volatile bench artifact)",
+    )
+
+    p = sub.add_parser(
+        "lab", help="manifest-driven suites on the artifact store"
+    )
+    lab_sub = p.add_subparsers(dest="lab_action", required=True)
+
+    def store_opt(lp: argparse.ArgumentParser) -> None:
+        lp.add_argument(
+            "--store", metavar="DIR", default=None,
+            help="artifact store root (default: out/.cache beside the "
+                 "manifest, or benchmarks/out/.cache at the repo root)",
+        )
+
+    lp = lab_sub.add_parser("run", help="run a suite manifest")
+    lp.add_argument("manifest", metavar="MANIFEST_JSON",
+                    help="path to a repro-lab/1 suite manifest")
+    lp.add_argument("-k", dest="keyword", default=None, metavar="SUBSTR",
+                    help="select experiments whose name contains SUBSTR")
+    lp.add_argument("--tags", default=None, metavar="T[,T...]",
+                    help="select experiments carrying any of these tags")
+    lp.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes per engine batch (default 1)")
+    lp.add_argument("--no-cache", action="store_true",
+                    help="bypass the artifact store entirely")
+    lp.add_argument("--reanalyze", action="store_true",
+                    help="re-run analyses (and their assertions) even when "
+                         "every artifact is already stored")
+    lp.add_argument("--out", metavar="DIR", default=None,
+                    help="rendered-artefact directory (default: out/ beside "
+                         "the manifest)")
+    lp.add_argument("--quiet", action="store_true",
+                    help="suppress per-artifact banners and telemetry")
+    lp.add_argument("--baseline", metavar="RUN", default=None,
+                    help="after running, diff against this run id or index "
+                         "path; exit 1 on deltas")
+    lp.add_argument("--save-baseline", metavar="FILE", default=None,
+                    help="also write the new run index to FILE")
+    store_opt(lp)
+
+    lp = lab_sub.add_parser("diff", help="compare two lab run indexes")
+    lp.add_argument("run_a", metavar="RUN_A",
+                    help="run id in the store, or path to an index JSON")
+    lp.add_argument("run_b", metavar="RUN_B",
+                    help="run id in the store, or path to an index JSON")
+    store_opt(lp)
+
+    lp = lab_sub.add_parser("gc", help="sweep unreachable store objects")
+    lp.add_argument("--keep-runs", type=int, default=None, metavar="N",
+                    help="also prune run indexes beyond the newest N")
+    lp.add_argument("--dry-run", action="store_true",
+                    help="count, but remove nothing")
+    store_opt(lp)
+
+    lp = lab_sub.add_parser("stats", help="store occupancy counters")
+    store_opt(lp)
 
     return parser
 
@@ -520,6 +593,10 @@ def cmd_scenario(args: argparse.Namespace) -> int:
             rows.append([f"{tier} servers (final)", float(timeline[-1][1])])
     print(render_table(["metric", "value"], rows,
                        title=f"scenario: {Path(args.spec).name}"))
+    if dep.resilience_chains:
+        from repro.lab import render_resilience_report
+
+        print(render_resilience_report(dep.resilience_report()))
     return 0
 
 
@@ -677,6 +754,12 @@ def cmd_perf(args: argparse.Namespace) -> int:
     print(render_report(report))
     save_report(report, args.out)
     print(f"report written to {args.out}")
+    if args.store:
+        from repro.lab import ArtifactStore
+        from repro.perf.suite import record_report
+
+        key = record_report(report, ArtifactStore(args.store))
+        print(f"recorded in lab store {args.store} as {key[:12]}...")
     if args.baseline:
         problems = compare_reports(
             report, load_report(args.baseline), tolerance=args.tolerance
@@ -686,6 +769,118 @@ def cmd_perf(args: argparse.Namespace) -> int:
                 print(f"PERF REGRESSION: {problem}", file=sys.stderr)
             return 1
         print(f"within {args.tolerance:.0%} of baseline {args.baseline}")
+    return 0
+
+
+def _lab_store_dir(args: argparse.Namespace) -> str:
+    if args.store:
+        return args.store
+    from repro.runner.cache import default_cache_dir
+
+    return default_cache_dir()
+
+
+def _lab_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.lab import SuiteManifest, diff_runs, manifest_roots, run_suite
+
+    manifest_path = os.path.abspath(args.manifest)
+    manifest = SuiteManifest.load(manifest_path)
+    out_default, store_default = manifest_roots(manifest_path)
+    # Dotted analysis refs ("benchmarks.analyses:fig5") resolve relative to
+    # the manifest's repository, not the caller's cwd.
+    manifest_dir = os.path.dirname(manifest_path)
+    for entry in (os.path.dirname(manifest_dir), manifest_dir):
+        if entry and entry not in sys.path:
+            sys.path.insert(0, entry)
+    tags = tuple(t for t in (args.tags or "").split(",") if t)
+
+    suite_run = run_suite(
+        manifest,
+        out_dir=args.out or out_default,
+        store_dir=None if args.no_cache else (args.store or store_default),
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        reanalyze=args.reanalyze,
+        quiet=args.quiet,
+        keyword=args.keyword,
+        tags=tags,
+    )
+
+    rows = []
+    for result in suite_run.results.values():
+        rows.append([
+            result.name, result.status,
+            f"{result.points_hits}/{result.points_misses}",
+            f"{result.analyses_hits}/{result.analyses_misses}",
+            result.error or "-",
+        ])
+    print(render_table(
+        ["experiment", "status", "points h/m", "analyses h/m", "error"],
+        rows, title=f"lab run {suite_run.run_id}: {suite_run.suite}",
+    ))
+    if suite_run.index_path:
+        print(f"run index written to {suite_run.index_path}")
+
+    if args.save_baseline:
+        with open(args.save_baseline, "w", encoding="utf-8") as fh:
+            json.dump(suite_run.index, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {args.save_baseline}")
+
+    if not suite_run.ok:
+        return 1
+    if args.baseline:
+        store = suite_run.store
+        if store is None:
+            raise SystemExit("repro lab run: --baseline needs the store "
+                             "(drop --no-cache)")
+        base_index = store.read_run_index(args.baseline)
+        if args.keyword or tags:
+            # A selected run covers a subset of the suite; diff only the
+            # experiments (and comparisons) it actually produced, so a
+            # full-suite baseline does not fail the subset on "removed".
+            base_index = dict(base_index)
+            for section in ("experiments", "comparisons"):
+                ours = suite_run.index.get(section) or {}
+                base_index[section] = {
+                    name: rec
+                    for name, rec in (base_index.get(section) or {}).items()
+                    if name in ours
+                }
+        report = diff_runs(store, base_index, suite_run.index)
+        print(report.render())
+        return 0 if report.empty else 1
+    return 0
+
+
+def cmd_lab(args: argparse.Namespace) -> int:
+    from repro.lab import ArtifactStore, diff_runs
+
+    if args.lab_action == "run":
+        return _lab_run(args)
+
+    store = ArtifactStore(_lab_store_dir(args))
+    if args.lab_action == "diff":
+        report = diff_runs(
+            store,
+            store.read_run_index(args.run_a),
+            store.read_run_index(args.run_b),
+        )
+        print(report.render())
+        return 0 if report.empty else 1
+    if args.lab_action == "gc":
+        removed = store.gc(keep_runs=args.keep_runs, dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"lab gc ({store.root}): " + ", ".join(
+            f"{count} {category}" for category, count in sorted(removed.items())
+        ) + f" {verb}")
+        return 0
+    stats = store.stats()
+    rows = [[name, stats[name]] for name in sorted(stats)]
+    print(render_table(["stat", "value"], rows,
+                       title=f"lab store: {store.root}"))
     return 0
 
 
@@ -702,6 +897,7 @@ _COMMANDS = {
     "check": cmd_check,
     "audit": cmd_audit,
     "perf": cmd_perf,
+    "lab": cmd_lab,
 }
 
 

@@ -15,7 +15,9 @@ introspectable through :func:`repro.scenario.registries`.
 from repro.faults.injector import FaultInjector, InjectionEvent
 from repro.faults.policies import (
     POLICIES,
+    ChainLink,
     CircuitOpen,
+    PolicyChain,
     PolicyConfig,
     build_chain,
 )
@@ -35,7 +37,9 @@ __all__ = [
     "FAULTS",
     "POLICIES",
     "BrokerOutage",
+    "ChainLink",
     "CircuitOpen",
+    "PolicyChain",
     "FaultInjector",
     "FaultSpec",
     "InjectionEvent",

@@ -97,13 +97,92 @@ def _base_dispatch(env, balancer, request, kwargs):
     return result
 
 
-def build_chain(configs) -> Callable:
+@dataclass
+class ChainLink:
+    """Per-policy dispatch counters for one link of a built chain."""
+
+    kind: str
+    params: Dict[str, Any]
+    calls: int = 0
+    ok: int = 0
+    shed: int = 0
+    failed: int = 0
+
+    def report(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "params": dict(self.params),
+            "calls": self.calls,
+            "ok": self.ok,
+            "shed": self.shed,
+            "failed": self.failed,
+        }
+
+
+def _counted(link: ChainLink, chain: Callable) -> Callable:
+    """Wrap one link with outcome counters.
+
+    Pure ``yield from`` delegation — no events are added, so counting
+    never perturbs simulated time or event order.
+    """
+
+    def counted(env, balancer, request, kwargs):
+        link.calls += 1
+        try:
+            result = yield from chain(env, balancer, request, kwargs)
+        except RequestShed:
+            link.shed += 1
+            raise
+        except BaseException:
+            link.failed += 1
+            raise
+        link.ok += 1
+        return result
+
+    return counted
+
+
+class PolicyChain:
+    """A built, callable policy chain that counts per-link outcomes.
+
+    Calling it behaves exactly like the folded chain functions it
+    replaces (balancers do ``yield from chain(env, self, request,
+    kwargs)``); in addition each link records how many dispatches it saw
+    and how each resolved (ok / shed / failed), which
+    :meth:`Deployment.resilience_report
+    <repro.scenario.deploy.Deployment.resilience_report>` surfaces as the
+    per-tier composition report.
+    """
+
+    def __init__(self, configs) -> None:
+        self.configs = tuple(configs)
+        self.links = [
+            ChainLink(kind=cfg.kind, params=dict(cfg.params))
+            for cfg in self.configs
+        ]
+        chain = _base_dispatch
+        for cfg, link in zip(reversed(self.configs), reversed(self.links)):
+            factory = POLICIES.resolve(cfg.kind)
+            chain = _counted(link, factory(dict(cfg.params), chain))
+        self._chain = chain
+
+    def __call__(self, env, balancer, request, kwargs):
+        return self._chain(env, balancer, request, kwargs)
+
+    def describe(self) -> str:
+        """Outermost-first composition, e.g. ``retry -> timeout -> dispatch``."""
+        return " -> ".join([link.kind for link in self.links] + ["dispatch"])
+
+    def report(self) -> Dict[str, Any]:
+        return {
+            "chain": self.describe(),
+            "policies": [link.report() for link in self.links],
+        }
+
+
+def build_chain(configs) -> PolicyChain:
     """Fold ``configs`` (first-listed outermost) around the base dispatch."""
-    chain = _base_dispatch
-    for cfg in reversed(list(configs)):
-        factory = POLICIES.resolve(cfg.kind)
-        chain = factory(dict(cfg.params), chain)
-    return chain
+    return PolicyChain(configs)
 
 
 # ---------------------------------------------------------------------------

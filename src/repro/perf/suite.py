@@ -155,6 +155,36 @@ def save_report(report: Dict[str, Any], path: str) -> None:
         fh.write("\n")
 
 
+def record_report(report: Dict[str, Any], store) -> str:
+    """Record a perf report in a lab :class:`~repro.lab.store.ArtifactStore`.
+
+    Keyed by host fingerprint + mode — never by the timings — so each
+    machine/mode pair keeps one slot that successive runs overwrite.  The
+    artifact is ``volatile``: ``repro lab diff`` reports timing drift as a
+    note, not a delta.  Returns the artifact key.
+    """
+    from repro.lab.store import artifact_key
+
+    producer = {
+        "kind": "perf-report",
+        "quick": bool(report.get("quick")),
+        "python": report.get("python"),
+        "platform": report.get("platform"),
+    }
+    key = artifact_key(producer)
+    metrics = {
+        name: float(value)
+        for name, value in report["headline"].items()
+        if isinstance(value, (int, float))
+    }
+    store.put(
+        key,
+        {"text": render_report(report), "metrics": metrics, "data": report},
+        producer=producer, type="bench", volatile=True,
+    )
+    return key
+
+
 def load_report(path: str) -> Dict[str, Any]:
     with open(path, "r", encoding="utf-8") as fh:
         report = json.load(fh)

@@ -1,94 +1,107 @@
-"""On-disk result cache, keyed by spec content + package version.
+"""On-disk point-result cache — a thin adapter over the lab artifact store.
 
-Each cached point lives in one JSON file named by
-``sha256(canonical payload JSON + repro.__version__)``.  Because the
-version participates in the key, bumping ``repro.__version__`` invalidates
-every entry without any cleanup pass; stale files are simply never looked
-up again.  Entries store the payload alongside the result so the cache is
-self-describing and debuggable with a text editor.
+Historically this module owned a flat directory of ``<key>.json`` files;
+the store (:mod:`repro.lab.store`) generalizes that layout into a typed
+content-addressed store shared by every derived output, and
+:class:`ResultCache` now reads and writes point entries through it
+(``objects/<key>.json`` under the cache root).  Keys are unchanged:
+``sha256(canonical payload JSON + "\\0" + repro.__version__)`` — with no
+inputs, :func:`repro.lab.store.artifact_key` is byte-for-byte this
+construction — so existing workflows keep their cache identity.
 
-The default location is ``benchmarks/out/.cache/`` under the current
-working directory (the benchmark harnesses' output root, already
-gitignored); override with the ``REPRO_CACHE_DIR`` environment variable or
-the ``cache_dir`` argument of :func:`repro.runner.run`.
+Because the version participates in the key, bumping
+``repro.__version__`` invalidates every entry without a cleanup pass;
+unlike the historical cache, stranded files are no longer forever:
+``repro lab gc`` sweeps stale and corrupt objects *and* the legacy flat
+layout.
+
+The default location anchors ``benchmarks/out/.cache/`` at the nearest
+enclosing repo root (a directory with ``pyproject.toml`` or ``.git``)
+rather than the bare current working directory, so invocations from
+subdirectories no longer silently split the cache; override with the
+``REPRO_CACHE_DIR`` environment variable or the ``cache_dir`` argument of
+:func:`repro.runner.run`.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
 import os
-import tempfile
 from typing import Any, Dict, Optional
+
+from repro.lab.store import ArtifactStore, artifact_key, canonical_json
+
+
+def repo_root(start: Optional[str] = None) -> Optional[str]:
+    """The nearest enclosing directory holding ``pyproject.toml`` or
+    ``.git``, or ``None`` when ``start`` is not inside a repo."""
+    here = os.path.abspath(start or os.getcwd())
+    while True:
+        if any(
+            os.path.exists(os.path.join(here, marker))
+            for marker in ("pyproject.toml", ".git")
+        ):
+            return here
+        parent = os.path.dirname(here)
+        if parent == here:
+            return None
+        here = parent
 
 
 def default_cache_dir() -> str:
-    """Resolve the cache root: ``$REPRO_CACHE_DIR`` or
-    ``./benchmarks/out/.cache``."""
-    return os.environ.get("REPRO_CACHE_DIR") or os.path.join(
-        os.getcwd(), "benchmarks", "out", ".cache"
-    )
+    """Resolve the cache root: ``$REPRO_CACHE_DIR``, else
+    ``<repo root>/benchmarks/out/.cache`` (falling back to the current
+    working directory when no repo root is found)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return override
+    anchor = repo_root() or os.getcwd()
+    return os.path.join(anchor, "benchmarks", "out", ".cache")
 
 
 def point_key(payload: Dict[str, Any]) -> str:
     """``sha256(canonical payload JSON + repro.__version__)``.
 
-    With the ``cache`` check domain armed (see :mod:`repro.check`), the
+    Exactly :func:`repro.lab.store.artifact_key` with no inputs, so point
+    results share the lab store's keyspace and invalidation rule.  With
+    the ``cache`` check domain armed (see :mod:`repro.check`), the
     canonical JSON is decoded back and compared against the payload — a
     payload that changes shape through JSON (tuples, NaN, non-string keys)
     would silently decouple the cache key from what actually runs.
     """
-    from repro import __version__
     from repro.check import config as _checks
     from repro.check.sanitizer import verify_payload_roundtrip
 
-    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     if _checks.active("cache"):
-        verify_payload_roundtrip(payload, text)
-    digest = hashlib.sha256()
-    digest.update(text.encode("utf-8"))
-    digest.update(b"\0")
-    digest.update(__version__.encode("utf-8"))
-    return digest.hexdigest()
+        verify_payload_roundtrip(payload, canonical_json(payload))
+    return artifact_key(payload)
 
 
 class ResultCache:
-    """A directory of ``<key>.json`` files; corrupt entries read as misses."""
+    """Point-cache facade over an :class:`~repro.lab.store.ArtifactStore`.
+
+    ``get`` returns the historical self-describing entry shape
+    ``{"version", "payload", "result"}`` (payload = the producing point
+    spec payload, result = the encoded result); any corruption, key
+    mismatch, or version mismatch in the underlying object reads as a
+    miss.  ``put`` stores the result as a ``point`` artifact whose
+    producer is the payload — atomic replace, last writer wins.
+    """
 
     def __init__(self, root: str) -> None:
         self.root = root
-        self._made = False
-
-    def _path(self, key: str) -> str:
-        return os.path.join(self.root, f"{key}.json")
+        self.store = ArtifactStore(root)
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored encoded result for ``key``, or ``None`` on a miss."""
-        try:
-            with open(self._path(key), "r", encoding="utf-8") as fh:
-                entry = json.load(fh)
-        except (OSError, ValueError):
+        entry = self.store.get(key)
+        if entry is None:
             return None
-        if not isinstance(entry, dict) or "result" not in entry:
-            return None
-        return entry
+        return {
+            "version": entry["version"],
+            "payload": entry.get("producer"),
+            "result": entry["payload"],
+        }
 
     def put(self, key: str, payload: Dict[str, Any], result: Any) -> None:
-        """Atomically persist one point result (write-to-temp + rename)."""
-        from repro import __version__
-
-        if not self._made:
-            os.makedirs(self.root, exist_ok=True)
-            self._made = True
-        entry = {"version": __version__, "payload": payload, "result": result}
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh)
-            os.replace(tmp, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        """Atomically persist one point result."""
+        self.store.put(key, result, producer=payload, type="point")

@@ -76,9 +76,12 @@ def run(
     jobs: int = 1,
     cache: bool = True,
     cache_dir: Optional[str] = None,
+    store: Optional[ResultCache] = None,
 ) -> EngineResult:
     """Execute one spec; see the module docstring for the pipeline."""
-    result = run_many([spec], jobs=jobs, cache=cache, cache_dir=cache_dir)
+    result = run_many(
+        [spec], jobs=jobs, cache=cache, cache_dir=cache_dir, store=store
+    )
     return EngineResult(value=result.value[0], telemetry=result.telemetry)
 
 
@@ -88,6 +91,7 @@ def run_many(
     jobs: int = 1,
     cache: bool = True,
     cache_dir: Optional[str] = None,
+    store: Optional[ResultCache] = None,
 ) -> EngineResult:
     """Execute several specs as one shared point pool.
 
@@ -96,11 +100,18 @@ def run_many(
     plus two capacity probes) saturates the workers; in-process specs
     (autoscale runs) execute serially afterwards.  ``value`` is the list of
     per-spec values in input order.
+
+    ``store`` injects a :class:`~repro.runner.cache.ResultCache` directly
+    (the lab executor shares its artifact store this way); otherwise one is
+    opened at ``cache_dir`` / the default location when ``cache`` is on.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     start = time.perf_counter()  # repro: noqa[DCM001] -- wall-clock telemetry, never reaches results
-    store = ResultCache(cache_dir or default_cache_dir()) if cache else None
+    if store is None and cache:
+        store = ResultCache(cache_dir or default_cache_dir())
+    elif not cache:
+        store = None
     telemetry = RunTelemetry(
         jobs=jobs, cache_enabled=cache, cache_dir=store.root if store else None
     )

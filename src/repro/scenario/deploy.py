@@ -194,12 +194,15 @@ class Deployment:
         # Faults & resilience are wired last: a spec with neither creates no
         # process and touches no balancer, so the construction sequence of a
         # pre-fault (schema v1) scenario is reproduced bit-for-bit.
+        self.resilience_chains: dict = {}
         if spec.resilience:
             by_tier: dict = {}
             for cfg in spec.resilience:
                 by_tier.setdefault(cfg.tier, []).append(cfg)
             for tier, cfgs in by_tier.items():
-                self.system.balancer(tier).install_policy(build_chain(cfgs))
+                chain = build_chain(cfgs)
+                self.resilience_chains[tier] = chain
+                self.system.balancer(tier).install_policy(chain)
         if spec.faults:
             self.injector = FaultInjector(self.env, self, spec.faults)
 
@@ -244,6 +247,18 @@ class Deployment:
         stop = getattr(self.workload, "stop", None)
         if callable(stop):
             stop()
+
+    def resilience_report(self) -> dict:
+        """Per-tier policy composition with per-link dispatch counters.
+
+        ``{tier: {"chain": "retry -> timeout -> dispatch", "policies":
+        [{"kind", "params", "calls", "ok", "shed", "failed"}, ...]}}`` —
+        empty when the spec installs no resilience policies.
+        """
+        return {
+            tier: chain.report()
+            for tier, chain in self.resilience_chains.items()
+        }
 
     def __enter__(self) -> "Deployment":
         return self

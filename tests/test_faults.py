@@ -390,6 +390,69 @@ class TestBulkheadAndShedPolicies:
         value, _ = drive(env, chain, balancer=light)
         assert value == "ok"
 
+    def test_chain_reports_per_policy_counters(self):
+        # Satellite of the lab work: a built chain exposes its composition
+        # and per-link dispatch counters for the resilience report.
+        env = Environment()
+
+        class OkServer:
+            def handle(self, request, **kwargs):
+                return env.timeout(0.01)
+
+        class Backend:
+            def __init__(self, outstanding):
+                self.outstanding = outstanding
+
+        class PickBalancer(FakeBalancer):
+            def __init__(self, backends=()):
+                super().__init__(backends)
+                self.server = OkServer()
+
+            def pick_for(self, request):
+                return self.server
+
+        chain = build_chain([
+            PolicyConfig("retry", "app", {"attempts": 2, "base_delay": 0.0}),
+            PolicyConfig("shed", "app", {"max_outstanding": 5}),
+        ])
+        assert chain.describe() == "retry -> shed -> dispatch"
+
+        _, error = drive(env, chain, balancer=PickBalancer([Backend(9)]))
+        assert isinstance(error, RequestShed)
+        value, error = drive(env, chain, balancer=PickBalancer())
+        assert error is None
+
+        by_kind = {p["kind"]: p for p in chain.report()["policies"]}
+        assert by_kind["shed"]["calls"] == 2
+        assert by_kind["shed"]["shed"] == 1
+        assert by_kind["shed"]["ok"] == 1
+        assert by_kind["shed"]["failed"] == 0
+        # The refusal propagated through retry as a shed, not a failure.
+        assert by_kind["retry"]["calls"] == 2
+        assert by_kind["retry"]["shed"] == 1
+        assert by_kind["retry"]["ok"] == 1
+
+    def test_deployment_resilience_report_composition(self):
+        spec = ScenarioSpec(
+            hardware="1/2/1", seed=6, demand_scale=8.0, monitoring=False,
+            workload="rubbos", users=10, think_time=1.0, duration=6.0,
+            resilience=(
+                PolicyConfig("retry", "app", {"attempts": 2}),
+                PolicyConfig("shed", "db", {"max_outstanding": 400}),
+            ),
+        )
+        with Deployment(spec) as dep:
+            dep.run()
+        report = dep.resilience_report()
+        assert set(report) == {"app", "db"}
+        assert report["app"]["chain"] == "retry -> dispatch"
+        assert report["db"]["chain"] == "shed -> dispatch"
+        served = dep.system.completed_count()
+        assert served > 0
+        # Every completed request passed through both tiers' chains.
+        assert report["app"]["policies"][0]["calls"] >= served
+        assert report["db"]["policies"][0]["ok"] >= served
+
     def test_build_chain_folds_first_listed_outermost(self):
         env = Environment()
 

@@ -112,19 +112,52 @@ class TestCache:
         assert res.telemetry.cache_misses == 0
         assert res.value.tier == "app"
 
+    def _object_paths(self, cache_dir):
+        objects_dir = os.path.join(cache_dir, "objects")
+        return [
+            os.path.join(objects_dir, name)
+            for name in os.listdir(objects_dir)
+            if name.endswith(".json")
+        ]
+
     def test_corrupt_entry_is_miss(self, tmp_path):
         cache_dir = str(tmp_path / "cache")
         run(SWEEP, jobs=1, cache=True, cache_dir=cache_dir)
-        for name in os.listdir(cache_dir):
-            with open(os.path.join(cache_dir, name), "w") as fh:
+        paths = self._object_paths(cache_dir)
+        assert len(paths) == 3
+        for path in paths:
+            with open(path, "w") as fh:
                 fh.write("{not json")
         res = run(SWEEP, jobs=1, cache=True, cache_dir=cache_dir)
+        assert res.telemetry.cache_misses == 3
+
+    def test_version_mismatch_entry_is_miss(self, tmp_path):
+        # Entries stamped by another repro version are unreachable, never
+        # half-trusted.
+        cache_dir = str(tmp_path / "cache")
+        run(SWEEP, jobs=1, cache=True, cache_dir=cache_dir)
+        for path in self._object_paths(cache_dir):
+            with open(path) as fh:
+                entry = json.load(fh)
+            entry["version"] = "0.0.0-stale"
+            with open(path, "w") as fh:
+                json.dump(entry, fh)
+        res = run(SWEEP, jobs=1, cache=True, cache_dir=cache_dir)
+        assert res.telemetry.cache_hits == 0
         assert res.telemetry.cache_misses == 3
 
     def test_point_key_depends_on_payload(self):
         a, b = SWEEP.payloads()[:2]
         assert point_key(a) != point_key(b)
         assert point_key(a) == point_key(dict(a))
+
+    def test_point_key_is_artifact_key(self):
+        # The engine's point keyspace IS the lab store's artifact keyspace
+        # (empty inputs): one invalidation rule for both.
+        from repro.lab.store import artifact_key
+
+        payload = SWEEP.payloads()[0]
+        assert point_key(payload) == artifact_key(payload)
 
     def test_cache_round_trip_preserves_payload(self, tmp_path):
         store = ResultCache(str(tmp_path / "c"))
